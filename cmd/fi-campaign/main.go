@@ -1,0 +1,97 @@
+// Command fi-campaign runs the paper's full fault-injection evaluation:
+// every benchmark × {LLFI, REFINE, PINFI} × n trials, then prints the
+// regenerated Table 6, Figure 4, Table 4, Table 5 and Figure 5.
+//
+// Usage:
+//
+//	fi-campaign [-trials 1068] [-seed 1] [-workers 0] [-apps HPCCG,CG,...]
+//	            [-instrs all|arithm|mem|stack] [-O 2|0] [-quiet]
+//
+// The paper's configuration is the default: 1068 trials (3% margin, 95%
+// confidence), -fi-funcs=* -fi-instrs=all, -O2. 14 apps × 3 tools × 1068 =
+// 44,856 experiments, as in §5.3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/opt"
+	"repro/internal/workloads"
+)
+
+func main() {
+	trials := flag.Int("trials", 1068, "fault-injection samples per (app, tool)")
+	seed := flag.Uint64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 14)")
+	instrs := flag.String("instrs", "all", "-fi-instrs class filter: all|arithm|mem|stack")
+	optLevel := flag.Int("O", 2, "optimization level (2 or 0)")
+	quiet := flag.Bool("quiet", false, "suppress per-campaign progress")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Trials:  *trials,
+		Seed:    *seed,
+		Workers: *workers,
+		Build:   campaign.DefaultBuildOptions(),
+	}
+	classes, err := fault.ParseClasses(*instrs)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Build.FI.Classes = classes
+	if *optLevel == 0 {
+		cfg.Build.Opt = opt.O0
+	}
+	if *appsFlag != "" {
+		for _, name := range strings.Split(*appsFlag, ",") {
+			app, err := workloads.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Apps = append(cfg.Apps, app)
+		}
+	}
+	if !*quiet {
+		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	start := time.Now()
+	suite, err := experiments.RunSuite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# %d apps x 3 tools x %d trials = %d experiments in %v\n\n",
+		len(suite.Order), suite.Trials, len(suite.Order)*3*suite.Trials, time.Since(start).Round(time.Millisecond))
+
+	fmt.Println(suite.Table6())
+	fmt.Println(suite.Figure4())
+	fmt.Println(suite.Table4(suite.Order[0]))
+	t5, err := suite.Table5()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(t5)
+	fmt.Println(suite.Figure5())
+
+	llfiSig, refineSig, err := suite.SummaryCounts()
+	if err != nil {
+		fatal(err)
+	}
+	lNorm, rNorm := suite.Speedups()
+	fmt.Printf("Headline: LLFI differs from PINFI on %d/%d apps; REFINE on %d/%d.\n",
+		llfiSig, len(suite.Order), refineSig, len(suite.Order))
+	fmt.Printf("Campaign time vs PINFI: LLFI %.1fx, REFINE %.1fx (paper: 3.9x, 1.2x).\n", lNorm, rNorm)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fi-campaign:", err)
+	os.Exit(1)
+}

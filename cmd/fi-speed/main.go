@@ -1,0 +1,69 @@
+// Command fi-speed reproduces the paper's Figure 5 in isolation: campaign
+// execution time per application for LLFI and REFINE, normalized to PINFI,
+// plus the aggregate total (Figure 5o). It also reports the per-run
+// breakdown (pre/post-detach costs for PINFI, instrumentation overhead for
+// REFINE/LLFI) that explains the shape.
+//
+// Usage:
+//
+//	fi-speed [-trials 200] [-seed 1] [-workers 0] [-apps CSV]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+	"repro/internal/pinfi"
+	"repro/internal/workloads"
+)
+
+func main() {
+	trials := flag.Int("trials", 200, "trials per (app, tool)")
+	seed := flag.Uint64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "parallel workers")
+	appsFlag := flag.String("apps", "", "comma-separated app subset")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Trials:  *trials,
+		Seed:    *seed,
+		Workers: *workers,
+		Build:   campaign.DefaultBuildOptions(),
+	}
+	if *appsFlag != "" {
+		for _, name := range strings.Split(*appsFlag, ",") {
+			app, err := workloads.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Apps = append(cfg.Apps, app)
+		}
+	}
+	suite, err := experiments.RunSuite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(suite.Figure5())
+
+	paper := experiments.PaperFigure5()
+	fmt.Println("Paper's published normalization for reference:")
+	fmt.Printf("%-10s %8s %8s\n", "App", "LLFI", "REFINE")
+	for _, app := range append(append([]string{}, suite.Order...), "Total") {
+		if v, ok := paper[app]; ok {
+			fmt.Printf("%-10s %8.1f %8.1f\n", app, v[0], v[1])
+		}
+	}
+
+	costs := pinfi.DefaultCosts()
+	fmt.Printf("\nCost model: PIN per-instr callback %d cycles, JIT %d cycles/static-instr, host call %d cycles.\n",
+		costs.PerInstr, costs.JITPerStaticInstr, 30)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fi-speed:", err)
+	os.Exit(1)
+}

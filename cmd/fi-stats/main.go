@@ -1,0 +1,84 @@
+// Command fi-stats performs the paper's statistical analyses on campaign
+// results: the Table 4 contingency-table example, the Table 5 chi-squared
+// tests, sample-size calculations (§5.3), and a side-by-side comparison of
+// the published Table 6 numbers against locally measured ones.
+//
+// With no input file it analyzes the paper's published Table 6 data,
+// verifying that the statistical machinery reproduces the published
+// conclusions (LLFI significantly different from PINFI on every app; REFINE
+// on none).
+//
+// Usage:
+//
+//	fi-stats [-table4] [-table5] [-samplesize] [-margin 0.03]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	table4 := flag.Bool("table4", true, "print the Table 4 contingency example")
+	table5 := flag.Bool("table5", true, "print Table 5 chi-squared tests on the published data")
+	sampleSize := flag.Bool("samplesize", true, "print the Leveugle sample-size table")
+	margin := flag.Float64("margin", 0.03, "margin of error for -samplesize")
+	flag.Parse()
+
+	paper := experiments.PaperTable6()
+	var apps []string
+	for app := range paper {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+
+	if *sampleSize {
+		fmt.Printf("Sample size (margin %.0f%%, 95%% confidence):\n", *margin*100)
+		for _, pop := range []int64{1000, 10_000, 100_000, 1_000_000, 1 << 40} {
+			fmt.Printf("  population %12d -> n = %d\n", pop, stats.SampleSize(pop, *margin, stats.Z95))
+		}
+		fmt.Printf("The paper's configuration (margin 3%%, huge population): n = %d\n\n",
+			stats.SampleSize(1<<40, 0.03, stats.Z95))
+	}
+
+	if *table4 {
+		l := paper["AMG2013"]["LLFI"]
+		p := paper["AMG2013"]["PINFI"]
+		fmt.Println("Table 4 (published AMG2013 data):")
+		fmt.Printf("%-8s %8s %8s %8s %8s\n", "Tool", "Crash", "SOC", "Benign", "Total")
+		fmt.Printf("%-8s %8d %8d %8d %8d\n", "LLFI", l.Crash, l.SOC, l.Benign, l.Total())
+		fmt.Printf("%-8s %8d %8d %8d %8d\n", "PINFI", p.Crash, p.SOC, p.Benign, p.Total())
+		fmt.Println()
+	}
+
+	if *table5 {
+		fmt.Println("Table 5 reproduced from the published Table 6 counts:")
+		for _, cmp := range []string{"LLFI", "REFINE"} {
+			fmt.Printf("\n%s vs PINFI:\n%-10s %10s %10s %6s\n", cmp, "App", "chi2", "p-value", "diff?")
+			sig := 0
+			for _, app := range apps {
+				base := paper[app]["PINFI"]
+				c := paper[app][cmp]
+				res, err := stats.CompareCounts(app, "PINFI", cmp,
+					[3]int64{int64(base.Crash), int64(base.SOC), int64(base.Benign)},
+					[3]int64{int64(c.Crash), int64(c.SOC), int64(c.Benign)})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "fi-stats:", err)
+					os.Exit(1)
+				}
+				y := "no"
+				if res.Significant {
+					y = "yes"
+					sig++
+				}
+				fmt.Printf("%-10s %10.3f %10.2e %6s\n", app, res.Stat, res.P, y)
+			}
+			fmt.Printf("-> %d/%d significantly different\n", sig, len(apps))
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command refinec is the compiler driver: it builds a benchmark program to a
+// VX64 object file, optionally instrumenting it with one of the three fault
+// injection pipelines. It mirrors the paper's compiler-flag interface
+// (Table 2): -fi enables injection, -fi-funcs and -fi-instrs filter the
+// target population.
+//
+// Usage:
+//
+//	refinec -app HPCCG [-tool refine|llfi|none] [-o out.vxo]
+//	        [-fi-funcs '*'] [-fi-instrs all] [-O 2] [-S] [-emit-ir]
+//
+// -S prints the final assembly instead of writing an object; -emit-ir prints
+// the optimized IR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/opt"
+	"repro/internal/workloads"
+)
+
+func main() {
+	appName := flag.String("app", "", "benchmark to compile (see -list)")
+	list := flag.Bool("list", false, "list available benchmarks")
+	tool := flag.String("tool", "none", "instrumentation: refine, llfi, or none")
+	out := flag.String("o", "", "output object file (default <app>.<tool>.vxo)")
+	fiFuncs := flag.String("fi-funcs", "*", "comma-separated function filter")
+	fiInstrs := flag.String("fi-instrs", "all", "instruction class filter")
+	optLevel := flag.Int("O", 2, "optimization level (0 or 2)")
+	emitAsm := flag.Bool("S", false, "print final assembly to stdout")
+	emitIR := flag.Bool("emit-ir", false, "print optimized IR to stdout")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workloads.Names(), "\n"))
+		return
+	}
+	app, err := workloads.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+
+	o := campaign.DefaultBuildOptions()
+	if *optLevel == 0 {
+		o.Opt = opt.O0
+	}
+	classes, err := fault.ParseClasses(*fiInstrs)
+	if err != nil {
+		fatal(err)
+	}
+	o.FI.Classes = classes
+	if *fiFuncs != "*" && *fiFuncs != "" {
+		o.FI.Funcs = strings.Split(*fiFuncs, ",")
+	}
+
+	var ct campaign.Tool
+	switch *tool {
+	case "refine":
+		ct = campaign.REFINE
+	case "llfi":
+		ct = campaign.LLFI
+	case "none", "pinfi":
+		ct = campaign.PINFI // plain binary
+	default:
+		fatal(fmt.Errorf("unknown tool %q", *tool))
+	}
+
+	if *emitIR {
+		m := app.Build()
+		opt.Optimize(m, o.Opt)
+		fmt.Print(m.String())
+		return
+	}
+
+	bin, err := campaign.BuildBinary(app, ct, o)
+	if err != nil {
+		fatal(err)
+	}
+	if *emitAsm {
+		fmt.Print(asm.Disasm(bin.Img))
+		return
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s.%s.vxo", app.Name, *tool)
+	}
+	blob := asm.EncodeObject(bin.Img)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d instructions, %d bytes, %d FI sites\n",
+		path, len(bin.Img.Instrs), len(blob), bin.Sites)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "refinec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command vxrun loads a VX64 object file produced by refinec and executes it
+// on the virtual machine, printing the program's output stream, exit status
+// and execution statistics. When the object was built with REFINE or LLFI
+// instrumentation, -fi-target injects a fault at the given dynamic target
+// index (use -profile first to learn the population size).
+//
+// Usage:
+//
+//	vxrun prog.vxo [-profile] [-fi-target N] [-seed S] [-budget N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/llfi"
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+func main() {
+	profile := flag.Bool("profile", false, "run in profiling mode (count FI targets)")
+	fiTarget := flag.Int64("fi-target", -1, "dynamic target index to inject at (-1 = no injection)")
+	seed := flag.Uint64("seed", 1, "RNG seed for operand/bit selection")
+	budget := flag.Int64("budget", 0, "instruction budget (0 = unlimited)")
+	trace := flag.Int("trace", 0, "dump the last N executed instructions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: vxrun [flags] prog.vxo"))
+	}
+	blob, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := asm.DecodeObject(blob)
+	if err != nil {
+		fatal(err)
+	}
+
+	m := vm.New(img)
+	m.Budget = *budget
+	m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+		fmt.Printf("out: %d\n", int64(mm.Regs[vx.R1]))
+		mm.Output = append(mm.Output, mm.Regs[vx.R1])
+		mm.Regs[vx.R0] = 0
+	}})
+	m.BindHost(vm.HostFn{Name: "out_f64", Fn: func(mm *vm.Machine) {
+		fmt.Printf("out: %g\n", math.Float64frombits(mm.Regs[vx.F0]))
+		mm.Output = append(mm.Output, mm.Regs[vx.F0])
+		mm.Regs[vx.R0] = 0
+	}})
+
+	// Bind whichever FI runtime the object imports.
+	var refProf *core.ProfileLib
+	var llfiProf *llfi.ProfileLib
+	switch {
+	case imports(img, core.HostSelInstr) && (*profile || *fiTarget < 0):
+		refProf = &core.ProfileLib{}
+		refProf.Bind(m)
+	case imports(img, core.HostSelInstr):
+		lib := &core.InjectLib{Target: *fiTarget, RNG: fault.NewRNG(*seed)}
+		lib.Bind(m)
+		defer func() { fmt.Printf("fault: %s\n", lib.Rec) }()
+	case imports(img, llfi.HostFaultI64) && (*profile || *fiTarget < 0):
+		llfiProf = &llfi.ProfileLib{}
+		llfiProf.Bind(m)
+	case imports(img, llfi.HostFaultI64):
+		lib := &llfi.InjectLib{Target: *fiTarget, RNG: fault.NewRNG(*seed)}
+		lib.Bind(m)
+		defer func() { fmt.Printf("fault: %s\n", lib.Rec) }()
+	}
+
+	var tracer *vm.Tracer
+	if *trace > 0 {
+		tracer = &vm.Tracer{}
+		tracer.Attach(m, *trace)
+	}
+
+	trap := m.Run()
+	if tracer != nil {
+		fmt.Print(tracer.Dump(img))
+	}
+	fmt.Printf("exit=%d trap=%s instrs=%d cycles=%d\n", m.ExitCode, trap, m.InstrCount, m.Cycles)
+	if refProf != nil {
+		fmt.Printf("fi-targets: %d\n", refProf.Count)
+	}
+	if llfiProf != nil {
+		fmt.Printf("fi-targets: %d\n", llfiProf.Count)
+	}
+	if trap != vm.TrapNone {
+		fmt.Printf("trap detail: %s\n", m.TrapMsg)
+		os.Exit(2)
+	}
+}
+
+func imports(img *vm.Image, name string) bool {
+	for _, h := range img.HostFns {
+		if h == name {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vxrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Campaign-mini: a reduced version of the paper's full evaluation — three
+// benchmarks, all three tools, a few hundred trials each — producing the
+// same artifacts (outcome table, chi-squared tests, normalized campaign
+// times) in under a minute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	refine "repro"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var cfg experiments.Config
+	for _, name := range []string{"HPCCG", "CG", "EP"} {
+		app, err := workloads.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Apps = append(cfg.Apps, app)
+	}
+	cfg.Trials = 400
+	cfg.Seed = 1
+
+	suite, err := experiments.RunSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(suite.Table6())
+	t5, err := suite.Table5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t5)
+	fmt.Println(suite.Figure5())
+
+	l, r := suite.Speedups()
+	fmt.Printf("LLFI campaign cost %.1fx PINFI; REFINE %.1fx (paper: 3.9x / 1.2x over 14 apps)\n", l, r)
+	_ = refine.PaperTrials
+}

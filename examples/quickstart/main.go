@@ -1,0 +1,46 @@
+// Quickstart: compile one benchmark with REFINE's backend instrumentation,
+// run the profiling step, then inject a handful of single-bit faults and
+// classify the outcomes — the full workflow of the paper's Figure 3 in a
+// few lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	refine "repro"
+)
+
+func main() {
+	app, err := refine.AppByName("HPCCG")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build with the REFINE pipeline: IR → -O2 → backend → FI pass → binary.
+	bin, err := refine.Build(app, refine.REFINE, refine.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %s with REFINE: %d static FI sites\n", app.Name, bin.Sites)
+
+	// Profiling step (paper Fig. 3a): dynamic target count + golden output.
+	prof, err := refine.ProfileRun(bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile: %d dynamic targets, %d golden outputs, budget %d instructions\n",
+		prof.Targets, len(prof.Golden), prof.Budget)
+
+	// Fault-injection trials (paper Fig. 3b).
+	var counts refine.Counts
+	for seed := uint64(1); seed <= 25; seed++ {
+		tr := refine.Trial(bin, prof, seed)
+		counts.Add(tr.Outcome)
+		if seed <= 8 {
+			fmt.Printf("  seed %2d: %-6s  (%s)\n", seed, tr.Outcome, tr.Rec)
+		}
+	}
+	fmt.Printf("25 trials: crash=%d soc=%d benign=%d\n", counts.Crash, counts.SOC, counts.Benign)
+	fmt.Printf("(the paper's full campaigns use n=%d per app and tool)\n", refine.PaperTrials)
+}

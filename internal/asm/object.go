@@ -1,0 +1,215 @@
+package asm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+// objMagic identifies serialized VX64 images.
+var objMagic = [8]byte{'V', 'X', '6', '4', 'O', 'B', 'J', '1'}
+
+// EncodeObject serializes an image to the VX64 object format. The format is a
+// faithful binary encoding of the decoded instruction stream plus the data
+// segment — the stand-in for the ELF object the paper's compiler emits — and
+// round-trips exactly through DecodeObject.
+func EncodeObject(img *vm.Image) []byte {
+	var b bytes.Buffer
+	b.Write(objMagic[:])
+	w := func(v any) { _ = binary.Write(&b, binary.LittleEndian, v) }
+	ws := func(s string) {
+		w(uint32(len(s)))
+		b.WriteString(s)
+	}
+
+	w(int64(img.MemSize))
+	w(int64(img.GlobalBase))
+	w(int64(img.GlobalEnd))
+	w(int32(img.EntryPC))
+	w(int32(img.NumSites))
+
+	w(uint32(len(img.HostFns)))
+	for _, h := range img.HostFns {
+		ws(h)
+	}
+	w(uint32(len(img.GlobalAddrs)))
+	for _, name := range sortedKeys(img.GlobalAddrs) {
+		ws(name)
+		w(img.GlobalAddrs[name])
+	}
+	w(uint32(len(img.Funcs)))
+	for _, f := range img.Funcs {
+		ws(f.Name)
+		w(f.Entry)
+		w(f.End)
+		w(boolByte(f.IsTarget))
+	}
+	w(uint32(len(img.InitData)))
+	b.Write(img.InitData)
+
+	w(uint32(len(img.Instrs)))
+	for i := range img.Instrs {
+		in := &img.Instrs[i]
+		w(uint8(in.Op))
+		w(uint8(in.Cond))
+		w(uint8(in.AKind))
+		w(uint8(in.BKind))
+		w(uint8(in.AReg))
+		w(uint8(in.BReg))
+		w(in.Imm)
+		w(uint8(in.MemBase))
+		w(uint8(in.MemIndex))
+		w(in.MemScale)
+		w(in.MemDisp)
+		w(in.Target)
+		w(in.HostIdx)
+		w(uint8(in.Class))
+		w(in.NOut)
+		w(uint8(in.Outs[0]))
+		w(uint8(in.Outs[1]))
+		w(uint8(in.Outs[2]))
+		w(in.SiteID)
+		w(in.FnIdx)
+		w(boolByte(in.Instrumented))
+		w(in.NIntArgs)
+		w(in.NFPArgs)
+	}
+	return b.Bytes()
+}
+
+// DecodeObject parses a serialized image.
+func DecodeObject(data []byte) (*vm.Image, error) {
+	r := bytes.NewReader(data)
+	var magic [8]byte
+	if _, err := r.Read(magic[:]); err != nil || magic != objMagic {
+		return nil, fmt.Errorf("asm: bad object magic")
+	}
+	var err error
+	rd := func(v any) {
+		if err == nil {
+			err = binary.Read(r, binary.LittleEndian, v)
+		}
+	}
+	rs := func() string {
+		var n uint32
+		rd(&n)
+		if err != nil || n > uint32(r.Len()) {
+			if err == nil {
+				err = fmt.Errorf("asm: truncated string")
+			}
+			return ""
+		}
+		buf := make([]byte, n)
+		_, _ = r.Read(buf)
+		return string(buf)
+	}
+
+	img := &vm.Image{GlobalAddrs: make(map[string]int64)}
+	rd(&img.MemSize)
+	rd(&img.GlobalBase)
+	rd(&img.GlobalEnd)
+	rd(&img.EntryPC)
+	rd(&img.NumSites)
+
+	var n uint32
+	rd(&n)
+	for i := uint32(0); i < n && err == nil; i++ {
+		img.HostFns = append(img.HostFns, rs())
+	}
+	rd(&n)
+	for i := uint32(0); i < n && err == nil; i++ {
+		name := rs()
+		var a int64
+		rd(&a)
+		img.GlobalAddrs[name] = a
+	}
+	rd(&n)
+	for i := uint32(0); i < n && err == nil; i++ {
+		var f vm.FuncInfo
+		f.Name = rs()
+		rd(&f.Entry)
+		rd(&f.End)
+		var t uint8
+		rd(&t)
+		f.IsTarget = t != 0
+		img.Funcs = append(img.Funcs, f)
+	}
+	rd(&n)
+	if err == nil {
+		if int(n) > r.Len() {
+			return nil, fmt.Errorf("asm: truncated data segment")
+		}
+		img.InitData = make([]byte, n)
+		_, _ = r.Read(img.InitData)
+	}
+
+	rd(&n)
+	if err == nil {
+		img.Instrs = make([]vm.Inst, n)
+	}
+	for i := uint32(0); i < n && err == nil; i++ {
+		in := &img.Instrs[i]
+		var u8 uint8
+		rd(&u8)
+		in.Op = vx.Op(u8)
+		rd(&u8)
+		in.Cond = vx.Cond(u8)
+		rd(&u8)
+		in.AKind = vm.OpndKind(u8)
+		rd(&u8)
+		in.BKind = vm.OpndKind(u8)
+		rd(&u8)
+		in.AReg = vx.Reg(u8)
+		rd(&u8)
+		in.BReg = vx.Reg(u8)
+		rd(&in.Imm)
+		rd(&u8)
+		in.MemBase = vx.Reg(u8)
+		rd(&u8)
+		in.MemIndex = vx.Reg(u8)
+		rd(&in.MemScale)
+		rd(&in.MemDisp)
+		rd(&in.Target)
+		rd(&in.HostIdx)
+		rd(&u8)
+		in.Class = vx.Class(u8)
+		rd(&in.NOut)
+		for k := 0; k < 3; k++ {
+			rd(&u8)
+			in.Outs[k] = vx.Reg(u8)
+		}
+		rd(&in.SiteID)
+		rd(&in.FnIdx)
+		rd(&u8)
+		in.Instrumented = u8 != 0
+		rd(&in.NIntArgs)
+		rd(&in.NFPArgs)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("asm: decode: %w", err)
+	}
+	return img, nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,295 @@
+// Package campaign orchestrates fault-injection experiments: it compiles an
+// application once per tool (each tool has its own build pipeline, as in the
+// paper's artifact description §A.3), runs the profiling step to obtain the
+// dynamic target count, the golden output and the 10× timeout budget
+// (Figure 3a), executes trials with uniformly drawn fault targets
+// (Figure 3b), classifies outcomes, and aggregates the Table 6 counts.
+// Campaigns run trials in parallel across worker goroutines, standing in for
+// the paper's cluster of nodes (§A.4); every trial seeds its own RNG, so
+// results are independent of scheduling.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/llfi"
+	"repro/internal/opt"
+	"repro/internal/pinfi"
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+// Tool identifies a fault-injection tool.
+type Tool uint8
+
+const (
+	LLFI Tool = iota
+	REFINE
+	PINFI
+)
+
+func (t Tool) String() string {
+	switch t {
+	case LLFI:
+		return "LLFI"
+	case REFINE:
+		return "REFINE"
+	case PINFI:
+		return "PINFI"
+	}
+	return "?"
+}
+
+// Tools lists all tools in the paper's presentation order.
+var Tools = []Tool{LLFI, REFINE, PINFI}
+
+// App is a benchmark program: a name and an IR builder. Build must return a
+// fresh module on every call (instrumentation mutates modules).
+type App struct {
+	Name  string
+	Build func() *ir.Module
+	// MemSize overrides the VM address-space size (0 = default).
+	MemSize int64
+}
+
+// BuildOptions control the per-tool build pipeline.
+type BuildOptions struct {
+	Opt opt.Level    // optimization level (ablation hook; default O2)
+	FI  fault.Config // -fi-funcs / -fi-instrs
+}
+
+// DefaultBuildOptions is the paper's evaluation configuration.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{Opt: opt.O2, FI: fault.DefaultConfig()}
+}
+
+// Binary is a compiled application ready for fault-injection runs.
+type Binary struct {
+	App   App
+	Tool  Tool
+	Img   *vm.Image
+	Sites int // static instrumentation sites (REFINE / LLFI)
+	Cfg   fault.Config
+}
+
+// BuildBinary compiles the application with the given tool's pipeline:
+//
+//	LLFI:   IR → O2 → IR instrumentation → legalize → backend → assemble
+//	REFINE: IR → O2 → legalize → backend → REFINE backend pass → assemble
+//	PINFI:  IR → O2 → legalize → backend → assemble (plain binary)
+func BuildBinary(app App, tool Tool, o BuildOptions) (*Binary, error) {
+	m := app.Build()
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("campaign: %s: verify: %w", app.Name, err)
+	}
+	sites := 0
+	opt.OptimizeNoLower(m, o.Opt)
+	if tool == LLFI {
+		sites = llfi.Instrument(m, o.FI)
+	}
+	opt.Legalize(m)
+	res, err := codegen.Compile(m)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s: %w", app.Name, err)
+	}
+	if tool == REFINE {
+		sites, err = core.Instrument(res.Prog, o.FI)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", app.Name, err)
+		}
+	}
+	img, err := asm.Assemble(res.Prog, asm.Options{MemSize: app.MemSize})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s: assemble: %w", app.Name, err)
+	}
+	// Record the function filter on the image for PINFI's population check.
+	for i := range img.Funcs {
+		img.Funcs[i].IsTarget = o.FI.FuncSelected(img.Funcs[i].Name)
+	}
+	return &Binary{App: app, Tool: tool, Img: img, Sites: sites, Cfg: o.FI}, nil
+}
+
+// bindOutput installs the standard output host functions (only those the
+// image actually imports — a custom workload may use just one).
+func bindOutput(m *vm.Machine) {
+	if m.Img.Imports("out_i64") {
+		m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+			mm.Output = append(mm.Output, mm.Regs[vx.R1])
+			mm.Regs[vx.R0] = 0
+		}})
+	}
+	if m.Img.Imports("out_f64") {
+		m.BindHost(vm.HostFn{Name: "out_f64", Fn: func(mm *vm.Machine) {
+			mm.Output = append(mm.Output, mm.Regs[vx.F0])
+			mm.Regs[vx.R0] = 0
+		}})
+	}
+}
+
+// NewMachine prepares a machine for the binary with output bound.
+func (b *Binary) NewMachine() *vm.Machine {
+	m := vm.New(b.Img)
+	bindOutput(m)
+	return m
+}
+
+// Profile holds the results of the profiling step (paper Figure 3a).
+type Profile struct {
+	Targets int64    // dynamic target population size
+	Golden  []uint64 // error-free output
+	Budget  int64    // instruction budget = 10 × profiled dynamic length
+	Cycles  int64    // modeled cycles of the profiling run
+}
+
+// TimeoutFactor is the paper's timeout threshold (§4.3.2): a run is declared
+// crashed (timeout) after 10× the profiled execution length.
+const TimeoutFactor = 10
+
+// RunProfile executes the profiling step for the binary.
+func (b *Binary) RunProfile(costs pinfi.CostModel) (*Profile, error) {
+	m := b.NewMachine()
+	p := &Profile{}
+	switch b.Tool {
+	case PINFI:
+		targets, golden := pinfi.Profile(m, b.Cfg, costs)
+		p.Targets, p.Golden = targets, golden
+	case REFINE:
+		lib := &core.ProfileLib{}
+		lib.Bind(m)
+		m.Run()
+		p.Targets = lib.Count
+		p.Golden = append([]uint64(nil), m.Output...)
+	case LLFI:
+		lib := &llfi.ProfileLib{}
+		lib.Bind(m)
+		m.Run()
+		p.Targets = lib.Count
+		p.Golden = append([]uint64(nil), m.Output...)
+	}
+	if m.Trap != vm.TrapNone || m.ExitCode != 0 {
+		return nil, fmt.Errorf("campaign: %s/%s: golden run failed: trap=%v exit=%d %s",
+			b.App.Name, b.Tool, m.Trap, m.ExitCode, m.TrapMsg)
+	}
+	if p.Targets == 0 {
+		return nil, fmt.Errorf("campaign: %s/%s: empty target population", b.App.Name, b.Tool)
+	}
+	p.Budget = m.InstrCount * TimeoutFactor
+	p.Cycles = m.Cycles
+	return p, nil
+}
+
+// TrialResult is the outcome of one fault-injection run.
+type TrialResult struct {
+	Outcome fault.Outcome
+	Rec     fault.Record
+	Cycles  int64
+	Trap    vm.TrapKind
+}
+
+// RunTrial executes one experiment with the given seed. The target dynamic
+// instruction, operand and bit all derive from the seed's RNG, implementing
+// the uniform fault model.
+func (b *Binary) RunTrial(prof *Profile, costs pinfi.CostModel, seed uint64) TrialResult {
+	m := b.NewMachine()
+	return b.runTrialOn(m, prof, costs, seed)
+}
+
+func (b *Binary) runTrialOn(m *vm.Machine, prof *Profile, costs pinfi.CostModel, seed uint64) TrialResult {
+	rng := fault.NewRNG(seed)
+	target := rng.Intn(prof.Targets)
+	m.Budget = prof.Budget
+
+	var rec fault.Record
+	switch b.Tool {
+	case PINFI:
+		rec = pinfi.Trial(m, b.Cfg, costs, target, rng) // Trial resets the machine
+	case REFINE:
+		m.Reset()
+		lib := &core.InjectLib{Target: target, RNG: rng}
+		lib.Bind(m)
+		m.Run()
+		lib.ResolveRecord(b.Img)
+		rec = lib.Rec
+	case LLFI:
+		m.Reset()
+		lib := &llfi.InjectLib{Target: target, RNG: rng}
+		lib.Bind(m)
+		m.Run()
+		rec = lib.Rec
+	}
+	return TrialResult{
+		Outcome: fault.Classify(m, prof.Golden),
+		Rec:     rec,
+		Cycles:  m.Cycles,
+		Trap:    m.Trap,
+	}
+}
+
+// Result aggregates one (application, tool) campaign.
+type Result struct {
+	App     string
+	Tool    Tool
+	Counts  fault.Counts
+	Cycles  int64 // total modeled cycles across all trials
+	Trials  int
+	Profile *Profile
+}
+
+// TrialSeed derives the RNG seed of trial i for a tool. Each tool gets an
+// independent stream: the paper's campaigns are independent samples of the
+// same fault-outcome distribution per tool, not replays of one sample (the
+// exact-replay property is covered separately by the REFINE≡PINFI
+// equivalence tests, which pass identical seeds to both tools explicitly).
+func TrialSeed(baseSeed uint64, tool Tool, i int) uint64 {
+	return fault.NewRNG(baseSeed ^ (uint64(tool)+1)<<56 ^ uint64(i)).Next()
+}
+
+// Run executes a full campaign: build, profile, and n trials distributed
+// over workers goroutines (0 ⇒ GOMAXPROCS). Trial i uses TrialSeed(baseSeed,
+// tool, i), so results are reproducible regardless of parallelism.
+func Run(app App, tool Tool, n int, baseSeed uint64, workers int, o BuildOptions) (*Result, error) {
+	bin, err := BuildBinary(app, tool, o)
+	if err != nil {
+		return nil, err
+	}
+	costs := pinfi.DefaultCosts()
+	prof, err := bin.RunProfile(costs)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	res := &Result{App: app.Name, Tool: tool, Trials: n, Profile: prof}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := bin.NewMachine() // one reusable machine per worker
+			for i := range next {
+				tr := bin.runTrialOn(m, prof, costs, TrialSeed(baseSeed, tool, i))
+				mu.Lock()
+				res.Counts.Add(tr.Outcome)
+				res.Cycles += tr.Cycles
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return res, nil
+}

@@ -1,0 +1,347 @@
+package codegen_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+// runBoth executes a module in the reference interpreter and compiled on the
+// VM, failing the test unless exit codes and output streams agree exactly.
+func runBoth(t *testing.T, m *ir.Module, lvl opt.Level) ([]uint64, *vm.Machine) {
+	t.Helper()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify input: %v\n%s", err, m)
+	}
+	ip := ir.NewInterp(m)
+	wantCode, err := ip.Run("main")
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	wantOut := append([]uint64(nil), ip.Output...)
+
+	opt.Optimize(m, lvl)
+	res, err := codegen.Compile(m)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	img, err := asm.Assemble(res.Prog, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, res.Prog)
+	}
+	mach := vm.New(img)
+	bindStd(mach)
+	if trap := mach.Run(); trap != vm.TrapNone {
+		t.Fatalf("vm trap %v: %s\n%s", trap, mach.TrapMsg, asm.Disasm(img))
+	}
+	if mach.ExitCode != wantCode {
+		t.Fatalf("exit code %d, interp %d", mach.ExitCode, wantCode)
+	}
+	if len(mach.Output) != len(wantOut) {
+		t.Fatalf("output len %d, interp %d\nvm:  %v\nint: %v", len(mach.Output), len(wantOut), mach.Output, wantOut)
+	}
+	for i := range wantOut {
+		if mach.Output[i] != wantOut[i] {
+			t.Fatalf("output[%d]: vm %#x interp %#x", i, mach.Output[i], wantOut[i])
+		}
+	}
+	return wantOut, mach
+}
+
+func bindStd(m *vm.Machine) {
+	if m.HostBound("out_i64") || !contains(m.Img.HostFns, "out_i64") {
+	} else {
+		m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+			mm.Output = append(mm.Output, mm.Regs[vx.R1])
+			mm.Regs[vx.R0] = 0
+		}})
+	}
+	if contains(m.Img.HostFns, "out_f64") && !m.HostBound("out_f64") {
+		m.BindHost(vm.HostFn{Name: "out_f64", Fn: func(mm *vm.Machine) {
+			mm.Output = append(mm.Output, mm.Regs[vx.F0])
+			mm.Regs[vx.R0] = 0
+		}})
+	}
+}
+
+func contains(s []string, x string) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func declOut(m *ir.Module) {
+	m.DeclareHost(ir.HostDecl{Name: "out_i64", Params: []ir.Type{ir.I64}, Ret: ir.I64})
+	m.DeclareHost(ir.HostDecl{Name: "out_f64", Params: []ir.Type{ir.F64}, Ret: ir.I64})
+}
+
+func TestCompileSumLoop(t *testing.T) {
+	for _, lvl := range []opt.Level{opt.O0, opt.O2} {
+		m := ir.NewModule("t")
+		declOut(m)
+		b := ir.NewBuilder(m)
+		b.NewFunc("main", ir.I64)
+		s := b.NewVar(ir.I64, b.ConstI(0))
+		b.Loop(b.ConstI(0), b.ConstI(100), b.ConstI(1), func(i *ir.Value) {
+			s.Set(b.Add(s.Get(), b.Mul(i, i)))
+		})
+		b.Call("out_i64", s.Get())
+		b.Ret(b.ConstI(0))
+		out, _ := runBoth(t, m, lvl)
+		if out[0] != 328350 {
+			t.Fatalf("lvl %d: sum = %d", lvl, out[0])
+		}
+	}
+}
+
+func TestCompileCallsAndRecursion(t *testing.T) {
+	m := ir.NewModule("t")
+	declOut(m)
+	b := ir.NewBuilder(m)
+
+	// fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)
+	b.NewFunc("fib", ir.I64, ir.I64)
+	n := b.Param(0)
+	thenB := b.NewBlock()
+	elseB := b.NewBlock()
+	b.CondBr(b.ICmp(ir.SLT, n, b.ConstI(2)), thenB, elseB)
+	b.SetInsert(thenB)
+	b.Ret(n)
+	b.SetInsert(elseB)
+	a := b.Call("fib", b.Sub(n, b.ConstI(1)))
+	c := b.Call("fib", b.Sub(n, b.ConstI(2)))
+	b.Ret(b.Add(a, c))
+
+	b.NewFunc("main", ir.I64)
+	b.Call("out_i64", b.Call("fib", b.ConstI(15)))
+	b.Ret(b.ConstI(0))
+
+	out, _ := runBoth(t, m, opt.O2)
+	if out[0] != 610 {
+		t.Fatalf("fib(15) = %d", out[0])
+	}
+}
+
+func TestCompileFPKernel(t *testing.T) {
+	m := ir.NewModule("t")
+	declOut(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	acc := b.NewVar(ir.F64, b.ConstF(0))
+	b.Loop(b.ConstI(1), b.ConstI(50), b.ConstI(1), func(i *ir.Value) {
+		x := b.SIToFP(i)
+		term := b.FDiv(b.ConstF(1), b.FMul(x, x))
+		acc.Set(b.FAdd(acc.Get(), term))
+	})
+	b.Call("out_f64", b.FSqrt(acc.Get()))
+	b.Ret(b.ConstI(0))
+	out, _ := runBoth(t, m, opt.O2)
+	got := math.Float64frombits(out[0])
+	if math.Abs(got-1.2688) > 0.01 {
+		t.Fatalf("partial basel sum sqrt = %v", got)
+	}
+}
+
+func TestCompileGlobalArraysAndNestedLoops(t *testing.T) {
+	m := ir.NewModule("t")
+	declOut(m)
+	const N = 8
+	m.AddGlobal(ir.Global{Name: "mat", Size: N * N * 8})
+	m.AddGlobal(ir.Global{Name: "vec", Size: N * 8})
+	m.AddGlobal(ir.Global{Name: "res", Size: N * 8})
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	mat := b.GlobalAddr("mat")
+	vec := b.GlobalAddr("vec")
+	resp := b.GlobalAddr("res")
+	nn := b.ConstI(N)
+	b.Loop(b.ConstI(0), nn, b.ConstI(1), func(i *ir.Value) {
+		b.Store(b.SIToFP(b.Add(i, b.ConstI(1))), b.Index(vec, i))
+		b.Loop(b.ConstI(0), nn, b.ConstI(1), func(j *ir.Value) {
+			idx := b.Add(b.Mul(i, nn), j)
+			v := b.SIToFP(b.Add(b.Mul(i, b.ConstI(3)), j))
+			b.Store(v, b.Index(mat, idx))
+		})
+	})
+	// res = mat * vec
+	b.Loop(b.ConstI(0), nn, b.ConstI(1), func(i *ir.Value) {
+		s := b.NewVar(ir.F64, b.ConstF(0))
+		b.Loop(b.ConstI(0), nn, b.ConstI(1), func(j *ir.Value) {
+			mij := b.Load(ir.F64, b.Index(mat, b.Add(b.Mul(i, nn), j)))
+			vj := b.Load(ir.F64, b.Index(vec, j))
+			s.Set(b.FAdd(s.Get(), b.FMul(mij, vj)))
+		})
+		b.Store(s.Get(), b.Index(resp, i))
+	})
+	b.Loop(b.ConstI(0), nn, b.ConstI(1), func(i *ir.Value) {
+		b.Call("out_f64", b.Load(ir.F64, b.Index(resp, i)))
+	})
+	b.Ret(b.ConstI(0))
+	runBoth(t, m, opt.O2)
+}
+
+func TestCompileSelectAndCompares(t *testing.T) {
+	m := ir.NewModule("t")
+	declOut(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	b.Loop(b.ConstI(-5), b.ConstI(6), b.ConstI(1), func(i *ir.Value) {
+		pos := b.ICmp(ir.SGT, i, b.ConstI(0))
+		v := b.Select(pos, i, b.Sub(b.ConstI(0), i)) // |i|
+		b.Call("out_i64", v)
+		// FP compares in all predicates.
+		x := b.SIToFP(i)
+		for _, p := range []ir.Pred{ir.OEQ, ir.ONE, ir.OLT, ir.OLE, ir.OGT, ir.OGE} {
+			c := b.FCmp(p, x, b.ConstF(0))
+			b.Call("out_i64", b.Select(c, b.ConstI(1), b.ConstI(0)))
+		}
+	})
+	b.Ret(b.ConstI(0))
+	runBoth(t, m, opt.O2)
+}
+
+func TestCompileHighRegisterPressure(t *testing.T) {
+	// More live values than registers forces spills; results must still agree.
+	m := ir.NewModule("t")
+	declOut(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	var vals []*ir.Value
+	for i := 1; i <= 24; i++ {
+		vals = append(vals, b.Mul(b.ConstI(int64(i)), b.ConstI(int64(i+1))))
+	}
+	// Sum in reverse so everything stays live across the whole sequence.
+	sum := b.ConstI(0)
+	for i := len(vals) - 1; i >= 0; i-- {
+		sum = b.Add(sum, vals[i])
+	}
+	b.Call("out_i64", sum)
+
+	var fvals []*ir.Value
+	for i := 1; i <= 20; i++ {
+		fvals = append(fvals, b.FDiv(b.ConstF(1), b.ConstF(float64(i))))
+	}
+	fsum := b.ConstF(0)
+	for i := len(fvals) - 1; i >= 0; i-- {
+		fsum = b.FAdd(fsum, fvals[i])
+	}
+	b.Call("out_f64", fsum)
+	b.Ret(b.ConstI(0))
+	runBoth(t, m, opt.O0) // O0 keeps all values distinct: maximal pressure
+}
+
+func TestCompilePressureAcrossCalls(t *testing.T) {
+	// Values live across calls must survive in callee-saved registers or
+	// spill slots despite host-call scrambling.
+	m := ir.NewModule("t")
+	declOut(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	var vals []*ir.Value
+	for i := 1; i <= 12; i++ {
+		vals = append(vals, b.Mul(b.ConstI(int64(i)), b.ConstI(7)))
+	}
+	b.Call("out_i64", b.ConstI(0)) // scrambles caller-saved
+	sum := b.ConstI(0)
+	for _, v := range vals {
+		sum = b.Add(sum, v)
+	}
+	b.Call("out_i64", sum)
+	b.Ret(b.ConstI(0))
+	out, _ := runBoth(t, m, opt.O0)
+	if out[1] != 7*(12*13/2) {
+		t.Fatalf("sum across call = %d", out[1])
+	}
+}
+
+func TestCompileIntDivRem(t *testing.T) {
+	m := ir.NewModule("t")
+	declOut(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	b.Loop(b.ConstI(1), b.ConstI(20), b.ConstI(1), func(i *ir.Value) {
+		b.Call("out_i64", b.SDiv(b.ConstI(1000), i))
+		b.Call("out_i64", b.SRem(b.ConstI(1000), i))
+		b.Call("out_i64", b.AShr(b.Shl(i, b.ConstI(3)), b.ConstI(1)))
+		b.Call("out_i64", b.Xor(b.Or(i, b.ConstI(12)), b.And(i, b.ConstI(10))))
+	})
+	b.Ret(b.ConstI(0))
+	runBoth(t, m, opt.O2)
+}
+
+func TestCompileFPSpecials(t *testing.T) {
+	m := ir.NewModule("t")
+	declOut(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	inf := b.FDiv(b.ConstF(1), b.ConstF(0))
+	nan := b.FSub(inf, inf)
+	b.Call("out_f64", inf)
+	b.Call("out_f64", nan)
+	b.Call("out_f64", b.FMin(b.ConstF(3), b.ConstF(-2)))
+	b.Call("out_f64", b.FMax(b.ConstF(3), b.ConstF(-2)))
+	b.Call("out_f64", b.FAbs(b.ConstF(-12.5)))
+	b.Call("out_f64", b.FNeg(b.ConstF(4.25)))
+	b.Call("out_i64", b.FPToSI(nan)) // integer indefinite
+	b.Call("out_i64", b.FPToSI(b.ConstF(-3.99)))
+	b.Ret(b.ConstI(0))
+	runBoth(t, m, opt.O0)
+}
+
+func TestCompileManyParams(t *testing.T) {
+	m := ir.NewModule("t")
+	declOut(m)
+	b := ir.NewBuilder(m)
+	// Mixed 6 int + 6 fp parameters.
+	b.NewFunc("mix", ir.F64,
+		ir.I64, ir.F64, ir.I64, ir.F64, ir.I64, ir.F64,
+		ir.I64, ir.F64, ir.I64, ir.F64, ir.I64, ir.F64)
+	acc := b.SIToFP(b.Add(b.Add(b.Param(0), b.Param(2)), b.Add(b.Param(4), b.Add(b.Param(6), b.Add(b.Param(8), b.Param(10))))))
+	facc := b.FAdd(b.FAdd(b.Param(1), b.Param(3)), b.FAdd(b.Param(5), b.FAdd(b.Param(7), b.FAdd(b.Param(9), b.Param(11)))))
+	b.Ret(b.FAdd(acc, facc))
+
+	b.NewFunc("main", ir.I64)
+	r := b.Call("mix",
+		b.ConstI(1), b.ConstF(0.5), b.ConstI(2), b.ConstF(0.25), b.ConstI(3), b.ConstF(0.125),
+		b.ConstI(4), b.ConstF(10), b.ConstI(5), b.ConstF(20), b.ConstI(6), b.ConstF(40))
+	b.Call("out_f64", r)
+	b.Ret(b.ConstI(0))
+	out, _ := runBoth(t, m, opt.O2)
+	if got := math.Float64frombits(out[0]); got != 21+70.875 {
+		t.Fatalf("mix = %v", got)
+	}
+}
+
+func TestCompileStatsShowSpillsUnderPressure(t *testing.T) {
+	m := ir.NewModule("t")
+	declOut(m)
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	var vals []*ir.Value
+	for i := 1; i <= 40; i++ {
+		vals = append(vals, b.Mul(b.ConstI(int64(i)), b.ConstI(3)))
+	}
+	sum := b.ConstI(0)
+	for i := len(vals) - 1; i >= 0; i-- {
+		sum = b.Add(sum, vals[i])
+	}
+	b.Call("out_i64", sum)
+	b.Ret(b.ConstI(0))
+	opt.Optimize(m, opt.O0)
+	res, err := codegen.Compile(m)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if res.Stats[0].SpillSlots == 0 {
+		t.Fatalf("expected spills under register pressure, stats: %+v", res.Stats[0])
+	}
+}

@@ -1,0 +1,104 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mir"
+	"repro/internal/vx"
+)
+
+// FnStats records code-quality counters for one compiled function; the
+// codegen-interference experiment (paper §3.3.2, Listing 2) reads them.
+type FnStats struct {
+	Name       string
+	Instrs     int
+	SpillSlots int
+	MemOps     int // instructions with a memory operand
+	Calls      int
+}
+
+// Result is a compiled program plus per-function statistics.
+type Result struct {
+	Prog  *mir.Prog
+	Stats []FnStats
+}
+
+// Compile lowers an IR module to a machine program: instruction selection,
+// register allocation, frame lowering, peephole. The input must already be
+// optimized/legalized (opt.Optimize runs LowerSelect and SplitCriticalEdges).
+func Compile(m *ir.Module) (*Result, error) {
+	prog := &mir.Prog{Entry: "main"}
+	for _, g := range m.Globals {
+		prog.Globals = append(prog.Globals, mir.Global{
+			Name: g.Name, Size: g.Size, Init: g.Init, Align: g.Align,
+		})
+	}
+	for _, h := range m.Hosts {
+		prog.HostFns = append(prog.HostFns, h.Name)
+	}
+	res := &Result{Prog: prog}
+
+	for _, f := range m.Funcs {
+		mf, spills, err := compileFunc(f)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: %s: %w", f.Name, err)
+		}
+		prog.Fns = append(prog.Fns, mf)
+		res.Stats = append(res.Stats, statsFor(mf, spills))
+	}
+	return res, nil
+}
+
+func compileFunc(f *ir.Func) (*mir.Fn, int, error) {
+	s, err := selectFunc(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	alloc := linearScan(s.mf)
+	rw := &rewriter{f: s.mf, alloc: alloc, allocaSize: s.allocaSize}
+	if err := rw.run(); err != nil {
+		return nil, 0, err
+	}
+	lowerFrame(s.mf, s.allocaSize, alloc)
+	peephole(s.mf)
+	return s.mf, alloc.spillSlots, nil
+}
+
+func statsFor(f *mir.Fn, spills int) FnStats {
+	st := FnStats{Name: f.Name, SpillSlots: spills}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			st.Instrs++
+			if in.A.Kind == mir.KindMem || in.B.Kind == mir.KindMem {
+				st.MemOps++
+			}
+			if in.Op == vx.CALLQ {
+				st.Calls++
+			}
+		}
+	}
+	return st
+}
+
+// peephole removes artifacts of expansion: self-moves and jumps to the
+// lexically next block.
+func peephole(f *mir.Fn) {
+	for bi, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for i, in := range b.Instrs {
+			// Self-move elimination.
+			if (in.Op == vx.MOVQ || in.Op == vx.MOVSD) &&
+				in.A.Kind == mir.KindReg && in.B.Kind == mir.KindReg &&
+				in.A.Reg == in.B.Reg {
+				continue
+			}
+			// Trailing JMP to the next block falls through.
+			if in.Op == vx.JMP && i == len(b.Instrs)-1 && in.A.Target == bi+1 {
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+}

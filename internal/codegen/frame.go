@@ -1,0 +1,71 @@
+package codegen
+
+import (
+	"repro/internal/mir"
+	"repro/internal/vx"
+)
+
+// lowerFrame inserts the function prologue and epilogues. These sequences are
+// the canonical examples of machine-only instructions (paper §3.3.1): they do
+// not exist at the IR level, yet they execute on every call and are injection
+// targets for binary- and backend-level tools.
+//
+// Frame layout (offsets relative to BP):
+//
+//	[BP]                      saved caller BP
+//	[BP-8 .. BP-allocaSize]   allocas
+//	[BP-allocaSize-8 ...]     spill slots
+//	below SP after SUBQ       pushed callee-saved registers
+func lowerFrame(f *mir.Fn, allocaSize int32, alloc *allocation) {
+	frame := allocaSize + int32(8*alloc.spillSlots)
+	frame = (frame + 15) &^ 15
+	f.FrameSize = frame
+	f.UsedCallee = alloc.usedCallee
+
+	prologue := []*mir.Instr{
+		{Op: vx.PUSHQ, A: mir.PReg(vx.BP)},
+		{Op: vx.MOVQ, A: mir.PReg(vx.BP), B: mir.PReg(vx.SP)},
+	}
+	if frame > 0 {
+		prologue = append(prologue, &mir.Instr{Op: vx.SUBQ, A: mir.PReg(vx.SP), B: mir.Imm(int64(frame))})
+	}
+	for _, r := range alloc.usedCallee {
+		prologue = append(prologue, &mir.Instr{Op: vx.PUSHQ, A: mir.PReg(r)})
+	}
+	entry := f.Blocks[0]
+	entry.Instrs = append(prologue, entry.Instrs...)
+
+	// Epilogue: restore callee-saved from their known frame positions (pushed
+	// right below the frame area), then tear down the frame.
+	var epilogue []*mir.Instr
+	for i := len(alloc.usedCallee) - 1; i >= 0; i-- {
+		off := frame + int32(8*(i+1))
+		epilogue = append(epilogue, &mir.Instr{
+			Op: vx.MOVQ, A: mir.PReg(alloc.usedCallee[i]), B: mir.Mem(int(vx.BP), -off),
+		})
+	}
+	epilogue = append(epilogue,
+		&mir.Instr{Op: vx.MOVQ, A: mir.PReg(vx.SP), B: mir.PReg(vx.BP)},
+		&mir.Instr{Op: vx.POPQ, A: mir.PReg(vx.BP)},
+	)
+
+	for _, b := range f.Blocks {
+		out := make([]*mir.Instr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			if in.Op == vx.RET {
+				for _, e := range epilogue {
+					c := *e
+					out = append(out, &c)
+				}
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+}
+
+// Note: unlike x64, VX64's PUSHQ/MOVQ operate on any architectural register
+// (the register file is uniform 64-bit), so FP callee-saved registers are
+// saved and restored by the same prologue/epilogue sequences as GPRs. This is
+// a documented ISA simplification; the instruction classes and counts remain
+// faithful (stack-class saves on entry, mem-class restores on exit).

@@ -1,0 +1,614 @@
+// Package codegen implements the compiler backend: instruction selection
+// from IR to VX64 machine IR, liveness analysis, linear-scan register
+// allocation with spilling and call-clobber awareness, frame lowering
+// (prologue/epilogue and callee-saved handling), and a peephole cleanup.
+// The backend is where the machine-only instructions the paper cares about
+// come from — prologues, epilogues, register spills/reloads and stack
+// traffic all materialize here, invisible to any IR-level fault injector.
+package codegen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/mir"
+	"repro/internal/vx"
+)
+
+// iselState carries per-function selection state.
+type iselState struct {
+	f  *ir.Func
+	mf *mir.Fn
+
+	vregOf   map[*ir.Value]int
+	uses     map[*ir.Value]int
+	fused    map[*ir.Value]bool // compares fused into branches
+	foldOnly map[*ir.Value]bool // GEPs folded into every use
+	blockIdx map[*ir.Block]int
+
+	allocaOff  map[*ir.Value]int32
+	allocaSize int32
+
+	cur *mir.Block
+}
+
+// selectFunc lowers one IR function to MIR with virtual registers. It
+// returns the selection state so the driver can read frame facts.
+func selectFunc(f *ir.Func) (*iselState, error) {
+	s := &iselState{
+		f:         f,
+		mf:        &mir.Fn{Name: f.Name},
+		vregOf:    map[*ir.Value]int{},
+		uses:      map[*ir.Value]int{},
+		fused:     map[*ir.Value]bool{},
+		foldOnly:  map[*ir.Value]bool{},
+		blockIdx:  map[*ir.Block]int{},
+		allocaOff: map[*ir.Value]int32{},
+	}
+	s.analyze()
+
+	for _, b := range f.Blocks {
+		s.blockIdx[b] = len(s.mf.Blocks)
+		s.mf.NewBlock()
+	}
+	for _, b := range f.Blocks {
+		s.cur = s.mf.Blocks[s.blockIdx[b]]
+		if b == f.Entry() {
+			s.emitEntry()
+		}
+		for _, v := range b.Values {
+			if err := s.selectValue(v); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", f.Name, v.LongString(), err)
+			}
+		}
+	}
+	s.insertPhiCopies()
+	return s, nil
+}
+
+// analyze computes use counts and fold/fuse decisions.
+func (s *iselState) analyze() {
+	for _, b := range s.f.Blocks {
+		for _, v := range b.Values {
+			for _, a := range v.Args {
+				s.uses[a]++
+			}
+		}
+	}
+	for _, b := range s.f.Blocks {
+		for _, v := range b.Values {
+			switch v.Op {
+			case ir.OpICmp, ir.OpFCmp:
+				// A compare used only by a conditional branch is emitted at
+				// the branch (flags do not survive arbitrary code in between).
+				if s.uses[v] == 1 {
+					for _, bb := range s.f.Blocks {
+						t := bb.Term()
+						if t != nil && t.Op == ir.OpCondBr && t.Args[0] == v {
+							s.fused[v] = true
+						}
+					}
+				}
+			case ir.OpGEP:
+				// A GEP whose every use is a load/store address folds into
+				// addressing modes and needs no materialization.
+				fold := true
+				for _, bb := range s.f.Blocks {
+					for _, u := range bb.Values {
+						for i, a := range u.Args {
+							if a != v {
+								continue
+							}
+							ok := (u.Op == ir.OpLoad && i == 0) || (u.Op == ir.OpStore && i == 1)
+							if !ok {
+								fold = false
+							}
+						}
+					}
+				}
+				if fold && foldableScale(v.Scale) {
+					s.foldOnly[v] = true
+				}
+			}
+		}
+	}
+}
+
+func foldableScale(s int64) bool { return s == 1 || s == 2 || s == 4 || s == 8 }
+
+// vclass returns the register class for an IR type.
+func vclass(t ir.Type) mir.RegClass {
+	if t == ir.F64 {
+		return mir.ClassFP
+	}
+	return mir.ClassInt
+}
+
+// newVReg allocates a fresh virtual register of the given class.
+func (s *iselState) newVReg(c mir.RegClass) int {
+	id := mir.VRegBase + s.mf.NumVRegs
+	s.mf.NumVRegs++
+	s.mf.VRegClasses = append(s.mf.VRegClasses, c)
+	return id
+}
+
+// vreg returns (allocating on first touch) the virtual register of v.
+func (s *iselState) vreg(v *ir.Value) int {
+	if r, ok := s.vregOf[v]; ok {
+		return r
+	}
+	r := s.newVReg(vclass(v.Type))
+	s.vregOf[v] = r
+	return r
+}
+
+func (s *iselState) emit(in *mir.Instr) *mir.Instr {
+	if in.CallRes == 0 {
+		in.CallRes = -1
+	}
+	return s.cur.Emit(in)
+}
+
+// emitEntry defines parameter vregs via the VENTRY pseudo.
+func (s *iselState) emitEntry() {
+	if len(s.f.Params) == 0 {
+		return
+	}
+	regs := make([]int, len(s.f.Params))
+	for i, p := range s.f.Params {
+		regs[i] = s.vreg(p)
+	}
+	s.emit(&mir.Instr{Op: vx.VENTRY, Regs: regs, CallRes: -1})
+}
+
+// operand returns a source operand for an IR value: an immediate for
+// constants, the virtual register otherwise.
+func (s *iselState) operand(v *ir.Value) mir.Operand {
+	switch v.Op {
+	case ir.OpConstI:
+		return mir.Imm(v.AuxInt)
+	case ir.OpConstF:
+		return mir.FImm(v.AuxF)
+	}
+	return mir.Reg(s.vreg(v))
+}
+
+// regOperand forces the value into a register operand.
+func (s *iselState) regOperand(v *ir.Value) mir.Operand {
+	switch v.Op {
+	case ir.OpConstI:
+		t := s.newVReg(mir.ClassInt)
+		s.emit(&mir.Instr{Op: vx.MOVQ, A: mir.Reg(t), B: mir.Imm(v.AuxInt)})
+		return mir.Reg(t)
+	case ir.OpConstF:
+		t := s.newVReg(mir.ClassFP)
+		s.emit(&mir.Instr{Op: vx.MOVSD, A: mir.Reg(t), B: mir.FImm(v.AuxF)})
+		return mir.Reg(t)
+	}
+	return mir.Reg(s.vreg(v))
+}
+
+// memFor builds a memory operand addressing the pointer value, folding GEP
+// shapes and globals into VX64 addressing modes.
+func (s *iselState) memFor(ptr *ir.Value) mir.Operand {
+	if ptr.Op == ir.OpGEP && foldableScale(ptr.Scale) {
+		base, idx := ptr.Args[0], ptr.Args[1]
+		disp := ptr.Off
+		var op mir.Operand
+		if c, ok := constOf(idx); ok {
+			disp += c * ptr.Scale
+			op = s.baseMem(base, disp)
+		} else {
+			op = s.baseMem(base, disp)
+			op.Index = s.vreg(idx)
+			op.Scale = int32(ptr.Scale)
+		}
+		return op
+	}
+	if ptr.Op == ir.OpGlobal {
+		return mir.MemSym(ptr.Aux, 0)
+	}
+	if ptr.Op == ir.OpAlloca {
+		if off, ok := s.allocaOff[ptr]; ok {
+			return mir.Mem(int(vx.BP), -off)
+		}
+	}
+	return mir.Mem(s.vreg(ptr), 0)
+}
+
+// baseMem resolves the base part of an address.
+func (s *iselState) baseMem(base *ir.Value, disp int64) mir.Operand {
+	if disp > math.MaxInt32 || disp < math.MinInt32 {
+		// Out-of-range displacement: materialize the address.
+		t := s.newVReg(mir.ClassInt)
+		s.emit(&mir.Instr{Op: vx.MOVQ, A: mir.Reg(t), B: s.operand(base)})
+		s.emit(&mir.Instr{Op: vx.ADDQ, A: mir.Reg(t), B: mir.Imm(disp)})
+		return mir.Mem(t, 0)
+	}
+	if base.Op == ir.OpGlobal {
+		return mir.MemSym(base.Aux, int32(disp))
+	}
+	if base.Op == ir.OpAlloca {
+		if off, ok := s.allocaOff[base]; ok {
+			return mir.Mem(int(vx.BP), -off+int32(disp))
+		}
+	}
+	return mir.Mem(s.vreg(base), int32(disp))
+}
+
+func constOf(v *ir.Value) (int64, bool) {
+	if v.Op == ir.OpConstI {
+		return v.AuxInt, true
+	}
+	return 0, false
+}
+
+var intALU = map[ir.Op]vx.Op{
+	ir.OpAdd: vx.ADDQ, ir.OpSub: vx.SUBQ, ir.OpMul: vx.IMULQ,
+	ir.OpSDiv: vx.IDIVQ, ir.OpSRem: vx.IREMQ,
+	ir.OpAnd: vx.ANDQ, ir.OpOr: vx.ORQ, ir.OpXor: vx.XORQ,
+	ir.OpShl: vx.SHLQ, ir.OpAShr: vx.SARQ,
+}
+
+var fpALU = map[ir.Op]vx.Op{
+	ir.OpFAdd: vx.ADDSD, ir.OpFSub: vx.SUBSD, ir.OpFMul: vx.MULSD,
+	ir.OpFDiv: vx.DIVSD, ir.OpFMin: vx.MINSD, ir.OpFMax: vx.MAXSD,
+}
+
+var icmpCond = map[ir.Pred]vx.Cond{
+	ir.EQ: vx.CondE, ir.NE: vx.CondNE,
+	ir.SLT: vx.CondL, ir.SLE: vx.CondLE, ir.SGT: vx.CondG, ir.SGE: vx.CondGE,
+	ir.ULT: vx.CondB, ir.ULE: vx.CondBE, ir.UGT: vx.CondA, ir.UGE: vx.CondAE,
+}
+
+// selectValue emits MIR for one IR instruction.
+func (s *iselState) selectValue(v *ir.Value) error {
+	switch v.Op {
+	case ir.OpConstI, ir.OpConstF, ir.OpParam, ir.OpPhi:
+		// Constants fold into operands; params come from VENTRY; phis get
+		// their copies inserted per edge afterwards. Ensure phis have vregs.
+		if v.Op == ir.OpPhi || v.Op == ir.OpParam {
+			s.vreg(v)
+		}
+		return nil
+
+	case ir.OpGlobal:
+		if s.uses[v] > 0 && !s.allUsesAreMem(v) {
+			s.emit(&mir.Instr{Op: vx.LEAQ, A: mir.Reg(s.vreg(v)), B: mir.Sym(v.Aux)})
+		}
+		return nil
+
+	case ir.OpAlloca:
+		size := (v.AuxInt + 7) &^ 7
+		s.allocaSize += int32(size)
+		off := s.allocaSize
+		s.allocaOff[v] = off
+		if !s.allUsesAreMem(v) {
+			s.emit(&mir.Instr{Op: vx.LEAQ, A: mir.Reg(s.vreg(v)), B: mir.Mem(int(vx.BP), -off)})
+		}
+		return nil
+
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpAShr:
+		d := s.vreg(v)
+		s.emit(&mir.Instr{Op: vx.MOVQ, A: mir.Reg(d), B: s.operand(v.Args[0])})
+		s.emit(&mir.Instr{Op: intALU[v.Op], A: mir.Reg(d), B: s.operand(v.Args[1])})
+		return nil
+
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFMin, ir.OpFMax:
+		d := s.vreg(v)
+		s.emit(&mir.Instr{Op: vx.MOVSD, A: mir.Reg(d), B: s.operand(v.Args[0])})
+		s.emit(&mir.Instr{Op: fpALU[v.Op], A: mir.Reg(d), B: s.operand(v.Args[1])})
+		return nil
+
+	case ir.OpFSqrt:
+		s.emit(&mir.Instr{Op: vx.SQRTSD, A: mir.Reg(s.vreg(v)), B: s.regOperand(v.Args[0])})
+		return nil
+
+	case ir.OpFAbs:
+		d := s.vreg(v)
+		s.emit(&mir.Instr{Op: vx.MOVSD, A: mir.Reg(d), B: s.operand(v.Args[0])})
+		s.emit(&mir.Instr{Op: vx.ANDPD, A: mir.Reg(d), B: maskImm(^uint64(1 << 63))})
+		return nil
+
+	case ir.OpFNeg:
+		d := s.vreg(v)
+		s.emit(&mir.Instr{Op: vx.MOVSD, A: mir.Reg(d), B: s.operand(v.Args[0])})
+		s.emit(&mir.Instr{Op: vx.XORPD, A: mir.Reg(d), B: maskImm(1 << 63)})
+		return nil
+
+	case ir.OpSIToFP:
+		s.emit(&mir.Instr{Op: vx.CVTSI2SD, A: mir.Reg(s.vreg(v)), B: s.operand(v.Args[0])})
+		return nil
+
+	case ir.OpFPToSI:
+		s.emit(&mir.Instr{Op: vx.CVTTSD2SI, A: mir.Reg(s.vreg(v)), B: s.regOperand(v.Args[0])})
+		return nil
+
+	case ir.OpICmp:
+		if s.fused[v] {
+			return nil
+		}
+		s.emit(&mir.Instr{Op: vx.CMPQ, A: s.regOperand(v.Args[0]), B: s.operand(v.Args[1])})
+		s.emit(&mir.Instr{Op: vx.SETCC, Cond: icmpCond[v.Pred], A: mir.Reg(s.vreg(v))})
+		return nil
+
+	case ir.OpFCmp:
+		if s.fused[v] {
+			return nil
+		}
+		cond := s.emitFCmp(v)
+		s.emit(&mir.Instr{Op: vx.SETCC, Cond: cond, A: mir.Reg(s.vreg(v))})
+		return nil
+
+	case ir.OpLoad:
+		op := vx.MOVQ
+		if v.Type == ir.F64 {
+			op = vx.MOVSD
+		}
+		s.emit(&mir.Instr{Op: op, A: mir.Reg(s.vreg(v)), B: s.memFor(v.Args[0])})
+		return nil
+
+	case ir.OpStore:
+		op := vx.MOVQ
+		if v.Args[0].Type == ir.F64 {
+			op = vx.MOVSD
+		}
+		s.emit(&mir.Instr{Op: op, A: s.memFor(v.Args[1]), B: s.operand(v.Args[0])})
+		return nil
+
+	case ir.OpGEP:
+		if s.foldOnly[v] {
+			return nil
+		}
+		d := s.vreg(v)
+		if foldableScale(v.Scale) {
+			m := s.memFor(v) // reuse the fold logic for LEA
+			s.emit(&mir.Instr{Op: vx.LEAQ, A: mir.Reg(d), B: m})
+			return nil
+		}
+		// ptr + idx*scale + off via arithmetic.
+		s.emit(&mir.Instr{Op: vx.MOVQ, A: mir.Reg(d), B: s.operand(v.Args[1])})
+		s.emit(&mir.Instr{Op: vx.IMULQ, A: mir.Reg(d), B: mir.Imm(v.Scale)})
+		s.emit(&mir.Instr{Op: vx.ADDQ, A: mir.Reg(d), B: s.operand(v.Args[0])})
+		if v.Off != 0 {
+			s.emit(&mir.Instr{Op: vx.ADDQ, A: mir.Reg(d), B: mir.Imm(v.Off)})
+		}
+		return nil
+
+	case ir.OpCall:
+		args := make([]int, 0, len(v.Args))
+		for _, a := range v.Args {
+			args = append(args, s.regOperand(a).Reg)
+		}
+		res := -1
+		if v.Type != ir.Void && s.uses[v] > 0 {
+			res = s.vreg(v)
+		}
+		nInt, nFP := 0, 0
+		for _, a := range v.Args {
+			if a.Type == ir.F64 {
+				nFP++
+			} else {
+				nInt++
+			}
+		}
+		s.emit(&mir.Instr{
+			Op: vx.VCALL, A: mir.Sym(v.Aux), Regs: args, CallRes: res,
+			NIntArgs: nInt, NFPArgs: nFP,
+		})
+		return nil
+
+	case ir.OpRet:
+		if len(v.Args) == 1 {
+			rv := v.Args[0]
+			if rv.Type == ir.F64 {
+				s.emit(&mir.Instr{Op: vx.MOVSD, A: mir.PReg(vx.F0), B: s.operand(rv)})
+			} else {
+				s.emit(&mir.Instr{Op: vx.MOVQ, A: mir.PReg(vx.R0), B: s.operand(rv)})
+			}
+		}
+		s.emit(&mir.Instr{Op: vx.RET})
+		return nil
+
+	case ir.OpBr:
+		s.emit(&mir.Instr{Op: vx.JMP, A: mir.Label(s.blockIdx[v.Block.Succs[0]])})
+		s.cur.Succs = []int{s.blockIdx[v.Block.Succs[0]]}
+		return nil
+
+	case ir.OpCondBr:
+		c := v.Args[0]
+		then := s.blockIdx[v.Block.Succs[0]]
+		els := s.blockIdx[v.Block.Succs[1]]
+		var cond vx.Cond
+		if s.fused[c] && c.Op == ir.OpICmp {
+			s.emit(&mir.Instr{Op: vx.CMPQ, A: s.regOperand(c.Args[0]), B: s.operand(c.Args[1])})
+			cond = icmpCond[c.Pred]
+		} else if s.fused[c] && c.Op == ir.OpFCmp {
+			cond = s.emitFCmp(c)
+		} else {
+			cr := s.regOperand(c)
+			s.emit(&mir.Instr{Op: vx.TESTQ, A: cr, B: cr})
+			cond = vx.CondNE
+		}
+		s.emit(&mir.Instr{Op: vx.JCC, Cond: cond, A: mir.Label(then)})
+		s.emit(&mir.Instr{Op: vx.JMP, A: mir.Label(els)})
+		s.cur.Succs = []int{then, els}
+		return nil
+
+	case ir.OpSelect:
+		return fmt.Errorf("select must be lowered before isel")
+	}
+	return fmt.Errorf("unhandled IR op %s", v.Op)
+}
+
+// emitFCmp emits UCOMISD with the x64 operand-order tricks for ordered
+// predicates and returns the condition to test.
+func (s *iselState) emitFCmp(v *ir.Value) vx.Cond {
+	a, b := v.Args[0], v.Args[1]
+	switch v.Pred {
+	case ir.OEQ:
+		s.emit(&mir.Instr{Op: vx.UCOMISD, A: s.regOperand(a), B: s.operand(b)})
+		return vx.CondEO
+	case ir.ONE:
+		s.emit(&mir.Instr{Op: vx.UCOMISD, A: s.regOperand(a), B: s.operand(b)})
+		return vx.CondONE
+	case ir.OGT:
+		s.emit(&mir.Instr{Op: vx.UCOMISD, A: s.regOperand(a), B: s.operand(b)})
+		return vx.CondA
+	case ir.OGE:
+		s.emit(&mir.Instr{Op: vx.UCOMISD, A: s.regOperand(a), B: s.operand(b)})
+		return vx.CondAE
+	case ir.OLT: // a < b ⇔ b > a
+		s.emit(&mir.Instr{Op: vx.UCOMISD, A: s.regOperand(b), B: s.operand(a)})
+		return vx.CondA
+	case ir.OLE:
+		s.emit(&mir.Instr{Op: vx.UCOMISD, A: s.regOperand(b), B: s.operand(a)})
+		return vx.CondAE
+	}
+	panic("codegen: bad fcmp predicate")
+}
+
+func maskImm(bits uint64) mir.Operand {
+	return mir.FImm(math.Float64frombits(bits))
+}
+
+// allUsesAreMem reports whether every use of v is as a foldable memory
+// address (so no LEA materialization is needed).
+func (s *iselState) allUsesAreMem(v *ir.Value) bool {
+	for _, b := range s.f.Blocks {
+		for _, u := range b.Values {
+			for i, a := range u.Args {
+				if a != v {
+					continue
+				}
+				switch {
+				case u.Op == ir.OpLoad && i == 0:
+				case u.Op == ir.OpStore && i == 1:
+				case u.Op == ir.OpGEP && i == 0 && (s.foldOnly[u] || foldableScale(u.Scale)):
+					// The GEP folds the base itself.
+				default:
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// insertPhiCopies lowers phis: for each edge into a block with phis, a
+// parallel-copy group is inserted in the predecessor just before its branch
+// instructions. Critical edges were split beforehand, and copies are plain
+// moves that do not disturb flags, so placement after the compare is safe.
+func (s *iselState) insertPhiCopies() {
+	for _, b := range s.f.Blocks {
+		var phis []*ir.Value
+		for _, v := range b.Values {
+			if v.Op != ir.OpPhi {
+				break
+			}
+			phis = append(phis, v)
+		}
+		if len(phis) == 0 {
+			continue
+		}
+		for pi, p := range b.Preds {
+			var moves []move
+			for _, phi := range phis {
+				src := phi.Args[pi]
+				moves = append(moves, move{
+					dst:   s.vreg(phi),
+					src:   s.operand(src),
+					class: vclass(phi.Type),
+				})
+			}
+			seq := s.resolveParallel(moves)
+			mb := s.mf.Blocks[s.blockIdx[p]]
+			insertBeforeBranch(mb, seq)
+		}
+	}
+}
+
+// move is one pending parallel-copy element.
+type move struct {
+	dst   int
+	src   mir.Operand
+	class mir.RegClass
+}
+
+// resolveParallel orders a parallel copy, breaking cycles with fresh
+// temporaries. Sources that are immediates can never participate in cycles.
+func (s *iselState) resolveParallel(moves []move) []*mir.Instr {
+	var out []*mir.Instr
+	mov := func(c mir.RegClass) vx.Op {
+		if c == mir.ClassFP {
+			return vx.MOVSD
+		}
+		return vx.MOVQ
+	}
+	pending := append([]move(nil), moves...)
+	for len(pending) > 0 {
+		progress := false
+		for i := 0; i < len(pending); i++ {
+			m := pending[i]
+			// Safe to emit if no other pending move reads m.dst.
+			blocked := false
+			for j, o := range pending {
+				if j != i && o.src.Kind == mir.KindReg && o.src.Reg == m.dst {
+					blocked = true
+					break
+				}
+			}
+			if m.src.Kind == mir.KindReg && m.src.Reg == m.dst {
+				// Self-move: drop.
+				pending = append(pending[:i], pending[i+1:]...)
+				i--
+				progress = true
+				continue
+			}
+			if !blocked {
+				out = append(out, &mir.Instr{Op: mov(m.class), A: mir.Reg(m.dst), B: m.src})
+				pending = append(pending[:i], pending[i+1:]...)
+				i--
+				progress = true
+			}
+		}
+		if !progress {
+			// Cycle: save the about-to-be-clobbered destination of one move
+			// into a fresh temp and redirect its readers there.
+			m := pending[0]
+			t := s.newVReg(m.class)
+			out = append(out, &mir.Instr{Op: mov(m.class), A: mir.Reg(t), B: mir.Reg(m.dst)})
+			for j := range pending {
+				if pending[j].src.Kind == mir.KindReg && pending[j].src.Reg == m.dst {
+					pending[j].src = mir.Reg(t)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// insertBeforeBranch splices instrs before the trailing branch group
+// (JMP / JCC, and the compare feeding it stays put since moves preserve
+// flags).
+func insertBeforeBranch(b *mir.Block, instrs []*mir.Instr) {
+	if len(instrs) == 0 {
+		return
+	}
+	pos := len(b.Instrs)
+	for pos > 0 {
+		op := b.Instrs[pos-1].Op
+		if op == vx.JMP || op == vx.JCC {
+			pos--
+			continue
+		}
+		break
+	}
+	nb := make([]*mir.Instr, 0, len(b.Instrs)+len(instrs))
+	nb = append(nb, b.Instrs[:pos]...)
+	nb = append(nb, instrs...)
+	nb = append(nb, b.Instrs[pos:]...)
+	b.Instrs = nb
+}

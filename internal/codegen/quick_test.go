@@ -1,0 +1,213 @@
+package codegen_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/codegen"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// genProgram builds a deterministic random program from a seed: a mix of
+// integer and FP expression trees over loop-carried state, with
+// data-dependent branches and array traffic. Division denominators are
+// forced odd (|1) so the golden run never traps; everything else is free.
+func genProgram(seed uint64) *ir.Module {
+	rng := fault.NewRNG(seed)
+	m := ir.NewModule("fuzz")
+	m.DeclareHost(ir.HostDecl{Name: "out_i64", Params: []ir.Type{ir.I64}, Ret: ir.I64})
+	m.DeclareHost(ir.HostDecl{Name: "out_f64", Params: []ir.Type{ir.F64}, Ret: ir.I64})
+	m.AddGlobal(ir.Global{Name: "scratch", Size: 32 * 8})
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	scratch := b.GlobalAddr("scratch")
+
+	// Seed the scratch array.
+	b.Loop(b.ConstI(0), b.ConstI(32), b.ConstI(1), func(i *ir.Value) {
+		b.Store(b.Add(b.Mul(i, b.ConstI(int64(rng.Intn(97)+1))), b.ConstI(int64(rng.Intn(31)))), b.Index(scratch, i))
+	})
+
+	acc := b.NewVar(ir.I64, b.ConstI(int64(rng.Intn(100))))
+	facc := b.NewVar(ir.F64, b.ConstF(float64(rng.Intn(16))+0.5))
+
+	// Random integer expression over the loop variable and accumulator.
+	var intExpr func(depth int, i *ir.Value) *ir.Value
+	intExpr = func(depth int, i *ir.Value) *ir.Value {
+		if depth == 0 {
+			switch rng.Intn(4) {
+			case 0:
+				return i
+			case 1:
+				return acc.Get()
+			case 2:
+				return b.ConstI(int64(rng.Intn(200) - 100))
+			default:
+				return b.Load(ir.I64, b.Index(scratch, b.And(i, b.ConstI(31))))
+			}
+		}
+		x := intExpr(depth-1, i)
+		y := intExpr(depth-1, i)
+		switch rng.Intn(8) {
+		case 0:
+			return b.Add(x, y)
+		case 1:
+			return b.Sub(x, y)
+		case 2:
+			return b.Mul(x, b.And(y, b.ConstI(0xFF)))
+		case 3:
+			return b.SDiv(x, b.Or(b.And(y, b.ConstI(0xFF)), b.ConstI(1)))
+		case 4:
+			return b.Xor(x, y)
+		case 5:
+			return b.And(x, y)
+		case 6:
+			return b.Shl(x, b.And(y, b.ConstI(7)))
+		default:
+			return b.AShr(x, b.And(y, b.ConstI(15)))
+		}
+	}
+	var fpExpr func(depth int, i *ir.Value) *ir.Value
+	fpExpr = func(depth int, i *ir.Value) *ir.Value {
+		if depth == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				return b.SIToFP(i)
+			case 1:
+				return facc.Get()
+			default:
+				return b.ConstF(float64(rng.Intn(64)) / 8)
+			}
+		}
+		x := fpExpr(depth-1, i)
+		y := fpExpr(depth-1, i)
+		switch rng.Intn(6) {
+		case 0:
+			return b.FAdd(x, y)
+		case 1:
+			return b.FSub(x, y)
+		case 2:
+			return b.FMul(x, y)
+		case 3:
+			return b.FDiv(x, b.FAdd(b.FAbs(y), b.ConstF(1)))
+		case 4:
+			return b.FMin(x, y)
+		default:
+			return b.FMax(x, y)
+		}
+	}
+
+	n := int64(rng.Intn(40) + 10)
+	b.Loop(b.ConstI(0), b.ConstI(n), b.ConstI(1), func(i *ir.Value) {
+		v := intExpr(2, i)
+		cond := b.ICmp(ir.Pred(rng.Intn(6)), v, b.ConstI(int64(rng.Intn(50)))) // EQ..SGE
+		b.If(cond, func() {
+			acc.Set(b.Add(acc.Get(), v))
+			b.Store(acc.Get(), b.Index(scratch, b.And(i, b.ConstI(31))))
+		}, func() {
+			acc.Set(b.Xor(acc.Get(), v))
+		})
+		facc.Set(fpExpr(2, i))
+	})
+	b.Call("out_i64", acc.Get())
+	b.Call("out_f64", facc.Get())
+	b.Loop(b.ConstI(0), b.ConstI(32), b.ConstI(8), func(i *ir.Value) {
+		b.Call("out_i64", b.Load(ir.I64, b.Index(scratch, i)))
+	})
+	b.Ret(b.ConstI(0))
+	return m
+}
+
+// TestQuickDifferentialCompile is the property-based backbone: for random
+// program seeds, interpreted and compiled execution agree bit-for-bit at
+// both optimization levels.
+func TestQuickDifferentialCompile(t *testing.T) {
+	checked := 0
+	err := quick.Check(func(seed uint64) bool {
+		m := genProgram(seed)
+		if err := ir.Verify(m); err != nil {
+			t.Logf("seed %d: verify: %v", seed, err)
+			return false
+		}
+		ip := ir.NewInterp(m)
+		code, err := ip.Run("main")
+		if err != nil || code != 0 {
+			t.Logf("seed %d: interp failed: %v code %d", seed, err, code)
+			return false
+		}
+		want := append([]uint64(nil), ip.Output...)
+		for _, lvl := range []opt.Level{opt.O0, opt.O2} {
+			m2 := genProgram(seed)
+			opt.Optimize(m2, lvl)
+			res, err := codegen.Compile(m2)
+			if err != nil {
+				t.Logf("seed %d: compile O%d: %v", seed, lvl, err)
+				return false
+			}
+			img, err := asm.Assemble(res.Prog, asm.Options{})
+			if err != nil {
+				t.Logf("seed %d: assemble O%d: %v", seed, lvl, err)
+				return false
+			}
+			mach := vm.New(img)
+			bindStd(mach)
+			if trap := mach.Run(); trap != vm.TrapNone {
+				t.Logf("seed %d: trap O%d: %v %s", seed, lvl, trap, mach.TrapMsg)
+				return false
+			}
+			if len(mach.Output) != len(want) {
+				t.Logf("seed %d: O%d output length %d vs %d", seed, lvl, len(mach.Output), len(want))
+				return false
+			}
+			for i := range want {
+				if mach.Output[i] != want[i] {
+					t.Logf("seed %d: O%d output[%d] %#x vs %#x", seed, lvl, i, mach.Output[i], want[i])
+					return false
+				}
+			}
+		}
+		checked++
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no programs checked")
+	}
+}
+
+// TestQuickOptimizerIdempotent: running the O2 pipeline twice must be
+// semantically identical to running it once.
+func TestQuickOptimizerIdempotent(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		m1 := genProgram(seed)
+		opt.OptimizeNoLower(m1, opt.O2)
+		ip1 := ir.NewInterp(m1)
+		if _, err := ip1.Run("main"); err != nil {
+			return false
+		}
+		m2 := genProgram(seed)
+		opt.OptimizeNoLower(m2, opt.O2)
+		opt.OptimizeNoLower(m2, opt.O2)
+		ip2 := ir.NewInterp(m2)
+		if _, err := ip2.Run("main"); err != nil {
+			return false
+		}
+		if len(ip1.Output) != len(ip2.Output) {
+			return false
+		}
+		for i := range ip1.Output {
+			if ip1.Output[i] != ip2.Output[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package codegen
+
+import (
+	"sort"
+
+	"repro/internal/mir"
+	"repro/internal/vx"
+)
+
+// Register pools. R7/R8 and F6/F7 are reserved as spill/expansion scratch
+// registers and never allocated; SP and BP are special.
+var (
+	allocGPR = []vx.Reg{
+		vx.R0, vx.R1, vx.R2, vx.R3, vx.R4, vx.R5, vx.R6,
+		vx.R9, vx.R10, vx.R11, vx.R12, vx.R13,
+	}
+	allocFPR = []vx.Reg{
+		vx.F0, vx.F1, vx.F2, vx.F3, vx.F4, vx.F5,
+		vx.F8, vx.F9, vx.F10, vx.F11, vx.F12, vx.F13, vx.F14, vx.F15,
+	}
+	scratchGPR = [2]vx.Reg{vx.R7, vx.R8}
+	scratchFPR = [2]vx.Reg{vx.F6, vx.F7}
+)
+
+func isCalleeSaved(r vx.Reg) bool {
+	for _, c := range vx.CalleeSavedGPR {
+		if r == c {
+			return true
+		}
+	}
+	for _, c := range vx.CalleeSavedFPR {
+		if r == c {
+			return true
+		}
+	}
+	return false
+}
+
+// interval is the conservative single-range live interval of a vreg.
+type interval struct {
+	vreg       int
+	start, end int
+	class      mir.RegClass
+	// Result of allocation: reg, or spill slot index (>= 0) when reg==NoReg.
+	reg  vx.Reg
+	slot int
+}
+
+// allocation is the result of register allocation for one function.
+type allocation struct {
+	loc        map[int]*interval // vreg -> placement
+	spillSlots int
+	usedCallee []vx.Reg
+}
+
+// buildIntervals numbers instructions in layout order and derives intervals.
+func buildIntervals(f *mir.Fn) (map[int]*interval, []int) {
+	liveIn, liveOut := liveSets(f)
+
+	ivs := map[int]*interval{}
+	touch := func(v, pos int) *interval {
+		iv := ivs[v]
+		if iv == nil {
+			class := mir.ClassInt
+			if idx := v - mir.VRegBase; idx >= 0 && idx < len(f.VRegClasses) {
+				class = f.VRegClasses[idx]
+			}
+			iv = &interval{vreg: v, start: pos, end: pos, class: class, reg: vx.NoReg, slot: -1}
+			ivs[v] = iv
+			return iv
+		}
+		if pos < iv.start {
+			iv.start = pos
+		}
+		if pos > iv.end {
+			iv.end = pos
+		}
+		return iv
+	}
+
+	pos := 0
+	var calls []int
+	var uses, defs []int
+	for bi, b := range f.Blocks {
+		blockStart := pos
+		for _, in := range b.Instrs {
+			uses, defs = uses[:0], defs[:0]
+			regRefs(in, &uses, &defs)
+			for _, u := range uses {
+				touch(u, pos)
+			}
+			for _, d := range defs {
+				touch(d, pos)
+			}
+			if in.Op == vx.VCALL {
+				calls = append(calls, pos)
+			}
+			pos++
+		}
+		blockEnd := pos - 1
+		if blockEnd < blockStart {
+			blockEnd = blockStart
+		}
+		for v := range liveIn[bi] {
+			touch(v, blockStart)
+		}
+		for v := range liveOut[bi] {
+			touch(v, blockEnd)
+		}
+	}
+	return ivs, calls
+}
+
+// crossesCall reports whether the interval spans any call position.
+func crossesCall(iv *interval, calls []int) bool {
+	i := sort.SearchInts(calls, iv.start)
+	return i < len(calls) && calls[i] < iv.end
+}
+
+// linearScan performs Poletto–Sarkar linear-scan allocation with the
+// call-clobber refinement: intervals live across a call may only take
+// callee-saved registers (or spill). This is the mechanism through which
+// LLFI-style instrumentation calls degrade code quality — every value live
+// across an injectFault call competes for the five callee-saved GPRs.
+func linearScan(f *mir.Fn) *allocation {
+	ivs, calls := buildIntervals(f)
+	list := make([]*interval, 0, len(ivs))
+	for _, iv := range ivs {
+		list = append(list, iv)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].start != list[j].start {
+			return list[i].start < list[j].start
+		}
+		return list[i].vreg < list[j].vreg
+	})
+
+	res := &allocation{loc: ivs}
+	inUse := map[vx.Reg]*interval{}
+	var active []*interval
+	usedCallee := map[vx.Reg]bool{}
+
+	expire := func(start int) {
+		keep := active[:0]
+		for _, a := range active {
+			if a.end < start {
+				delete(inUse, a.reg)
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		active = keep
+	}
+	pickFree := func(pool []vx.Reg, wantCallee bool) vx.Reg {
+		// Two passes: preferred save class first.
+		for pass := 0; pass < 2; pass++ {
+			for _, r := range pool {
+				if inUse[r] != nil {
+					continue
+				}
+				if pass == 0 && isCalleeSaved(r) != wantCallee {
+					continue
+				}
+				if pass == 1 && wantCallee && !isCalleeSaved(r) {
+					// A call-crossing interval must not take caller-saved.
+					continue
+				}
+				return r
+			}
+		}
+		return vx.NoReg
+	}
+
+	for _, iv := range list {
+		expire(iv.start)
+		pool := allocGPR
+		if iv.class == mir.ClassFP {
+			pool = allocFPR
+		}
+		needCallee := crossesCall(iv, calls)
+		r := pickFree(pool, needCallee)
+		if r == vx.NoReg {
+			// Spill the current interval.
+			iv.slot = res.spillSlots
+			res.spillSlots++
+			continue
+		}
+		iv.reg = r
+		inUse[r] = iv
+		active = append(active, iv)
+		if isCalleeSaved(r) {
+			usedCallee[r] = true
+		}
+	}
+
+	for r := range usedCallee {
+		res.usedCallee = append(res.usedCallee, r)
+	}
+	sort.Slice(res.usedCallee, func(i, j int) bool { return res.usedCallee[i] < res.usedCallee[j] })
+	return res
+}

@@ -1,0 +1,274 @@
+// Package core implements REFINE, the paper's contribution: fault injection
+// via compiler-backend instrumentation. The pass runs on the final machine
+// representation — after instruction selection, register allocation, frame
+// lowering and peephole optimization, immediately before code emission — so
+// it sees every machine instruction (prologues, spills, stack management)
+// and, crucially, never perturbs code generation of the application under
+// test (paper §4.2).
+//
+// For every selected target instruction the pass splices in the basic-block
+// structure of Figure 2:
+//
+//	PreFI    save clobberable state, call selInstr(site) → trigger?
+//	SetupFI  call setupFI(nOps, sizes) → ⟨operand, bit⟩, build the XOR mask
+//	FI_k     one block per output operand, flipping the chosen bit
+//	PostFI   restore state, resume the application
+//
+// The control runtime library (selInstr / setupFI) is provided in this
+// package too, in profiling and injection flavors (paper §4.3, Figure 3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/mir"
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+// Host function names the instrumented binary imports.
+const (
+	HostSelInstr = "refine_selInstr"
+	HostSetupFI  = "refine_setupFI"
+	// spSaveGlobal is the FI library's scratch slot holding the application
+	// stack pointer across the instrumentation sequence; flips that target SP
+	// are applied here so PostFI's restore materializes them (see DESIGN.md).
+	spSaveGlobal = "__refine_sp_save"
+)
+
+// Instrument applies the REFINE backend pass to a machine program in place,
+// honoring the compiler-flag configuration (-fi-funcs / -fi-instrs). It
+// returns the number of static sites instrumented.
+func Instrument(p *mir.Prog, cfg fault.Config) (int, error) {
+	if !hasGlobal(p, spSaveGlobal) {
+		p.Globals = append(p.Globals, mir.Global{Name: spSaveGlobal, Size: 8})
+	}
+	for _, h := range []string{HostSelInstr, HostSetupFI} {
+		if !hasHost(p, h) {
+			p.HostFns = append(p.HostFns, h)
+		}
+	}
+
+	sites := 0
+	for _, f := range p.Fns {
+		if !cfg.FuncSelected(f.Name) {
+			continue
+		}
+		normalizeTerminators(f)
+		if err := instrumentFn(f, cfg, &sites); err != nil {
+			return 0, fmt.Errorf("core: %s: %w", f.Name, err)
+		}
+	}
+	return sites, nil
+}
+
+func hasGlobal(p *mir.Prog, name string) bool {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func hasHost(p *mir.Prog, name string) bool {
+	for _, h := range p.HostFns {
+		if h == name {
+			return true
+		}
+	}
+	return false
+}
+
+// normalizeTerminators gives every block an explicit control-flow ending so
+// blocks may be appended in any layout order. The added JMPs are marked as
+// instrumentation artifacts.
+func normalizeTerminators(f *mir.Fn) {
+	for bi, b := range f.Blocks {
+		needJmp := true
+		if n := len(b.Instrs); n > 0 {
+			switch b.Instrs[n-1].Op {
+			case vx.JMP, vx.RET, vx.HALT:
+				needJmp = false
+			}
+		}
+		if needJmp {
+			if bi+1 >= len(f.Blocks) {
+				continue // last block ends the function some other way
+			}
+			b.Instrs = append(b.Instrs, &mir.Instr{
+				Op: vx.JMP, A: mir.Label(bi + 1), Instrumented: true,
+			})
+		}
+	}
+}
+
+// targetMIR reports whether a machine instruction is an injection target
+// under the configuration.
+func targetMIR(in *mir.Instr, cfg fault.Config) bool {
+	if in.Instrumented || in.SiteID != 0 {
+		return false
+	}
+	var outs [3]vx.Reg
+	if len(in.OutputRegs(outs[:0])) == 0 {
+		return false
+	}
+	return cfg.Classes.Has(in.Classify())
+}
+
+// Stack layout of the PreFI save area, relative to SP after all pushes:
+//
+//	[SP+0]  R3   [SP+8]  R2   [SP+16] R1   [SP+24] R0   [SP+32] FLAGS
+var savedRegs = []vx.Reg{vx.R0, vx.R1, vx.R2, vx.R3} // push order
+
+func savedSlotOf(r vx.Reg) (int32, bool) {
+	switch r {
+	case vx.R3:
+		return 0, true
+	case vx.R2:
+		return 8, true
+	case vx.R1:
+		return 16, true
+	case vx.R0:
+		return 24, true
+	case vx.RFLAGS:
+		return 32, true
+	}
+	return 0, false
+}
+
+// instrumentFn splices the PreFI/SetupFI/FI/PostFI structure after every
+// target instruction. Blocks are processed worklist-style because the tail
+// of a split block may itself contain further targets.
+func instrumentFn(f *mir.Fn, cfg fault.Config, sites *int) error {
+	for wi := 0; wi < len(f.Blocks); wi++ {
+		b := f.Blocks[wi]
+		for k := 0; k < len(b.Instrs); k++ {
+			in := b.Instrs[k]
+			if !targetMIR(in, cfg) {
+				continue
+			}
+			*sites++
+			in.SiteID = int32(*sites)
+
+			var outs []vx.Reg
+			outs = in.OutputRegs(outs)
+			if len(outs) > 2 {
+				return fmt.Errorf("instruction %v has %d output registers", in, len(outs))
+			}
+
+			// Tail block takes the remainder of b.
+			tail := f.NewBlock()
+			tail.Instrs = append(tail.Instrs, b.Instrs[k+1:]...)
+			b.Instrs = b.Instrs[:k+1]
+
+			// FI blocks, one per operand.
+			fiBlocks := make([]*mir.Block, len(outs))
+			for oi, reg := range outs {
+				fb := f.NewBlock()
+				emitFlip(fb, reg)
+				fb.Emit(&mir.Instr{Op: vx.JMP, A: mir.Label(tail.Index), Instrumented: true})
+				fiBlocks[oi] = fb
+			}
+
+			// PostFI prefix prepended to the tail block.
+			post := postFISeq()
+			tail.Instrs = append(post, tail.Instrs...)
+
+			// PreFI + SetupFI appended to b after the target instruction.
+			emitPreFI(b, in.SiteID, tail.Index)
+			emitSetupFI(b, outs, fiBlocks, tail.Index)
+			break // rest of b moved to tail; continue worklist with new blocks
+		}
+	}
+	return nil
+}
+
+// emitPreFI: save state, consult the library, skip to PostFI when the site
+// does not trigger.
+func emitPreFI(b *mir.Block, site int32, postIdx int) {
+	e := func(in *mir.Instr) {
+		in.Instrumented = true
+		b.Emit(in)
+	}
+	// Save the application SP first (MOVQ does not touch FLAGS).
+	e(&mir.Instr{Op: vx.MOVQ, A: mir.MemSym(spSaveGlobal, 0), B: mir.PReg(vx.SP)})
+	e(&mir.Instr{Op: vx.PUSHF})
+	for _, r := range savedRegs {
+		e(&mir.Instr{Op: vx.PUSHQ, A: mir.PReg(r)})
+	}
+	e(&mir.Instr{Op: vx.MOVQ, A: mir.PReg(vx.R1), B: mir.Imm(int64(site))})
+	e(&mir.Instr{Op: vx.CALLQ, A: mir.Sym(HostSelInstr), NIntArgs: 1})
+	e(&mir.Instr{Op: vx.TESTQ, A: mir.PReg(vx.R0), B: mir.PReg(vx.R0)})
+	e(&mir.Instr{Op: vx.JCC, Cond: vx.CondE, A: mir.Label(postIdx)})
+}
+
+// emitSetupFI: ask the library for ⟨operand, bit⟩, build the mask, dispatch.
+func emitSetupFI(b *mir.Block, outs []vx.Reg, fiBlocks []*mir.Block, postIdx int) {
+	e := func(in *mir.Instr) {
+		in.Instrumented = true
+		b.Emit(in)
+	}
+	e(&mir.Instr{Op: vx.MOVQ, A: mir.PReg(vx.R1), B: mir.Imm(int64(len(outs)))})
+	e(&mir.Instr{Op: vx.MOVQ, A: mir.PReg(vx.R2), B: mir.Imm(int64(vm.RegBitSize(outs[0])))})
+	size1 := int64(0)
+	if len(outs) > 1 {
+		size1 = int64(vm.RegBitSize(outs[1]))
+	}
+	e(&mir.Instr{Op: vx.MOVQ, A: mir.PReg(vx.R3), B: mir.Imm(size1)})
+	e(&mir.Instr{Op: vx.CALLQ, A: mir.Sym(HostSetupFI), NIntArgs: 3})
+	// R0 = opIdx<<16 | bit. Build mask in R2, operand index in R0.
+	e(&mir.Instr{Op: vx.MOVQ, A: mir.PReg(vx.R3), B: mir.PReg(vx.R0)})
+	e(&mir.Instr{Op: vx.ANDQ, A: mir.PReg(vx.R3), B: mir.Imm(0xFFFF)})
+	e(&mir.Instr{Op: vx.MOVQ, A: mir.PReg(vx.R2), B: mir.Imm(1)})
+	e(&mir.Instr{Op: vx.SHLQ, A: mir.PReg(vx.R2), B: mir.PReg(vx.R3)})
+	e(&mir.Instr{Op: vx.SHRQ, A: mir.PReg(vx.R0), B: mir.Imm(16)})
+	if len(outs) == 1 {
+		e(&mir.Instr{Op: vx.JMP, A: mir.Label(fiBlocks[0].Index)})
+		return
+	}
+	e(&mir.Instr{Op: vx.TESTQ, A: mir.PReg(vx.R0), B: mir.PReg(vx.R0)})
+	e(&mir.Instr{Op: vx.JCC, Cond: vx.CondE, A: mir.Label(fiBlocks[0].Index)})
+	e(&mir.Instr{Op: vx.JMP, A: mir.Label(fiBlocks[1].Index)})
+}
+
+// emitFlip XORs the mask in R2 into the fault target. Targets aliased by the
+// instrumentation's own save/restore (the saved scratch registers, FLAGS,
+// and the application SP) are flipped in their save slots so PostFI's
+// restores materialize the fault exactly as a binary-level injector would.
+func emitFlip(b *mir.Block, reg vx.Reg) {
+	e := func(in *mir.Instr) {
+		in.Instrumented = true
+		b.Emit(in)
+	}
+	switch {
+	case reg == vx.SP:
+		e(&mir.Instr{Op: vx.XORQ, A: mir.MemSym(spSaveGlobal, 0), B: mir.PReg(vx.R2)})
+	case reg.IsFPR():
+		e(&mir.Instr{Op: vx.MOVSD2Q, A: mir.PReg(vx.R3), B: mir.PReg(reg)})
+		e(&mir.Instr{Op: vx.XORQ, A: mir.PReg(vx.R3), B: mir.PReg(vx.R2)})
+		e(&mir.Instr{Op: vx.MOVQ2SD, A: mir.PReg(reg), B: mir.PReg(vx.R3)})
+	default:
+		if off, saved := savedSlotOf(reg); saved {
+			e(&mir.Instr{Op: vx.XORQ, A: mir.Mem(int(vx.SP), off), B: mir.PReg(vx.R2)})
+		} else {
+			e(&mir.Instr{Op: vx.XORQ, A: mir.PReg(reg), B: mir.PReg(vx.R2)})
+		}
+	}
+}
+
+// postFISeq: restore saved state and the (possibly flipped) application SP.
+func postFISeq() []*mir.Instr {
+	var seq []*mir.Instr
+	e := func(in *mir.Instr) {
+		in.Instrumented = true
+		seq = append(seq, in)
+	}
+	for i := len(savedRegs) - 1; i >= 0; i-- {
+		e(&mir.Instr{Op: vx.POPQ, A: mir.PReg(savedRegs[i])})
+	}
+	e(&mir.Instr{Op: vx.POPF})
+	e(&mir.Instr{Op: vx.MOVQ, A: mir.PReg(vx.SP), B: mir.MemSym(spSaveGlobal, 0)})
+	return seq
+}

@@ -1,0 +1,296 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+// buildSmall constructs a module with arithmetic, branches, calls and memory
+// traffic, compiles it, and returns the machine program.
+func buildSmall(t *testing.T) *codegen.Result {
+	t.Helper()
+	m := ir.NewModule("t")
+	m.DeclareHost(ir.HostDecl{Name: "out_i64", Params: []ir.Type{ir.I64}, Ret: ir.I64})
+	m.AddGlobal(ir.Global{Name: "buf", Size: 128})
+	b := ir.NewBuilder(m)
+
+	b.NewFunc("kernel", ir.I64, ir.I64)
+	acc := b.NewVar(ir.I64, b.ConstI(0))
+	b.Loop(b.ConstI(0), b.Param(0), b.ConstI(1), func(i *ir.Value) {
+		acc.Set(b.Add(acc.Get(), b.Mul(i, i)))
+	})
+	b.Ret(acc.Get())
+
+	b.NewFunc("main", ir.I64)
+	buf := b.GlobalAddr("buf")
+	b.Loop(b.ConstI(0), b.ConstI(16), b.ConstI(1), func(i *ir.Value) {
+		b.Store(b.Call("kernel", i), b.Index(buf, i))
+	})
+	s := b.NewVar(ir.I64, b.ConstI(0))
+	b.Loop(b.ConstI(0), b.ConstI(16), b.ConstI(1), func(i *ir.Value) {
+		s.Set(b.Add(s.Get(), b.Load(ir.I64, b.Index(buf, i))))
+	})
+	b.Call("out_i64", s.Get())
+	b.Ret(b.ConstI(0))
+
+	opt.Optimize(m, opt.O2)
+	res, err := codegen.Compile(m)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res
+}
+
+func runProfiled(t *testing.T, img *vm.Image) (*vm.Machine, *core.ProfileLib) {
+	t.Helper()
+	m := vm.New(img)
+	m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+		mm.Output = append(mm.Output, mm.Regs[vx.R1])
+		mm.Regs[vx.R0] = 0
+	}})
+	lib := &core.ProfileLib{}
+	lib.Bind(m)
+	if trap := m.Run(); trap != vm.TrapNone {
+		t.Fatalf("trap %v: %s", trap, m.TrapMsg)
+	}
+	return m, lib
+}
+
+func TestInstrumentCountsSites(t *testing.T) {
+	res := buildSmall(t)
+	sites, err := core.Instrument(res.Prog, fault.DefaultConfig())
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	if sites == 0 {
+		t.Fatal("no sites instrumented")
+	}
+	img, err := asm.Assemble(res.Prog, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if img.NumSites != int32(sites)+1 {
+		t.Fatalf("NumSites %d, want %d", img.NumSites, sites+1)
+	}
+	// Every site id must appear exactly once among app instructions.
+	seen := map[int32]int{}
+	for i := range img.Instrs {
+		if s := img.Instrs[i].SiteID; s > 0 {
+			seen[s]++
+			if img.Instrs[i].Instrumented {
+				t.Fatalf("site %d assigned to an instrumentation instruction", s)
+			}
+		}
+	}
+	if len(seen) != sites {
+		t.Fatalf("%d distinct sites in image, want %d", len(seen), sites)
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Fatalf("site %d appears %d times", s, n)
+		}
+	}
+}
+
+func TestInstrumentedBinaryIsTransparent(t *testing.T) {
+	plain := buildSmall(t)
+	plainImg, err := asm.Assemble(plain.Prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := vm.New(plainImg)
+	pm.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+		mm.Output = append(mm.Output, mm.Regs[vx.R1])
+		mm.Regs[vx.R0] = 0
+	}})
+	if trap := pm.Run(); trap != vm.TrapNone {
+		t.Fatalf("plain trap %v", trap)
+	}
+
+	instr := buildSmall(t)
+	if _, err := core.Instrument(instr.Prog, fault.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.Assemble(instr.Prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, lib := runProfiled(t, img)
+	if len(im.Output) != len(pm.Output) {
+		t.Fatalf("output length changed under instrumentation")
+	}
+	for i := range pm.Output {
+		if im.Output[i] != pm.Output[i] {
+			t.Fatalf("output[%d] differs: instrumentation not transparent", i)
+		}
+	}
+	if lib.Count == 0 {
+		t.Fatal("selInstr never called")
+	}
+}
+
+func TestProfileCountMatchesDynamicTargets(t *testing.T) {
+	res := buildSmall(t)
+	cfg := fault.DefaultConfig()
+	if _, err := core.Instrument(res.Prog, cfg); err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.Assemble(res.Prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lib := runProfiled(t, img)
+
+	// Count dynamically executed target instructions with a VM hook; must
+	// equal the library's count exactly.
+	m2 := vm.New(img)
+	m2.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) { mm.Regs[vx.R0] = 0 }})
+	plib := &core.ProfileLib{}
+	plib.Bind(m2)
+	var hookCount int64
+	m2.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) {
+		if cfg.TargetInst(mm.Img, in) {
+			hookCount++
+		}
+	}
+	m2.Run()
+	if hookCount != lib.Count {
+		t.Fatalf("hook counted %d targets, selInstr %d", hookCount, lib.Count)
+	}
+}
+
+func TestInjectFlipsExactlyOnce(t *testing.T) {
+	res := buildSmall(t)
+	if _, err := core.Instrument(res.Prog, fault.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.Assemble(res.Prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prof := runProfiled(t, img)
+
+	triggered := 0
+	for target := int64(0); target < prof.Count; target += prof.Count / 17 {
+		m := vm.New(img)
+		m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) { mm.Regs[vx.R0] = 0 }})
+		m.Budget = 10_000_000
+		lib := &core.InjectLib{Target: target, RNG: fault.NewRNG(uint64(target) + 7)}
+		lib.Bind(m)
+		m.Run()
+		if lib.Triggered {
+			triggered++
+		}
+	}
+	if triggered == 0 {
+		t.Fatal("injection never triggered")
+	}
+}
+
+func TestClassFilters(t *testing.T) {
+	counts := map[string]int{}
+	for _, cls := range []string{"all", "arithm", "mem", "stack"} {
+		res := buildSmall(t)
+		cs, err := fault.ParseClasses(cls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fault.Config{Classes: cs}
+		sites, err := core.Instrument(res.Prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[cls] = sites
+	}
+	if counts["all"] != counts["arithm"]+counts["mem"]+counts["stack"] {
+		t.Fatalf("class partition broken: %+v", counts)
+	}
+	for cls, n := range counts {
+		if n == 0 {
+			t.Fatalf("class %s has no sites", cls)
+		}
+	}
+}
+
+func TestFuncFilter(t *testing.T) {
+	res := buildSmall(t)
+	cfg := fault.Config{Funcs: []string{"kernel"}, Classes: fault.ClassAll}
+	sites, err := core.Instrument(res.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites == 0 {
+		t.Fatal("no sites in kernel")
+	}
+	// All sites must be inside the kernel function.
+	img, err := asm.Assemble(res.Prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Instrs {
+		in := &img.Instrs[i]
+		if in.SiteID > 0 && img.Funcs[in.FnIdx].Name != "kernel" {
+			t.Fatalf("site %d outside kernel (in %s)", in.SiteID, img.Funcs[in.FnIdx].Name)
+		}
+	}
+}
+
+func TestInstrumentationMarksItself(t *testing.T) {
+	res := buildSmall(t)
+	if _, err := core.Instrument(res.Prog, fault.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// Instrumenting twice must not target instrumentation instructions:
+	// site count stays stable.
+	before := countSites(res)
+	sites2, err := core.Instrument(res.Prog, fault.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites2 != 0 {
+		t.Fatalf("re-instrumentation added %d sites (targets leaked)", sites2)
+	}
+	if countSites(res) != before {
+		t.Fatalf("site count changed on re-instrumentation")
+	}
+}
+
+func countSites(res *codegen.Result) int {
+	n := 0
+	for _, f := range res.Prog.Fns {
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.SiteID > 0 {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestDisasmShowsInstrumentation(t *testing.T) {
+	res := buildSmall(t)
+	if _, err := core.Instrument(res.Prog, fault.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.Assemble(res.Prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := asm.Disasm(img)
+	for _, want := range []string{"refine_selInstr@host", "refine_setupFI@host", "fi-instr", "pushf"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("disassembly missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package experiments regenerates the paper's evaluation artifacts: the
+// outcome-frequency table (Table 6 / Figure 4), the chi-squared comparison
+// (Table 5, with Table 4 as the worked example), and the campaign-time
+// comparison (Figure 5). The cmd/fi-* tools and the benchmark harness both
+// drive this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Suite holds campaign results for a set of applications and all tools.
+type Suite struct {
+	Trials  int
+	Results map[string]map[campaign.Tool]*campaign.Result
+	Order   []string // application display order
+}
+
+// Config controls a suite run.
+type Config struct {
+	Apps    []campaign.App // nil ⇒ all 14
+	Trials  int            // 0 ⇒ paper's 1068
+	Seed    uint64
+	Workers int
+	Build   campaign.BuildOptions
+	// Progress, if non-nil, receives one line per completed campaign.
+	Progress func(string)
+}
+
+// RunSuite executes trials×|apps|×3 fault-injection experiments.
+func RunSuite(cfg Config) (*Suite, error) {
+	apps := cfg.Apps
+	if apps == nil {
+		apps = workloads.Registry()
+	}
+	trials := cfg.Trials
+	if trials == 0 {
+		trials = stats.SampleSize(1<<40, 0.03, stats.Z95) // 1068
+	}
+	if cfg.Build.FI.Classes == 0 {
+		cfg.Build = campaign.DefaultBuildOptions()
+	}
+	s := &Suite{Trials: trials, Results: map[string]map[campaign.Tool]*campaign.Result{}}
+	for _, app := range apps {
+		s.Order = append(s.Order, app.Name)
+		s.Results[app.Name] = map[campaign.Tool]*campaign.Result{}
+		for _, tool := range campaign.Tools {
+			res, err := campaign.Run(app, tool, trials, cfg.Seed, cfg.Workers, cfg.Build)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", app.Name, tool, err)
+			}
+			s.Results[app.Name][tool] = res
+			if cfg.Progress != nil {
+				c := res.Counts
+				cfg.Progress(fmt.Sprintf("%-8s %-6s crash=%4d soc=%4d benign=%4d (cycles %.2e)",
+					app.Name, tool, c.Crash, c.SOC, c.Benign, float64(res.Cycles)))
+			}
+		}
+	}
+	return s, nil
+}
+
+// Table6 renders the complete outcome-frequency table (paper Table 6).
+func (s *Suite) Table6() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6: outcome frequencies (n=%d per cell)\n", s.Trials)
+	fmt.Fprintf(&b, "%-10s %-8s %8s %8s %8s\n", "App", "Tool", "Crash", "SOC", "Benign")
+	for _, app := range s.Order {
+		for _, tool := range campaign.Tools {
+			c := s.Results[app][tool].Counts
+			fmt.Fprintf(&b, "%-10s %-8s %8d %8d %8d\n", app, tool, c.Crash, c.SOC, c.Benign)
+		}
+	}
+	return b.String()
+}
+
+// Figure4 renders the sampled outcome probabilities with 95% Wilson
+// confidence intervals (the error bars of the paper's Figure 4).
+func (s *Suite) Figure4() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: outcome probabilities ±95%% CI (n=%d)\n", s.Trials)
+	fmt.Fprintf(&b, "%-10s %-8s %22s %22s %22s\n", "App", "Tool", "Crash%", "SOC%", "Benign%")
+	for _, app := range s.Order {
+		for _, tool := range campaign.Tools {
+			c := s.Results[app][tool].Counts
+			n := c.Total()
+			cell := func(k int) string {
+				lo, hi := stats.WilsonCI(k, n, stats.Z95)
+				return fmt.Sprintf("%5.1f [%5.1f,%5.1f]", 100*float64(k)/float64(n), 100*lo, 100*hi)
+			}
+			fmt.Fprintf(&b, "%-10s %-8s %22s %22s %22s\n", app, tool, cell(c.Crash), cell(c.SOC), cell(c.Benign))
+		}
+	}
+	return b.String()
+}
+
+// Comparison is one row of the Table 5 data.
+type Comparison struct {
+	App  string
+	Test stats.TestResult
+}
+
+// ChiSquared computes the Table 5 comparisons of cmp against PINFI.
+func (s *Suite) ChiSquared(cmp campaign.Tool) ([]Comparison, error) {
+	var out []Comparison
+	for _, app := range s.Order {
+		base := s.Results[app][campaign.PINFI].Counts
+		c := s.Results[app][cmp].Counts
+		tr, err := stats.CompareCounts(app, "PINFI", cmp.String(),
+			[3]int64{int64(base.Crash), int64(base.SOC), int64(base.Benign)},
+			[3]int64{int64(c.Crash), int64(c.SOC), int64(c.Benign)})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", app, err)
+		}
+		out = append(out, Comparison{App: app, Test: tr})
+	}
+	return out, nil
+}
+
+// Table5 renders both tool comparisons against the PINFI baseline.
+func (s *Suite) Table5() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: chi-squared tests vs PINFI (alpha=%.2f)\n", stats.Alpha)
+	for _, cmp := range []campaign.Tool{campaign.LLFI, campaign.REFINE} {
+		rows, err := s.ChiSquared(cmp)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\n%s vs PINFI:\n%-10s %10s %4s %10s %6s\n", cmp, "App", "chi2", "df", "p-value", "diff?")
+		for _, r := range rows {
+			sig := "no"
+			if r.Test.Significant {
+				sig = "yes"
+			}
+			fmt.Fprintf(&b, "%-10s %10.3f %4d %10.2e %6s\n", r.App, r.Test.Stat, r.Test.DF, r.Test.P, sig)
+		}
+	}
+	return b.String(), nil
+}
+
+// Table4 renders the worked contingency-table example (paper Table 4):
+// LLFI vs PINFI on the first application of the suite.
+func (s *Suite) Table4(app string) string {
+	var b strings.Builder
+	l := s.Results[app][campaign.LLFI].Counts
+	p := s.Results[app][campaign.PINFI].Counts
+	fmt.Fprintf(&b, "Table 4: contingency table, LLFI vs PINFI (%s)\n", app)
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s\n", "Tool", "Crash", "SOC", "Benign", "Total")
+	fmt.Fprintf(&b, "%-8s %8d %8d %8d %8d\n", "LLFI", l.Crash, l.SOC, l.Benign, l.Total())
+	fmt.Fprintf(&b, "%-8s %8d %8d %8d %8d\n", "PINFI", p.Crash, p.SOC, p.Benign, p.Total())
+	fmt.Fprintf(&b, "%-8s %8d %8d %8d\n", "Total", l.Crash+p.Crash, l.SOC+p.SOC, l.Benign+p.Benign)
+	return b.String()
+}
+
+// Figure5 renders campaign execution time normalized to PINFI, per app and
+// in total (the paper's Figure 5a–o).
+func (s *Suite) Figure5() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: campaign time normalized to PINFI\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s\n", "App", "LLFI", "REFINE")
+	var totL, totR, totP int64
+	for _, app := range s.Order {
+		l := s.Results[app][campaign.LLFI].Cycles
+		r := s.Results[app][campaign.REFINE].Cycles
+		p := s.Results[app][campaign.PINFI].Cycles
+		totL += l
+		totR += r
+		totP += p
+		fmt.Fprintf(&b, "%-10s %8.1f %8.1f\n", app, float64(l)/float64(p), float64(r)/float64(p))
+	}
+	fmt.Fprintf(&b, "%-10s %8.1f %8.1f\n", "Total", float64(totL)/float64(totP), float64(totR)/float64(totP))
+	return b.String()
+}
+
+// Speedups returns (LLFI/PINFI, REFINE/PINFI) normalized total campaign
+// times for programmatic checks.
+func (s *Suite) Speedups() (llfiNorm, refineNorm float64) {
+	var totL, totR, totP int64
+	for _, app := range s.Order {
+		totL += s.Results[app][campaign.LLFI].Cycles
+		totR += s.Results[app][campaign.REFINE].Cycles
+		totP += s.Results[app][campaign.PINFI].Cycles
+	}
+	return float64(totL) / float64(totP), float64(totR) / float64(totP)
+}
+
+// SummaryCounts returns the suite's Table 5 verdict counts: how many apps
+// show a significant difference per comparison tool.
+func (s *Suite) SummaryCounts() (llfiSig, refineSig int, err error) {
+	for _, cmp := range []campaign.Tool{campaign.LLFI, campaign.REFINE} {
+		rows, e := s.ChiSquared(cmp)
+		if e != nil {
+			return 0, 0, e
+		}
+		for _, r := range rows {
+			if r.Test.Significant {
+				if cmp == campaign.LLFI {
+					llfiSig++
+				} else {
+					refineSig++
+				}
+			}
+		}
+	}
+	return llfiSig, refineSig, nil
+}
+
+// PaperTable6 returns the published Table 6 counts for side-by-side
+// comparison in EXPERIMENTS.md and the fi-stats tool.
+func PaperTable6() map[string]map[string]fault.Counts {
+	t := map[string]map[string]fault.Counts{
+		"AMG2013": {"LLFI": {Crash: 395, SOC: 168, Benign: 505}, "REFINE": {Crash: 254, SOC: 87, Benign: 727}, "PINFI": {Crash: 269, SOC: 70, Benign: 729}},
+		"CoMD":    {"LLFI": {Crash: 372, SOC: 117, Benign: 579}, "REFINE": {Crash: 136, SOC: 55, Benign: 877}, "PINFI": {Crash: 175, SOC: 59, Benign: 834}},
+		"HPCCG":   {"LLFI": {Crash: 320, SOC: 195, Benign: 553}, "REFINE": {Crash: 159, SOC: 68, Benign: 841}, "PINFI": {Crash: 162, SOC: 77, Benign: 829}},
+		"XSBench": {"LLFI": {Crash: 55, SOC: 355, Benign: 658}, "REFINE": {Crash: 179, SOC: 194, Benign: 695}, "PINFI": {Crash: 188, SOC: 203, Benign: 677}},
+		"miniFE":  {"LLFI": {Crash: 420, SOC: 327, Benign: 321}, "REFINE": {Crash: 186, SOC: 177, Benign: 705}, "PINFI": {Crash: 215, SOC: 162, Benign: 691}},
+		"lulesh":  {"LLFI": {Crash: 21, SOC: 4, Benign: 1043}, "REFINE": {Crash: 76, SOC: 2, Benign: 990}, "PINFI": {Crash: 76, SOC: 4, Benign: 988}},
+		"BT":      {"LLFI": {Crash: 224, SOC: 543, Benign: 301}, "REFINE": {Crash: 20, SOC: 347, Benign: 701}, "PINFI": {Crash: 15, SOC: 363, Benign: 690}},
+		"CG":      {"LLFI": {Crash: 352, SOC: 0, Benign: 716}, "REFINE": {Crash: 201, SOC: 0, Benign: 867}, "PINFI": {Crash: 175, SOC: 0, Benign: 893}},
+		"DC":      {"LLFI": {Crash: 495, SOC: 298, Benign: 275}, "REFINE": {Crash: 310, SOC: 154, Benign: 604}, "PINFI": {Crash: 347, SOC: 155, Benign: 566}},
+		"EP":      {"LLFI": {Crash: 181, SOC: 470, Benign: 417}, "REFINE": {Crash: 44, SOC: 335, Benign: 689}, "PINFI": {Crash: 31, SOC: 341, Benign: 696}},
+		"FT":      {"LLFI": {Crash: 386, SOC: 70, Benign: 612}, "REFINE": {Crash: 104, SOC: 51, Benign: 913}, "PINFI": {Crash: 96, SOC: 51, Benign: 921}},
+		"LU":      {"LLFI": {Crash: 238, SOC: 528, Benign: 302}, "REFINE": {Crash: 18, SOC: 386, Benign: 664}, "PINFI": {Crash: 17, SOC: 436, Benign: 615}},
+		"SP":      {"LLFI": {Crash: 268, SOC: 800, Benign: 0}, "REFINE": {Crash: 45, SOC: 612, Benign: 411}, "PINFI": {Crash: 42, SOC: 626, Benign: 400}},
+		"UA":      {"LLFI": {Crash: 792, SOC: 136, Benign: 140}, "REFINE": {Crash: 98, SOC: 237, Benign: 733}, "PINFI": {Crash: 105, SOC: 242, Benign: 721}},
+	}
+	return t
+}
+
+// PaperFigure5 returns the published normalized campaign times.
+func PaperFigure5() map[string][2]float64 {
+	return map[string][2]float64{
+		"AMG2013": {5.5, 0.7}, "CoMD": {3.1, 1.1}, "HPCCG": {4.9, 1.1},
+		"lulesh": {3.9, 1.6}, "XSBench": {1.6, 0.8}, "miniFE": {9.4, 0.9},
+		"BT": {4.8, 1.8}, "CG": {4.0, 0.8}, "DC": {2.2, 0.7}, "EP": {0.8, 0.9},
+		"FT": {3.0, 1.0}, "LU": {3.8, 1.6}, "SP": {4.8, 1.2}, "UA": {4.4, 1.2},
+		"Total": {3.9, 1.2},
+	}
+}
+
+// AppNames returns the suite's app order, or the registry's order when the
+// suite is nil.
+func AppNames(s *Suite) []string {
+	if s != nil {
+		return s.Order
+	}
+	var names []string
+	for _, a := range workloads.Registry() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}

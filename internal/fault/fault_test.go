@@ -1,0 +1,221 @@
+package fault_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := fault.NewRNG(42), fault.NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := fault.NewRNG(43)
+	same := 0
+	a = fault.NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	err := quick.Check(func(seed uint64, n16 uint16) bool {
+		n := int64(n16%1000) + 1
+		r := fault.NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared-ish sanity: 10 buckets over 100k draws should all be
+	// within 5% of the expectation.
+	r := fault.NewRNG(7)
+	const draws = 100_000
+	var buckets [10]int
+	for i := 0; i < draws; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, c := range buckets {
+		if math.Abs(float64(c)-draws/10) > draws/10*0.05 {
+			t.Fatalf("bucket %d has %d draws, expected ~%d", i, c, draws/10)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	fault.NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := fault.NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	for s, want := range map[string]fault.ClassSet{
+		"all": fault.ClassAll, "": fault.ClassAll,
+		"arithm": fault.ClassArith, "mem": fault.ClassMem, "stack": fault.ClassStack,
+	} {
+		got, err := fault.ParseClasses(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseClasses(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := fault.ParseClasses("bogus"); err == nil {
+		t.Fatal("accepted bogus class")
+	}
+}
+
+func TestClassSetHas(t *testing.T) {
+	if !fault.ClassAll.Has(vx.ClassArith) || !fault.ClassAll.Has(vx.ClassMem) || !fault.ClassAll.Has(vx.ClassStack) {
+		t.Fatal("ClassAll must include every class")
+	}
+	if fault.ClassAll.Has(vx.ClassCtl) {
+		t.Fatal("control-flow class is never injectable")
+	}
+	if fault.ClassArith.Has(vx.ClassMem) {
+		t.Fatal("arithm must not include mem")
+	}
+}
+
+func TestFuncSelected(t *testing.T) {
+	c := fault.Config{}
+	if !c.FuncSelected("anything") {
+		t.Fatal("empty filter must select all")
+	}
+	c.Funcs = []string{"*"}
+	if !c.FuncSelected("anything") {
+		t.Fatal("wildcard must select all")
+	}
+	c.Funcs = []string{"main", "dot"}
+	if !c.FuncSelected("dot") || c.FuncSelected("other") {
+		t.Fatal("explicit filter wrong")
+	}
+}
+
+func TestPickOperandAndBitRespectsWidths(t *testing.T) {
+	outs := []vx.Reg{vx.R4, vx.RFLAGS}
+	r := fault.NewRNG(3)
+	sawFlags := false
+	for i := 0; i < 2000; i++ {
+		op, bit := fault.PickOperandAndBit(r, outs)
+		switch outs[op] {
+		case vx.RFLAGS:
+			sawFlags = true
+			if bit >= vx.FlagsBits {
+				t.Fatalf("flags bit %d out of range", bit)
+			}
+		default:
+			if bit >= 64 {
+				t.Fatalf("gpr bit %d out of range", bit)
+			}
+		}
+	}
+	if !sawFlags {
+		t.Fatal("flags operand never drawn")
+	}
+}
+
+func TestOutcomeClassification(t *testing.T) {
+	mkMachine := func() *vm.Machine {
+		return &vm.Machine{}
+	}
+	golden := []uint64{1, 2, 3}
+
+	m := mkMachine()
+	m.Output = []uint64{1, 2, 3}
+	if got := fault.Classify(m, golden); got != fault.Benign {
+		t.Fatalf("clean match = %v, want benign", got)
+	}
+	m.Output = []uint64{1, 2, 4}
+	if got := fault.Classify(m, golden); got != fault.SOC {
+		t.Fatalf("wrong output = %v, want soc", got)
+	}
+	m.Output = []uint64{1, 2}
+	if got := fault.Classify(m, golden); got != fault.SOC {
+		t.Fatalf("short output = %v, want soc", got)
+	}
+	m.Output = []uint64{1, 2, 3}
+	m.ExitCode = 3
+	if got := fault.Classify(m, golden); got != fault.Crash {
+		t.Fatalf("nonzero exit = %v, want crash", got)
+	}
+	m.ExitCode = 0
+	m.Trap = vm.TrapSegv
+	if got := fault.Classify(m, golden); got != fault.Crash {
+		t.Fatalf("trap = %v, want crash", got)
+	}
+	m.Trap = vm.TrapTimeout
+	if got := fault.Classify(m, golden); got != fault.Crash {
+		t.Fatalf("timeout = %v, want crash", got)
+	}
+}
+
+func TestCountsAccumulate(t *testing.T) {
+	var c fault.Counts
+	c.Add(fault.Crash)
+	c.Add(fault.SOC)
+	c.Add(fault.SOC)
+	c.Add(fault.Benign)
+	if c.Crash != 1 || c.SOC != 2 || c.Benign != 1 || c.Total() != 4 {
+		t.Fatalf("counts wrong: %+v", c)
+	}
+	cr, soc, ben := c.Rates()
+	if cr != 25 || soc != 50 || ben != 25 {
+		t.Fatalf("rates wrong: %v %v %v", cr, soc, ben)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := fault.Record{DynIdx: 5, PC: 10, SiteID: 2, Reg: vx.R3, Bit: 17, Op: "addq"}
+	s := r.String()
+	for _, want := range []string{"dyn=5", "pc=10", "site=2", "reg=r3", "bit=17", "op=addq"} {
+		if !contains(s, want) {
+			t.Fatalf("record string %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,342 @@
+package ir
+
+import "fmt"
+
+// Builder constructs IR with an insertion cursor, in the style of LLVM's
+// IRBuilder. It does light on-the-fly type checking; full structural checks
+// are the verifier's job.
+type Builder struct {
+	Mod *Module
+	Fn  *Func
+	Blk *Block
+}
+
+// NewBuilder returns a builder for the module.
+func NewBuilder(m *Module) *Builder { return &Builder{Mod: m} }
+
+// NewFunc creates a function with the given parameter types and positions the
+// builder at a fresh entry block.
+func (bld *Builder) NewFunc(name string, ret Type, params ...Type) *Func {
+	f := &Func{Name: name, RetType: ret, Mod: bld.Mod}
+	for i, pt := range params {
+		p := f.newValue(OpParam, pt)
+		p.AuxInt = int64(i)
+		f.Params = append(f.Params, p)
+	}
+	bld.Mod.Funcs = append(bld.Mod.Funcs, f)
+	bld.Fn = f
+	bld.Blk = f.NewBlock()
+	return f
+}
+
+// NewBlock creates a block in the current function (without moving the
+// cursor).
+func (bld *Builder) NewBlock() *Block { return bld.Fn.NewBlock() }
+
+// SetInsert moves the insertion cursor to the end of b.
+func (bld *Builder) SetInsert(b *Block) { bld.Blk = b }
+
+// Param returns the i-th parameter value of the current function.
+func (bld *Builder) Param(i int) *Value { return bld.Fn.Params[i] }
+
+func (bld *Builder) emit(op Op, t Type, args ...*Value) *Value {
+	if bld.Blk == nil {
+		panic("ir: builder has no insertion block")
+	}
+	if term := bld.Blk.Term(); term != nil {
+		panic(fmt.Sprintf("ir: emitting %s after terminator in %s/%s", op, bld.Fn.Name, bld.Blk.Name()))
+	}
+	v := bld.Fn.newValue(op, t, args...)
+	v.Block = bld.Blk
+	bld.Blk.Values = append(bld.Blk.Values, v)
+	return v
+}
+
+// ConstI materializes an i64 constant.
+func (bld *Builder) ConstI(x int64) *Value {
+	v := bld.emit(OpConstI, I64)
+	v.AuxInt = x
+	return v
+}
+
+// ConstB materializes an i1 constant.
+func (bld *Builder) ConstB(x bool) *Value {
+	v := bld.emit(OpConstI, I1)
+	if x {
+		v.AuxInt = 1
+	}
+	return v
+}
+
+// ConstF materializes an f64 constant.
+func (bld *Builder) ConstF(x float64) *Value {
+	v := bld.emit(OpConstF, F64)
+	v.AuxF = x
+	return v
+}
+
+// GlobalAddr yields the address of a module global.
+func (bld *Builder) GlobalAddr(name string) *Value {
+	v := bld.emit(OpGlobal, Ptr)
+	v.Aux = name
+	return v
+}
+
+func (bld *Builder) binop(op Op, t Type, a, b *Value) *Value {
+	if a.Type != t || b.Type != t {
+		panic(fmt.Sprintf("ir: %s operand types %s,%s want %s", op, a.Type, b.Type, t))
+	}
+	return bld.emit(op, t, a, b)
+}
+
+// Integer arithmetic.
+func (bld *Builder) Add(a, b *Value) *Value  { return bld.binop(OpAdd, I64, a, b) }
+func (bld *Builder) Sub(a, b *Value) *Value  { return bld.binop(OpSub, I64, a, b) }
+func (bld *Builder) Mul(a, b *Value) *Value  { return bld.binop(OpMul, I64, a, b) }
+func (bld *Builder) SDiv(a, b *Value) *Value { return bld.binop(OpSDiv, I64, a, b) }
+func (bld *Builder) SRem(a, b *Value) *Value { return bld.binop(OpSRem, I64, a, b) }
+func (bld *Builder) And(a, b *Value) *Value  { return bld.binop(OpAnd, I64, a, b) }
+func (bld *Builder) Or(a, b *Value) *Value   { return bld.binop(OpOr, I64, a, b) }
+func (bld *Builder) Xor(a, b *Value) *Value  { return bld.binop(OpXor, I64, a, b) }
+func (bld *Builder) Shl(a, b *Value) *Value  { return bld.binop(OpShl, I64, a, b) }
+func (bld *Builder) AShr(a, b *Value) *Value { return bld.binop(OpAShr, I64, a, b) }
+
+// Floating-point arithmetic.
+func (bld *Builder) FAdd(a, b *Value) *Value { return bld.binop(OpFAdd, F64, a, b) }
+func (bld *Builder) FSub(a, b *Value) *Value { return bld.binop(OpFSub, F64, a, b) }
+func (bld *Builder) FMul(a, b *Value) *Value { return bld.binop(OpFMul, F64, a, b) }
+func (bld *Builder) FDiv(a, b *Value) *Value { return bld.binop(OpFDiv, F64, a, b) }
+func (bld *Builder) FMin(a, b *Value) *Value { return bld.binop(OpFMin, F64, a, b) }
+func (bld *Builder) FMax(a, b *Value) *Value { return bld.binop(OpFMax, F64, a, b) }
+
+func (bld *Builder) unop(op Op, a *Value) *Value {
+	if a.Type != F64 {
+		panic(fmt.Sprintf("ir: %s operand type %s want f64", op, a.Type))
+	}
+	return bld.emit(op, F64, a)
+}
+
+func (bld *Builder) FSqrt(a *Value) *Value { return bld.unop(OpFSqrt, a) }
+func (bld *Builder) FAbs(a *Value) *Value  { return bld.unop(OpFAbs, a) }
+func (bld *Builder) FNeg(a *Value) *Value  { return bld.unop(OpFNeg, a) }
+
+// Conversions.
+func (bld *Builder) SIToFP(a *Value) *Value { return bld.emit(OpSIToFP, F64, a) }
+func (bld *Builder) FPToSI(a *Value) *Value { return bld.emit(OpFPToSI, I64, a) }
+
+// ICmp compares integers/pointers.
+func (bld *Builder) ICmp(p Pred, a, b *Value) *Value {
+	v := bld.emit(OpICmp, I1, a, b)
+	v.Pred = p
+	return v
+}
+
+// FCmp compares doubles with ordered predicates.
+func (bld *Builder) FCmp(p Pred, a, b *Value) *Value {
+	v := bld.emit(OpFCmp, I1, a, b)
+	v.Pred = p
+	return v
+}
+
+// Alloca reserves size bytes of stack memory (entry block only; the builder
+// hoists it automatically).
+func (bld *Builder) Alloca(size int64) *Value {
+	entry := bld.Fn.Entry()
+	v := bld.Fn.newValue(OpAlloca, Ptr)
+	v.AuxInt = size
+	v.Block = entry
+	// Insert before the entry terminator, after other allocas.
+	pos := 0
+	for pos < len(entry.Values) && entry.Values[pos].Op == OpAlloca {
+		pos++
+	}
+	entry.Values = append(entry.Values, nil)
+	copy(entry.Values[pos+1:], entry.Values[pos:])
+	entry.Values[pos] = v
+	return v
+}
+
+// Load reads a value of type t from ptr.
+func (bld *Builder) Load(t Type, ptr *Value) *Value {
+	if ptr.Type != Ptr {
+		panic("ir: load from non-pointer")
+	}
+	return bld.emit(OpLoad, t, ptr)
+}
+
+// Store writes val to ptr.
+func (bld *Builder) Store(val, ptr *Value) *Value {
+	if ptr.Type != Ptr {
+		panic("ir: store to non-pointer")
+	}
+	return bld.emit(OpStore, Void, val, ptr)
+}
+
+// GEP computes ptr + index*scale + off.
+func (bld *Builder) GEP(ptr, index *Value, scale, off int64) *Value {
+	if ptr.Type != Ptr {
+		panic("ir: gep of non-pointer")
+	}
+	v := bld.emit(OpGEP, Ptr, ptr, index)
+	v.Scale = scale
+	v.Off = off
+	return v
+}
+
+// Index is GEP specialized to 8-byte elements: &ptr[index].
+func (bld *Builder) Index(ptr, index *Value) *Value { return bld.GEP(ptr, index, 8, 0) }
+
+// Select yields cond ? a : b.
+func (bld *Builder) Select(cond, a, b *Value) *Value {
+	if cond.Type != I1 {
+		panic("ir: select condition must be i1")
+	}
+	if a.Type != b.Type {
+		panic("ir: select arm types differ")
+	}
+	return bld.emit(OpSelect, a.Type, cond, a, b)
+}
+
+// Call invokes a module function or declared host function.
+func (bld *Builder) Call(name string, args ...*Value) *Value {
+	var ret Type
+	if f := bld.Mod.Func(name); f != nil {
+		ret = f.RetType
+	} else if h := bld.Mod.Host(name); h != nil {
+		ret = h.Ret
+	} else {
+		panic(fmt.Sprintf("ir: call to undeclared %q", name))
+	}
+	v := bld.emit(OpCall, ret, args...)
+	v.Aux = name
+	return v
+}
+
+// Phi creates a phi node; arguments must be added (or pre-supplied) in
+// predecessor order. Phis must precede non-phi instructions in their block.
+func (bld *Builder) Phi(t Type, args ...*Value) *Value {
+	blk := bld.Blk
+	v := bld.Fn.newValue(OpPhi, t, args...)
+	v.Block = blk
+	pos := 0
+	for pos < len(blk.Values) && blk.Values[pos].Op == OpPhi {
+		pos++
+	}
+	blk.Values = append(blk.Values, nil)
+	copy(blk.Values[pos+1:], blk.Values[pos:])
+	blk.Values[pos] = v
+	return v
+}
+
+// Br terminates the current block with an unconditional branch.
+func (bld *Builder) Br(dst *Block) {
+	bld.emit(OpBr, Void)
+	link(bld.Blk, dst)
+}
+
+// CondBr terminates the current block with a conditional branch.
+func (bld *Builder) CondBr(cond *Value, then, els *Block) {
+	if cond.Type != I1 {
+		panic("ir: condbr condition must be i1")
+	}
+	bld.emit(OpCondBr, Void, cond)
+	link(bld.Blk, then)
+	link(bld.Blk, els)
+}
+
+// Ret terminates the current block with a return.
+func (bld *Builder) Ret(v *Value) {
+	if v == nil {
+		bld.emit(OpRet, Void)
+		return
+	}
+	bld.emit(OpRet, Void, v)
+}
+
+func link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// ---- Structured control-flow helpers (front-end sugar) ----
+
+// Loop emits a counted loop: for i = from; i < to; i += step { body(i) }.
+// The builder resumes in the exit block. body receives the induction value.
+func (bld *Builder) Loop(from, to, step *Value, body func(i *Value)) {
+	f := bld.Fn
+	head := f.NewBlock()
+	bodyB := f.NewBlock()
+	exit := f.NewBlock()
+	pre := bld.Blk
+	bld.Br(head)
+
+	bld.SetInsert(head)
+	i := bld.Phi(I64, from) // second arg added after latch is known
+	cmp := bld.ICmp(SLT, i, to)
+	bld.CondBr(cmp, bodyB, exit)
+
+	bld.SetInsert(bodyB)
+	body(i)
+	// The body may have ended in a different block; continue from there.
+	latch := bld.Blk
+	next := bld.Add(i, step)
+	bld.Br(head)
+	i.Args = append(i.Args, next)
+	_ = pre
+	_ = latch
+
+	bld.SetInsert(exit)
+}
+
+// If emits a conditional: if cond { then() } else { els() } (els may be nil).
+// The builder resumes in the join block.
+func (bld *Builder) If(cond *Value, then func(), els func()) {
+	f := bld.Fn
+	thenB := f.NewBlock()
+	join := f.NewBlock()
+	elsB := join
+	if els != nil {
+		elsB = f.NewBlock()
+	}
+	bld.CondBr(cond, thenB, elsB)
+
+	bld.SetInsert(thenB)
+	then()
+	if bld.Blk.Term() == nil {
+		bld.Br(join)
+	}
+	if els != nil {
+		bld.SetInsert(elsB)
+		els()
+		if bld.Blk.Term() == nil {
+			bld.Br(join)
+		}
+	}
+	bld.SetInsert(join)
+}
+
+// Var is front-end sugar for a mutable local backed by an alloca; mem2reg
+// promotes it to SSA. This mirrors how Clang emits -O0 locals.
+type Var struct {
+	bld  *Builder
+	addr *Value
+	typ  Type
+}
+
+// NewVar declares a mutable local with an initial value.
+func (bld *Builder) NewVar(t Type, init *Value) *Var {
+	v := &Var{bld: bld, addr: bld.Alloca(8), typ: t}
+	if init != nil {
+		bld.Store(init, v.addr)
+	}
+	return v
+}
+
+// Get loads the current value.
+func (v *Var) Get() *Value { return v.bld.Load(v.typ, v.addr) }
+
+// Set stores a new value.
+func (v *Var) Set(x *Value) { v.bld.Store(x, v.addr) }
+
+// Addr exposes the backing pointer (prevents promotion if leaked to calls).
+func (v *Var) Addr() *Value { return v.addr }

@@ -1,0 +1,154 @@
+package ir
+
+// DomTree holds immediate-dominator information for a function, computed with
+// the Cooper–Harvey–Kennedy iterative algorithm. It serves the verifier's SSA
+// dominance check and mem2reg's phi placement (via dominance frontiers).
+type DomTree struct {
+	// Idom maps block ID to immediate dominator (nil for entry/unreachable).
+	Idom []*Block
+	// RPO numbers blocks in reverse postorder (entry = 0); -1 = unreachable.
+	RPONum []int
+	// Order lists reachable blocks in reverse postorder.
+	Order []*Block
+}
+
+// Dominators computes the dominator tree of f.
+func Dominators(f *Func) *DomTree {
+	n := f.nextBlockID
+	t := &DomTree{
+		Idom:   make([]*Block, n),
+		RPONum: make([]int, n),
+	}
+	for i := range t.RPONum {
+		t.RPONum[i] = -1
+	}
+
+	// Postorder DFS from entry.
+	var post []*Block
+	visited := make([]bool, n)
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		visited[b.ID] = true
+		for _, s := range b.Succs {
+			if !visited[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+
+	// Reverse postorder.
+	for i := len(post) - 1; i >= 0; i-- {
+		b := post[i]
+		t.RPONum[b.ID] = len(t.Order)
+		t.Order = append(t.Order, b)
+	}
+
+	entry := f.Entry()
+	t.Idom[entry.ID] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range t.Order {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if t.RPONum[p.ID] < 0 || t.Idom[p.ID] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.Idom[b.ID] != newIdom {
+				t.Idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	t.Idom[entry.ID] = nil // conventional: entry has no idom
+	return t
+}
+
+func (t *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for t.RPONum[a.ID] > t.RPONum[b.ID] {
+			a = t.Idom[a.ID]
+			if a == nil {
+				return b
+			}
+		}
+		for t.RPONum[b.ID] > t.RPONum[a.ID] {
+			b = t.Idom[b.ID]
+			if b == nil {
+				return a
+			}
+		}
+	}
+	return a
+}
+
+// blockDominates reports whether a dominates b (reflexively).
+func blockDominates(t *DomTree, a, b *Block) bool {
+	if t.RPONum[b.ID] < 0 {
+		return true // unreachable uses are vacuously fine
+	}
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.Idom[b.ID]
+	}
+	return false
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *Block) bool { return blockDominates(t, a, b) }
+
+// Frontiers computes the dominance frontier of every block (Cytron et al.),
+// the set used for minimal SSA phi placement.
+func (t *DomTree) Frontiers(f *Func) [][]*Block {
+	df := make([][]*Block, f.nextBlockID)
+	for _, b := range t.Order {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		idom := t.Idom[b.ID]
+		for _, p := range b.Preds {
+			if t.RPONum[p.ID] < 0 {
+				continue
+			}
+			runner := p
+			for runner != nil && runner != idom {
+				df[runner.ID] = appendUnique(df[runner.ID], b)
+				runner = t.Idom[runner.ID]
+			}
+		}
+	}
+	return df
+}
+
+func appendUnique(s []*Block, b *Block) []*Block {
+	for _, x := range s {
+		if x == b {
+			return s
+		}
+	}
+	return append(s, b)
+}
+
+// Children returns the dominator-tree children lists indexed by block ID.
+func (t *DomTree) Children(f *Func) [][]*Block {
+	ch := make([][]*Block, f.nextBlockID)
+	for _, b := range t.Order {
+		if id := t.Idom[b.ID]; id != nil {
+			ch[id.ID] = append(ch[id.ID], b)
+		}
+	}
+	return ch
+}

@@ -1,0 +1,341 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interp executes IR directly with the same architectural semantics as the
+// VX64 machine (flat guarded memory, trapping division, x64 conversion
+// rules). It is the reference oracle for differential testing of the backend:
+// compiled execution and interpreted execution of the same module must
+// produce identical output streams and exit codes.
+type Interp struct {
+	Mod     *Module
+	Mem     []byte
+	Output  []uint64
+	MemSize int64
+
+	globalAddrs map[string]int64
+	globalEnd   int64
+	stackTop    int64 // bump allocator for allocas, grows down
+	steps       int64
+	MaxSteps    int64 // 0 ⇒ default limit
+
+	// Hosts maps host function names to implementations. out_i64/out_f64/
+	// out_bits are installed by default.
+	Hosts map[string]func(args []uint64) uint64
+}
+
+// InterpError represents an execution trap in the interpreter.
+type InterpError struct{ Msg string }
+
+func (e *InterpError) Error() string { return "interp: " + e.Msg }
+
+const interpGuard = 0x1000
+
+// NewInterp prepares an interpreter for the module.
+func NewInterp(m *Module) *Interp {
+	ip := &Interp{
+		Mod:         m,
+		MemSize:     1 << 22,
+		globalAddrs: map[string]int64{},
+		Hosts:       map[string]func([]uint64) uint64{},
+	}
+	addr := int64(interpGuard)
+	for _, g := range m.Globals {
+		align := g.Align
+		if align == 0 {
+			align = 8
+		}
+		addr = (addr + align - 1) &^ (align - 1)
+		ip.globalAddrs[g.Name] = addr
+		addr += g.Size
+	}
+	ip.globalEnd = addr
+	ip.Hosts["out_i64"] = func(args []uint64) uint64 {
+		ip.Output = append(ip.Output, args[0])
+		return 0
+	}
+	ip.Hosts["out_f64"] = func(args []uint64) uint64 {
+		ip.Output = append(ip.Output, args[0])
+		return 0
+	}
+	return ip
+}
+
+// Run executes the entry function and returns its exit code.
+func (ip *Interp) Run(entry string) (int64, error) {
+	f := ip.Mod.Func(entry)
+	if f == nil {
+		return 0, fmt.Errorf("interp: no function %q", entry)
+	}
+	ip.Mem = make([]byte, ip.MemSize)
+	for _, g := range ip.Mod.Globals {
+		copy(ip.Mem[ip.globalAddrs[g.Name]:], g.Init)
+	}
+	ip.stackTop = ip.MemSize
+	ip.Output = ip.Output[:0]
+	ip.steps = 0
+	if ip.MaxSteps == 0 {
+		ip.MaxSteps = 500_000_000
+	}
+	ret, err := ip.call(f, nil)
+	return int64(ret), err
+}
+
+func (ip *Interp) call(f *Func, args []uint64) (uint64, error) {
+	env := make([]uint64, f.NumValues())
+	for i, p := range f.Params {
+		env[p.ID] = args[i]
+	}
+	// Allocas: bump-allocate stack space for this frame.
+	frameBase := ip.stackTop
+	defer func() { ip.stackTop = frameBase }()
+
+	blk := f.Entry()
+	var prev *Block
+	for {
+		// Phi nodes evaluate in parallel against the incoming edge.
+		var phiVals []uint64
+		var phis []*Value
+		for _, v := range blk.Values {
+			if v.Op != OpPhi {
+				break
+			}
+			idx := blk.predIndex(prev)
+			if idx < 0 || idx >= len(v.Args) {
+				return 0, &InterpError{fmt.Sprintf("%s: phi with no edge from %v", blk.Name(), prev)}
+			}
+			phis = append(phis, v)
+			phiVals = append(phiVals, env[v.Args[idx].ID])
+		}
+		for i, v := range phis {
+			env[v.ID] = phiVals[i]
+		}
+
+		for _, v := range blk.Values {
+			if v.Op == OpPhi {
+				continue
+			}
+			ip.steps++
+			if ip.steps > ip.MaxSteps {
+				return 0, &InterpError{"step limit exceeded"}
+			}
+			switch v.Op {
+			case OpConstI:
+				env[v.ID] = uint64(v.AuxInt)
+			case OpConstF:
+				env[v.ID] = math.Float64bits(v.AuxF)
+			case OpGlobal:
+				env[v.ID] = uint64(ip.globalAddrs[v.Aux])
+			case OpAdd:
+				env[v.ID] = env[v.Args[0].ID] + env[v.Args[1].ID]
+			case OpSub:
+				env[v.ID] = env[v.Args[0].ID] - env[v.Args[1].ID]
+			case OpMul:
+				env[v.ID] = uint64(int64(env[v.Args[0].ID]) * int64(env[v.Args[1].ID]))
+			case OpSDiv, OpSRem:
+				a, b := int64(env[v.Args[0].ID]), int64(env[v.Args[1].ID])
+				if b == 0 || (a == math.MinInt64 && b == -1) {
+					return 0, &InterpError{"divide error"}
+				}
+				if v.Op == OpSDiv {
+					env[v.ID] = uint64(a / b)
+				} else {
+					env[v.ID] = uint64(a % b)
+				}
+			case OpAnd:
+				env[v.ID] = env[v.Args[0].ID] & env[v.Args[1].ID]
+			case OpOr:
+				env[v.ID] = env[v.Args[0].ID] | env[v.Args[1].ID]
+			case OpXor:
+				env[v.ID] = env[v.Args[0].ID] ^ env[v.Args[1].ID]
+			case OpShl:
+				env[v.ID] = env[v.Args[0].ID] << (env[v.Args[1].ID] & 63)
+			case OpAShr:
+				env[v.ID] = uint64(int64(env[v.Args[0].ID]) >> (env[v.Args[1].ID] & 63))
+			case OpFAdd:
+				env[v.ID] = fop(env[v.Args[0].ID], env[v.Args[1].ID], func(a, b float64) float64 { return a + b })
+			case OpFSub:
+				env[v.ID] = fop(env[v.Args[0].ID], env[v.Args[1].ID], func(a, b float64) float64 { return a - b })
+			case OpFMul:
+				env[v.ID] = fop(env[v.Args[0].ID], env[v.Args[1].ID], func(a, b float64) float64 { return a * b })
+			case OpFDiv:
+				env[v.ID] = fop(env[v.Args[0].ID], env[v.Args[1].ID], func(a, b float64) float64 { return a / b })
+			case OpFMin:
+				// x64 MINSD: unordered or equal ⇒ source (second) operand.
+				env[v.ID] = fop(env[v.Args[0].ID], env[v.Args[1].ID], func(a, b float64) float64 {
+					if a < b {
+						return a
+					}
+					return b
+				})
+			case OpFMax:
+				env[v.ID] = fop(env[v.Args[0].ID], env[v.Args[1].ID], func(a, b float64) float64 {
+					if a > b {
+						return a
+					}
+					return b
+				})
+			case OpFSqrt:
+				env[v.ID] = math.Float64bits(math.Sqrt(math.Float64frombits(env[v.Args[0].ID])))
+			case OpFAbs:
+				env[v.ID] = env[v.Args[0].ID] &^ (1 << 63)
+			case OpFNeg:
+				env[v.ID] = env[v.Args[0].ID] ^ (1 << 63)
+			case OpSIToFP:
+				env[v.ID] = math.Float64bits(float64(int64(env[v.Args[0].ID])))
+			case OpFPToSI:
+				fv := math.Float64frombits(env[v.Args[0].ID])
+				if math.IsNaN(fv) || fv >= math.MaxInt64 || fv < math.MinInt64 {
+					env[v.ID] = 1 << 63 // x64 "integer indefinite" (INT64_MIN)
+				} else {
+					env[v.ID] = uint64(int64(fv))
+				}
+			case OpICmp:
+				env[v.ID] = b2u(icmp(v.Pred, env[v.Args[0].ID], env[v.Args[1].ID]))
+			case OpFCmp:
+				a := math.Float64frombits(env[v.Args[0].ID])
+				b := math.Float64frombits(env[v.Args[1].ID])
+				env[v.ID] = b2u(fcmp(v.Pred, a, b))
+			case OpAlloca:
+				size := (v.AuxInt + 15) &^ 15
+				ip.stackTop -= size
+				if ip.stackTop < ip.globalEnd {
+					return 0, &InterpError{"stack overflow"}
+				}
+				env[v.ID] = uint64(ip.stackTop)
+			case OpLoad:
+				x, err := ip.load(env[v.Args[0].ID])
+				if err != nil {
+					return 0, err
+				}
+				env[v.ID] = x
+			case OpStore:
+				if err := ip.store(env[v.Args[1].ID], env[v.Args[0].ID]); err != nil {
+					return 0, err
+				}
+			case OpGEP:
+				env[v.ID] = env[v.Args[0].ID] + env[v.Args[1].ID]*uint64(v.Scale) + uint64(v.Off)
+			case OpSelect:
+				if env[v.Args[0].ID]&1 != 0 {
+					env[v.ID] = env[v.Args[1].ID]
+				} else {
+					env[v.ID] = env[v.Args[2].ID]
+				}
+			case OpCall:
+				callArgs := make([]uint64, len(v.Args))
+				for i, a := range v.Args {
+					callArgs[i] = env[a.ID]
+				}
+				if callee := ip.Mod.Func(v.Aux); callee != nil {
+					r, err := ip.call(callee, callArgs)
+					if err != nil {
+						return 0, err
+					}
+					env[v.ID] = r
+				} else if h, ok := ip.Hosts[v.Aux]; ok {
+					env[v.ID] = h(callArgs)
+				} else {
+					return 0, &InterpError{fmt.Sprintf("unbound host @%s", v.Aux)}
+				}
+			case OpRet:
+				if len(v.Args) == 1 {
+					return env[v.Args[0].ID], nil
+				}
+				return 0, nil
+			case OpBr:
+				prev, blk = blk, blk.Succs[0]
+			case OpCondBr:
+				if env[v.Args[0].ID]&1 != 0 {
+					prev, blk = blk, blk.Succs[0]
+				} else {
+					prev, blk = blk, blk.Succs[1]
+				}
+			case OpParam:
+				// Parameters are pre-bound; nothing to do if one appears inline.
+			default:
+				return 0, &InterpError{fmt.Sprintf("unhandled op %s", v.Op)}
+			}
+			if v.Op.IsTerminator() {
+				break
+			}
+		}
+	}
+}
+
+func (ip *Interp) load(addr uint64) (uint64, error) {
+	if addr < interpGuard || addr+8 > uint64(len(ip.Mem)) {
+		return 0, &InterpError{fmt.Sprintf("load at %#x", addr)}
+	}
+	b := ip.Mem[addr:]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+}
+
+func (ip *Interp) store(addr, v uint64) error {
+	if addr < interpGuard || addr+8 > uint64(len(ip.Mem)) {
+		return &InterpError{fmt.Sprintf("store at %#x", addr)}
+	}
+	b := ip.Mem[addr:]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+func fop(a, b uint64, f func(x, y float64) float64) uint64 {
+	return math.Float64bits(f(math.Float64frombits(a), math.Float64frombits(b)))
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func icmp(p Pred, a, b uint64) bool {
+	switch p {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case SLT:
+		return int64(a) < int64(b)
+	case SLE:
+		return int64(a) <= int64(b)
+	case SGT:
+		return int64(a) > int64(b)
+	case SGE:
+		return int64(a) >= int64(b)
+	case ULT:
+		return a < b
+	case ULE:
+		return a <= b
+	case UGT:
+		return a > b
+	case UGE:
+		return a >= b
+	}
+	return false
+}
+
+func fcmp(p Pred, a, b float64) bool {
+	switch p {
+	case OEQ:
+		return a == b
+	case ONE:
+		return !math.IsNaN(a) && !math.IsNaN(b) && a != b
+	case OLT:
+		return a < b
+	case OLE:
+		return a <= b
+	case OGT:
+		return a > b
+	case OGE:
+		return a >= b
+	}
+	return false
+}

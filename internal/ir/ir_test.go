@@ -1,0 +1,234 @@
+package ir_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildSumSquares constructs: main() { s := 0; for i in 0..10 { s += i*i };
+// out_i64(s); return 0 }.
+func buildSumSquares() *ir.Module {
+	m := ir.NewModule("t")
+	m.DeclareHost(ir.HostDecl{Name: "out_i64", Params: []ir.Type{ir.I64}, Ret: ir.I64})
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	s := b.NewVar(ir.I64, b.ConstI(0))
+	b.Loop(b.ConstI(0), b.ConstI(10), b.ConstI(1), func(i *ir.Value) {
+		s.Set(b.Add(s.Get(), b.Mul(i, i)))
+	})
+	b.Call("out_i64", s.Get())
+	b.Ret(b.ConstI(0))
+	return m
+}
+
+func TestVerifySumSquares(t *testing.T) {
+	m := buildSumSquares()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m)
+	}
+}
+
+func TestInterpSumSquares(t *testing.T) {
+	m := buildSumSquares()
+	ip := ir.NewInterp(m)
+	code, err := ip.Run("main")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if len(ip.Output) != 1 || ip.Output[0] != 285 {
+		t.Fatalf("output %v, want [285]", ip.Output)
+	}
+}
+
+func TestInterpFunctionsAndFP(t *testing.T) {
+	m := ir.NewModule("t")
+	m.DeclareHost(ir.HostDecl{Name: "out_f64", Params: []ir.Type{ir.F64}, Ret: ir.I64})
+	b := ir.NewBuilder(m)
+
+	// hypot(a, b) = sqrt(a*a + b*b)
+	hypot := b.NewFunc("hypot", ir.F64, ir.F64, ir.F64)
+	aa := b.FMul(b.Param(0), b.Param(0))
+	bb := b.FMul(b.Param(1), b.Param(1))
+	b.Ret(b.FSqrt(b.FAdd(aa, bb)))
+	_ = hypot
+
+	b.NewFunc("main", ir.I64)
+	r := b.Call("hypot", b.ConstF(3), b.ConstF(4))
+	b.Call("out_f64", r)
+	b.Ret(b.ConstI(0))
+
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	ip := ir.NewInterp(m)
+	if _, err := ip.Run("main"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := f64(ip.Output[0]); got != 5 {
+		t.Fatalf("hypot(3,4) = %v", got)
+	}
+}
+
+func TestInterpGlobalsAndGEP(t *testing.T) {
+	m := ir.NewModule("t")
+	m.AddGlobal(ir.Global{Name: "arr", Size: 80})
+	m.DeclareHost(ir.HostDecl{Name: "out_i64", Params: []ir.Type{ir.I64}, Ret: ir.I64})
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	arr := b.GlobalAddr("arr")
+	b.Loop(b.ConstI(0), b.ConstI(10), b.ConstI(1), func(i *ir.Value) {
+		b.Store(b.Mul(i, b.ConstI(3)), b.Index(arr, i))
+	})
+	b.Call("out_i64", b.Load(ir.I64, b.Index(arr, b.ConstI(7))))
+	b.Ret(b.ConstI(0))
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	ip := ir.NewInterp(m)
+	if _, err := ip.Run("main"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if ip.Output[0] != 21 {
+		t.Fatalf("arr[7] = %d, want 21", ip.Output[0])
+	}
+}
+
+func TestInterpDivTrap(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	b.Ret(b.SDiv(b.ConstI(1), b.ConstI(0)))
+	// Note: const folding would remove this, but raw IR executes it.
+	ip := ir.NewInterp(m)
+	if _, err := ip.Run("main"); err == nil {
+		t.Fatalf("expected divide trap")
+	}
+}
+
+func TestInterpMemoryTrap(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	// Load from a guard-page address via integer->pointer arithmetic: use a
+	// global at offset -0x1000 to reach below the segment.
+	m.AddGlobal(ir.Global{Name: "g", Size: 8})
+	p := b.GlobalAddr("g")
+	bad := b.GEP(p, b.ConstI(0), 8, -0x2000)
+	b.Ret(b.Load(ir.I64, bad))
+	ip := ir.NewInterp(m)
+	if _, err := ip.Run("main"); err == nil {
+		t.Fatalf("expected segv")
+	}
+}
+
+func TestVerifyCatchesBadPhi(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("main", ir.I64)
+	b2 := b.NewBlock()
+	b.Br(b2)
+	b.SetInsert(b2)
+	// Phi with wrong arg count (block has 1 pred, phi gets 2 args).
+	one := b.ConstI(1)
+	b.Phi(ir.I64, one, one)
+	b.Ret(one)
+	if err := ir.VerifyFunc(f); err == nil {
+		t.Fatalf("verifier missed bad phi")
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("main", ir.I64)
+	b.ConstI(1)
+	if err := ir.VerifyFunc(f); err == nil {
+		t.Fatalf("verifier missed missing terminator")
+	}
+}
+
+func TestVerifyCatchesDominanceViolation(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("main", ir.I64)
+	thenB := b.NewBlock()
+	elseB := b.NewBlock()
+	join := b.NewBlock()
+	c := b.ConstB(true)
+	b.CondBr(c, thenB, elseB)
+	b.SetInsert(thenB)
+	x := b.ConstI(42)
+	b.Br(join)
+	b.SetInsert(elseB)
+	b.Br(join)
+	b.SetInsert(join)
+	b.Ret(x) // x does not dominate join
+	if err := ir.VerifyFunc(f); err == nil {
+		t.Fatalf("verifier missed dominance violation")
+	}
+}
+
+func TestVerifyCatchesTypeErrors(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("builder allowed i64+f64")
+		}
+	}()
+	b.NewFunc("main", ir.I64)
+	b.Add(b.ConstI(1), b.ConstF(1))
+}
+
+func TestDominators(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("main", ir.I64)
+	bThen := b.NewBlock()
+	bElse := b.NewBlock()
+	bJoin := b.NewBlock()
+	c := b.ConstB(true)
+	b.CondBr(c, bThen, bElse)
+	b.SetInsert(bThen)
+	b.Br(bJoin)
+	b.SetInsert(bElse)
+	b.Br(bJoin)
+	b.SetInsert(bJoin)
+	b.Ret(b.ConstI(0))
+
+	dom := ir.Dominators(f)
+	entry := f.Entry()
+	if !dom.Dominates(entry, bJoin) || !dom.Dominates(entry, bThen) {
+		t.Fatalf("entry must dominate all")
+	}
+	if dom.Dominates(bThen, bJoin) {
+		t.Fatalf("then must not dominate join")
+	}
+	if !dom.Dominates(bJoin, bJoin) {
+		t.Fatalf("dominance must be reflexive")
+	}
+	if dom.Idom[bJoin.ID] != entry {
+		t.Fatalf("idom(join) = %v, want entry", dom.Idom[bJoin.ID])
+	}
+}
+
+func TestPrinterOutput(t *testing.T) {
+	m := buildSumSquares()
+	s := m.String()
+	for _, want := range []string{"define i64 @main", "phi", "icmp slt", "call i64 @out_i64", "br"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("printer missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func f64(bits uint64) float64 {
+	return math.Float64frombits(bits)
+}

@@ -1,0 +1,113 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in a readable LLVM-like textual form.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "@%s = global [%d x i8]\n", g.Name, g.Size)
+	}
+	for _, h := range m.Hosts {
+		fmt.Fprintf(&b, "declare %s @%s(%s)\n", h.Ret, h.Name, typeList(h.Params))
+	}
+	for _, f := range m.Funcs {
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+func typeList(ts []Type) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders the function.
+func (f *Func) String() string {
+	var b strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %s", p.Type, p.Name())
+	}
+	fmt.Fprintf(&b, "define %s @%s(%s) {\n", f.RetType, f.Name, strings.Join(params, ", "))
+	for _, blk := range f.Blocks {
+		preds := make([]string, len(blk.Preds))
+		for i, p := range blk.Preds {
+			preds[i] = p.Name()
+		}
+		fmt.Fprintf(&b, "%s:", blk.Name())
+		if len(preds) > 0 {
+			fmt.Fprintf(&b, "\t\t; preds: %s", strings.Join(preds, ", "))
+		}
+		b.WriteByte('\n')
+		for _, v := range blk.Values {
+			fmt.Fprintf(&b, "\t%s\n", v.LongString())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// LongString renders one instruction.
+func (v *Value) LongString() string {
+	var b strings.Builder
+	if v.Op.HasResult(v.Type) {
+		fmt.Fprintf(&b, "%s = ", v.Name())
+	}
+	switch v.Op {
+	case OpConstI:
+		fmt.Fprintf(&b, "const %s %d", v.Type, v.AuxInt)
+	case OpConstF:
+		fmt.Fprintf(&b, "const f64 %g", v.AuxF)
+	case OpParam:
+		fmt.Fprintf(&b, "param %d", v.AuxInt)
+	case OpGlobal:
+		fmt.Fprintf(&b, "global @%s", v.Aux)
+	case OpICmp, OpFCmp:
+		fmt.Fprintf(&b, "%s %s %s, %s", v.Op, v.Pred, v.Args[0].Name(), v.Args[1].Name())
+	case OpAlloca:
+		fmt.Fprintf(&b, "alloca %d", v.AuxInt)
+	case OpGEP:
+		fmt.Fprintf(&b, "gep %s, %s*%d%+d", v.Args[0].Name(), v.Args[1].Name(), v.Scale, v.Off)
+	case OpCall:
+		args := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = a.Name()
+		}
+		fmt.Fprintf(&b, "call %s @%s(%s)", v.Type, v.Aux, strings.Join(args, ", "))
+	case OpBr:
+		fmt.Fprintf(&b, "br %s", v.Block.Succs[0].Name())
+	case OpCondBr:
+		fmt.Fprintf(&b, "condbr %s, %s, %s", v.Args[0].Name(), v.Block.Succs[0].Name(), v.Block.Succs[1].Name())
+	case OpRet:
+		if len(v.Args) > 0 {
+			fmt.Fprintf(&b, "ret %s", v.Args[0].Name())
+		} else {
+			b.WriteString("ret void")
+		}
+	case OpPhi:
+		parts := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			pred := "?"
+			if i < len(v.Block.Preds) {
+				pred = v.Block.Preds[i].Name()
+			}
+			parts[i] = fmt.Sprintf("[%s, %s]", a.Name(), pred)
+		}
+		fmt.Fprintf(&b, "phi %s %s", v.Type, strings.Join(parts, ", "))
+	default:
+		names := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			names[i] = a.Name()
+		}
+		fmt.Fprintf(&b, "%s %s", v.Op, strings.Join(names, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,290 @@
+package ir
+
+import "fmt"
+
+// MaxIntArgs and MaxFPArgs cap call arity to what the register-based calling
+// convention supports without stack arguments.
+const (
+	MaxIntArgs = 6
+	MaxFPArgs  = 6
+)
+
+// Verify checks module-level structural invariants and every function.
+func Verify(m *Module) error {
+	seen := map[string]bool{}
+	for _, g := range m.Globals {
+		if seen["g:"+g.Name] {
+			return fmt.Errorf("duplicate global %q", g.Name)
+		}
+		seen["g:"+g.Name] = true
+		if int64(len(g.Init)) > g.Size {
+			return fmt.Errorf("global %q init larger than size", g.Name)
+		}
+	}
+	for _, f := range m.Funcs {
+		if seen["f:"+f.Name] {
+			return fmt.Errorf("duplicate function %q", f.Name)
+		}
+		seen["f:"+f.Name] = true
+		if err := VerifyFunc(f); err != nil {
+			return fmt.Errorf("func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// VerifyFunc checks SSA structural invariants: blocks terminate exactly once,
+// phis match predecessors, argument counts and types are sane, defs dominate
+// uses, and calls respect ABI arity limits.
+func VerifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	if len(f.Entry().Preds) != 0 {
+		return fmt.Errorf("entry block has predecessors")
+	}
+
+	defined := map[*Value]bool{}
+	for _, p := range f.Params {
+		defined[p] = true
+	}
+	for _, b := range f.Blocks {
+		if b.Fn != f {
+			return fmt.Errorf("%s: wrong parent function", b.Name())
+		}
+		term := b.Term()
+		if term == nil {
+			return fmt.Errorf("%s: missing terminator", b.Name())
+		}
+		phiDone := false
+		for i, v := range b.Values {
+			if v.Block != b {
+				return fmt.Errorf("%s: value %s has wrong block", b.Name(), v.Name())
+			}
+			if v.Op.IsTerminator() && i != len(b.Values)-1 {
+				return fmt.Errorf("%s: terminator %s not last", b.Name(), v.Name())
+			}
+			if v.Op == OpPhi {
+				if phiDone {
+					return fmt.Errorf("%s: phi %s after non-phi", b.Name(), v.Name())
+				}
+				if len(v.Args) != len(b.Preds) {
+					return fmt.Errorf("%s: phi %s has %d args for %d preds", b.Name(), v.Name(), len(v.Args), len(b.Preds))
+				}
+			} else {
+				phiDone = true
+			}
+			if v.Op == OpAlloca && b != f.Entry() {
+				return fmt.Errorf("%s: alloca outside entry", b.Name())
+			}
+			if err := checkValue(f, v); err != nil {
+				return fmt.Errorf("%s: %s: %w", b.Name(), v.LongString(), err)
+			}
+			defined[v] = true
+		}
+		switch term.Op {
+		case OpBr:
+			if len(b.Succs) != 1 {
+				return fmt.Errorf("%s: br with %d succs", b.Name(), len(b.Succs))
+			}
+		case OpCondBr:
+			if len(b.Succs) != 2 {
+				return fmt.Errorf("%s: condbr with %d succs", b.Name(), len(b.Succs))
+			}
+		case OpRet:
+			if len(b.Succs) != 0 {
+				return fmt.Errorf("%s: ret with successors", b.Name())
+			}
+			if f.RetType == Void && len(term.Args) != 0 {
+				return fmt.Errorf("%s: ret value from void function", b.Name())
+			}
+			if f.RetType != Void && (len(term.Args) != 1 || term.Args[0].Type != f.RetType) {
+				return fmt.Errorf("%s: ret type mismatch", b.Name())
+			}
+		}
+		// Pred/succ symmetry.
+		for _, s := range b.Succs {
+			if s.predIndex(b) < 0 {
+				return fmt.Errorf("%s: successor %s lacks back edge", b.Name(), s.Name())
+			}
+		}
+	}
+
+	// All arguments must be defined somewhere in this function.
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			for _, a := range v.Args {
+				if !defined[a] {
+					return fmt.Errorf("%s: %s uses undefined value %s", b.Name(), v.Name(), a.Name())
+				}
+			}
+		}
+	}
+
+	// SSA dominance: every non-phi use must be dominated by its definition;
+	// phi uses must be dominated at the end of the corresponding predecessor.
+	dom := Dominators(f)
+	pos := map[*Value]int{}
+	for _, b := range f.Blocks {
+		for i, v := range b.Values {
+			pos[v] = i
+		}
+	}
+	dominates := func(def, use *Value, phiPred *Block) bool {
+		if def.Op == OpParam {
+			return true
+		}
+		db := def.Block
+		if phiPred != nil {
+			return blockDominates(dom, db, phiPred)
+		}
+		ub := use.Block
+		if db == ub {
+			return pos[def] < pos[use]
+		}
+		return blockDominates(dom, db, ub)
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			for ai, a := range v.Args {
+				var pred *Block
+				if v.Op == OpPhi {
+					pred = b.Preds[ai]
+				}
+				if !dominates(a, v, pred) {
+					return fmt.Errorf("%s: %s use of %s violates dominance", b.Name(), v.Name(), a.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkValue(f *Func, v *Value) error {
+	nargs := func(n int) error {
+		if len(v.Args) != n {
+			return fmt.Errorf("want %d args, have %d", n, len(v.Args))
+		}
+		return nil
+	}
+	switch v.Op {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpAShr:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		if v.Args[0].Type != I64 || v.Args[1].Type != I64 || v.Type != I64 {
+			return fmt.Errorf("integer op type mismatch")
+		}
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFMin, OpFMax:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		if v.Args[0].Type != F64 || v.Args[1].Type != F64 || v.Type != F64 {
+			return fmt.Errorf("fp op type mismatch")
+		}
+	case OpFSqrt, OpFAbs, OpFNeg:
+		if err := nargs(1); err != nil {
+			return err
+		}
+	case OpSIToFP:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if v.Args[0].Type != I64 && v.Args[0].Type != I1 {
+			return fmt.Errorf("sitofp of %s", v.Args[0].Type)
+		}
+	case OpFPToSI:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if v.Args[0].Type != F64 {
+			return fmt.Errorf("fptosi of %s", v.Args[0].Type)
+		}
+	case OpICmp:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		if !v.Args[0].Type.IsInt() || v.Args[0].Type != v.Args[1].Type {
+			return fmt.Errorf("icmp of %s,%s", v.Args[0].Type, v.Args[1].Type)
+		}
+	case OpFCmp:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		if v.Args[0].Type != F64 || v.Args[1].Type != F64 {
+			return fmt.Errorf("fcmp of non-f64")
+		}
+		if v.Pred < OEQ {
+			return fmt.Errorf("fcmp with integer predicate %s", v.Pred)
+		}
+	case OpLoad:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if v.Args[0].Type != Ptr {
+			return fmt.Errorf("load from %s", v.Args[0].Type)
+		}
+	case OpStore:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		if v.Args[1].Type != Ptr {
+			return fmt.Errorf("store to %s", v.Args[1].Type)
+		}
+	case OpGEP:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		if v.Args[0].Type != Ptr || v.Args[1].Type != I64 {
+			return fmt.Errorf("gep types %s,%s", v.Args[0].Type, v.Args[1].Type)
+		}
+	case OpSelect:
+		if err := nargs(3); err != nil {
+			return err
+		}
+		if v.Args[0].Type != I1 || v.Args[1].Type != v.Args[2].Type {
+			return fmt.Errorf("select type mismatch")
+		}
+	case OpGlobal:
+		if f.Mod.Global(v.Aux) == nil {
+			return fmt.Errorf("unknown global @%s", v.Aux)
+		}
+	case OpCall:
+		var params []Type
+		var ret Type
+		if callee := f.Mod.Func(v.Aux); callee != nil {
+			for _, p := range callee.Params {
+				params = append(params, p.Type)
+			}
+			ret = callee.RetType
+		} else if h := f.Mod.Host(v.Aux); h != nil {
+			params = h.Params
+			ret = h.Ret
+		} else {
+			return fmt.Errorf("call to undeclared @%s", v.Aux)
+		}
+		if len(v.Args) != len(params) {
+			return fmt.Errorf("call @%s with %d args, want %d", v.Aux, len(v.Args), len(params))
+		}
+		ints, fps := 0, 0
+		for i, a := range v.Args {
+			want := params[i]
+			have := a.Type
+			if want != have && !(want.IsInt() && have.IsInt()) {
+				return fmt.Errorf("call @%s arg %d type %s, want %s", v.Aux, i, have, want)
+			}
+			if have == F64 {
+				fps++
+			} else {
+				ints++
+			}
+		}
+		if ints > MaxIntArgs || fps > MaxFPArgs {
+			return fmt.Errorf("call @%s exceeds register argument limits", v.Aux)
+		}
+		if v.Type != ret {
+			return fmt.Errorf("call @%s result type %s, want %s", v.Aux, v.Type, ret)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package llfi implements the IR-level comparator: fault injection by
+// instrumenting the compiler's intermediate representation with injectFault
+// calls, in the style of the LLFI tool (paper §3.3, §5.2). The pass runs on
+// *optimized* IR — LLFI's documented workflow is source → IR → opt -O3 →
+// instrument → native code generation (§A.3.1) — and wraps every
+// value-producing instruction in a call that threads the value through the
+// fault-injection runtime.
+//
+// This reproduces both accuracy problems the paper identifies:
+//
+//   - Population mismatch (§3.3.1): only IR-visible instructions are
+//     instrumented. Function prologues/epilogues, register spills and other
+//     stack management emitted by the backend are invisible here, and IR
+//     values carry no FLAGS register.
+//
+//   - Code-generation interference (§3.3.2): each injectFault call is a real
+//     C-ABI call in the final binary. The register allocator must assume it
+//     clobbers every caller-saved register, so values live across the call
+//     migrate to the few callee-saved registers or spill to the stack, and
+//     the emitted code degenerates to memory-operand form — the Listing 2c
+//     shape.
+package llfi
+
+import (
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+// Host function names of the injectFault runtime, by value type.
+const (
+	HostFaultI64 = "llfi_injectFault_i64"
+	HostFaultF64 = "llfi_injectFault_f64"
+	HostFaultI1  = "llfi_injectFault_i1"
+	HostFaultPtr = "llfi_injectFault_ptr"
+)
+
+// Instrument adds injectFault calls to every selected function of an
+// optimized module. It returns the number of static sites instrumented. The
+// module must still be legalized (opt.Legalize) and compiled afterwards.
+func Instrument(m *ir.Module, cfg fault.Config) int {
+	m.DeclareHost(ir.HostDecl{Name: HostFaultI64, Params: []ir.Type{ir.I64, ir.I64}, Ret: ir.I64})
+	m.DeclareHost(ir.HostDecl{Name: HostFaultF64, Params: []ir.Type{ir.I64, ir.F64}, Ret: ir.F64})
+	m.DeclareHost(ir.HostDecl{Name: HostFaultI1, Params: []ir.Type{ir.I64, ir.I1}, Ret: ir.I1})
+	m.DeclareHost(ir.HostDecl{Name: HostFaultPtr, Params: []ir.Type{ir.I64, ir.Ptr}, Ret: ir.Ptr})
+
+	sites := 0
+	for _, f := range m.Funcs {
+		if !cfg.FuncSelected(f.Name) {
+			continue
+		}
+		instrumentFunc(f, &sites)
+	}
+	return sites
+}
+
+// targetIR reports whether an IR instruction is in LLFI's population: a
+// value-producing computational instruction. Constants, parameters, phis,
+// allocas and address-of-global leaves are not executable instructions, and
+// the injectFault calls themselves are excluded.
+func targetIR(v *ir.Value) bool {
+	switch v.Op {
+	case ir.OpConstI, ir.OpConstF, ir.OpParam, ir.OpGlobal, ir.OpPhi, ir.OpAlloca,
+		ir.OpStore, ir.OpBr, ir.OpCondBr, ir.OpRet:
+		return false
+	case ir.OpCall:
+		if v.Type == ir.Void {
+			return false
+		}
+		switch v.Aux {
+		case HostFaultI64, HostFaultF64, HostFaultI1, HostFaultPtr:
+			return false
+		}
+		return true
+	}
+	return v.Op.HasResult(v.Type)
+}
+
+func instrumentFunc(f *ir.Func, sites *int) {
+	for _, b := range f.Blocks {
+		// Snapshot: we insert while walking.
+		vals := append([]*ir.Value(nil), b.Values...)
+		for _, v := range vals {
+			if !targetIR(v) {
+				continue
+			}
+			*sites++
+			var callee string
+			switch v.Type {
+			case ir.F64:
+				callee = HostFaultF64
+			case ir.I1:
+				callee = HostFaultI1
+			case ir.Ptr:
+				callee = HostFaultPtr
+			default:
+				callee = HostFaultI64
+			}
+			id := f.NewValueAt(b, posIn(b, v)+1, ir.OpConstI, ir.I64)
+			id.AuxInt = int64(*sites)
+			call := f.NewValueAt(b, posIn(b, v)+2, ir.OpCall, v.Type, id, v)
+			call.Aux = callee
+			f.ReplaceUses(v, call, call)
+		}
+	}
+}
+
+func posIn(b *ir.Block, v *ir.Value) int {
+	for i, w := range b.Values {
+		if w == v {
+			return i
+		}
+	}
+	panic("llfi: value not in block")
+}
+
+// injectFaultCycles is the modeled per-call cost of LLFI's injectFault
+// runtime. Unlike REFINE's hand-written counting stub or PIN's inlined
+// analysis code, LLFI's runtime is a general C++ routine: it consults the
+// fault-specification structures, dispatches through the configured fault
+// type, and maintains per-site bookkeeping on every invocation. Together
+// with the C-ABI call emitted around every instrumented IR instruction and
+// the register-allocation damage those calls cause, this is what makes LLFI
+// campaigns several times slower than binary-level ones (paper Figure 5:
+// up to 9.4×, 3.9× overall).
+const injectFaultCycles = 200
+
+// ProfileLib counts dynamic instrumented instructions and passes values
+// through unchanged.
+type ProfileLib struct {
+	Count int64
+}
+
+// Bind installs the profiling runtime on a machine.
+func (p *ProfileLib) Bind(m *vm.Machine) {
+	passI := func(mm *vm.Machine) {
+		p.Count++
+		mm.Regs[vx.R0] = mm.Regs[vx.R2]
+	}
+	passF := func(mm *vm.Machine) {
+		p.Count++
+		// Value already in F0; C ABI returns it there unchanged.
+	}
+	m.BindHost(vm.HostFn{Name: HostFaultI64, Fn: passI, Cycles: injectFaultCycles})
+	m.BindHost(vm.HostFn{Name: HostFaultI1, Fn: passI, Cycles: injectFaultCycles})
+	m.BindHost(vm.HostFn{Name: HostFaultPtr, Fn: passI, Cycles: injectFaultCycles})
+	m.BindHost(vm.HostFn{Name: HostFaultF64, Fn: passF, Cycles: injectFaultCycles})
+}
+
+// InjectLib flips one (or, in the multi-bit variant studied by follow-up
+// work on double bit-flip errors, several distinct) uniformly drawn bits of
+// the value flowing through the Target-th dynamic instrumented instruction.
+// IR values have a single destination and no flags, so the operand draw is
+// degenerate — exactly the fault-model impoverishment the paper attributes
+// to IR-level injectors.
+type InjectLib struct {
+	Target int64
+	RNG    *fault.RNG
+	// Bits is the number of distinct bits to flip (0 or 1 ⇒ the paper's
+	// single-bit model; 2 ⇒ the double-bit-flip variant).
+	Bits int
+
+	count     int64
+	Triggered bool
+	Rec       fault.Record
+}
+
+// mask draws the XOR mask under the configured multiplicity.
+func (l *InjectLib) mask(width int64) (uint64, uint) {
+	n := l.Bits
+	if int64(n) > width {
+		n = int(width) // an i1 value has only one flippable bit
+	}
+	if n <= 1 {
+		bit := uint(l.RNG.Intn(width))
+		return 1 << bit, bit
+	}
+	var m uint64
+	first := uint(0)
+	for i := 0; i < n; {
+		bit := uint(l.RNG.Intn(width))
+		if m&(1<<bit) != 0 {
+			continue // distinct bits, as in the double-bit-flip studies
+		}
+		if i == 0 {
+			first = bit
+		}
+		m |= 1 << bit
+		i++
+	}
+	return m, first
+}
+
+// Bind installs the injection runtime on a machine.
+func (l *InjectLib) Bind(m *vm.Machine) {
+	flip := func(mm *vm.Machine, isF64 bool, isI1 bool) {
+		if l.count == l.Target && !l.Triggered {
+			l.Triggered = true
+			bits := int64(64)
+			if isI1 {
+				bits = 1
+			}
+			mask, bit := l.mask(bits)
+			l.Rec = fault.Record{
+				DynIdx: l.count,
+				SiteID: int32(int64(mm.Regs[vx.R1])),
+				Bit:    bit,
+				Op:     "ir-value",
+			}
+			if isF64 {
+				mm.Regs[vx.F0] ^= mask
+				l.Rec.Reg = vx.F0
+			} else {
+				mm.Regs[vx.R0] = mm.Regs[vx.R2] ^ mask
+				l.Rec.Reg = vx.R0
+			}
+		} else if !isF64 {
+			mm.Regs[vx.R0] = mm.Regs[vx.R2]
+		}
+		l.count++
+	}
+	m.BindHost(vm.HostFn{Name: HostFaultI64, Fn: func(mm *vm.Machine) { flip(mm, false, false) }, Cycles: injectFaultCycles})
+	m.BindHost(vm.HostFn{Name: HostFaultI1, Fn: func(mm *vm.Machine) { flip(mm, false, true) }, Cycles: injectFaultCycles})
+	m.BindHost(vm.HostFn{Name: HostFaultPtr, Fn: func(mm *vm.Machine) { flip(mm, false, false) }, Cycles: injectFaultCycles})
+	m.BindHost(vm.HostFn{Name: HostFaultF64, Fn: func(mm *vm.Machine) { flip(mm, true, false) }, Cycles: injectFaultCycles})
+}

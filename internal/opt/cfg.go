@@ -1,0 +1,294 @@
+package opt
+
+import "repro/internal/ir"
+
+// SimplifyCFG folds branches on constants, removes unreachable blocks, and
+// merges single-predecessor/single-successor block chains, keeping phi nodes
+// consistent throughout.
+func SimplifyCFG(f *ir.Func) bool {
+	changed := false
+	for again := true; again; {
+		again = false
+		if foldConstBranches(f) {
+			again, changed = true, true
+		}
+		if removeUnreachable(f) {
+			again, changed = true, true
+		}
+		if mergeChains(f) {
+			again, changed = true, true
+		}
+	}
+	return changed
+}
+
+// foldConstBranches turns condbr(const) into br and fixes succ/pred/phi.
+func foldConstBranches(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		term := b.Term()
+		if term == nil || term.Op != ir.OpCondBr {
+			continue
+		}
+		c := term.Args[0]
+		if c.Op != ir.OpConstI {
+			continue
+		}
+		taken, dead := b.Succs[0], b.Succs[1]
+		deadOcc := 1 // pred-list occurrence of the dead edge (then=1st, else=2nd)
+		if c.AuxInt == 0 {
+			taken, dead = dead, taken
+			deadOcc = 0
+		}
+		if taken == dead && c.AuxInt != 0 {
+			// Both edges reach the same block; keep the then-edge phi args.
+			removePredEdgeN(dead, b, 1)
+		} else if taken == dead {
+			removePredEdgeN(dead, b, 0)
+		} else {
+			removePredEdgeN(dead, b, 0)
+		}
+		_ = deadOcc
+		// Replace terminator with unconditional branch.
+		term.Op = ir.OpBr
+		term.Args = nil
+		b.Succs = []*ir.Block{taken}
+		changed = true
+	}
+	return changed
+}
+
+// removePredEdge removes ONE pred entry for p from b, dropping phi args.
+func removePredEdge(b *ir.Block, p *ir.Block) { removePredEdgeN(b, p, 0) }
+
+// removePredEdgeN removes the occ-th pred entry for p from b.
+func removePredEdgeN(b *ir.Block, p *ir.Block, occ int) {
+	idx := -1
+	seen := 0
+	for i, q := range b.Preds {
+		if q == p {
+			if seen == occ {
+				idx = i
+				break
+			}
+			seen++
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	b.Preds = append(b.Preds[:idx], b.Preds[idx+1:]...)
+	for _, v := range b.Values {
+		if v.Op != ir.OpPhi {
+			break
+		}
+		v.Args = append(v.Args[:idx], v.Args[idx+1:]...)
+	}
+}
+
+// removeUnreachable deletes blocks not reachable from entry.
+func removeUnreachable(f *ir.Func) bool {
+	reach := map[*ir.Block]bool{}
+	var stack []*ir.Block
+	stack = append(stack, f.Entry())
+	reach[f.Entry()] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		if reach[b] {
+			continue
+		}
+		for _, s := range b.Succs {
+			if reach[s] {
+				removePredEdge(s, b)
+			}
+		}
+		changed = true
+	}
+	if !changed {
+		return false
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	// Collapse single-arg phis that removal may have produced.
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpPhi && len(v.Args) == 1 {
+				f.ReplaceUses(v, v.Args[0], nil)
+			}
+		}
+		var live []*ir.Value
+		for _, v := range b.Values {
+			if v.Op == ir.OpPhi && len(v.Args) == 1 {
+				continue
+			}
+			live = append(live, v)
+		}
+		b.Values = live
+	}
+	return true
+}
+
+// mergeChains merges b -> s when b ends in an unconditional branch to s and s
+// has exactly one predecessor.
+func mergeChains(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for {
+			term := b.Term()
+			if term == nil || term.Op != ir.OpBr || len(b.Succs) != 1 {
+				break
+			}
+			s := b.Succs[0]
+			if s == b || len(s.Preds) != 1 || s == f.Entry() {
+				break
+			}
+			// Single-pred phis in s collapse to their argument.
+			for _, v := range s.Values {
+				if v.Op != ir.OpPhi {
+					break
+				}
+				f.ReplaceUses(v, v.Args[0], nil)
+			}
+			var body []*ir.Value
+			for _, v := range s.Values {
+				if v.Op == ir.OpPhi {
+					continue
+				}
+				v.Block = b
+				body = append(body, v)
+			}
+			// Splice: drop b's branch, append s's body.
+			b.Values = append(b.Values[:len(b.Values)-1], body...)
+			b.Succs = s.Succs
+			for _, t := range s.Succs {
+				for i, q := range t.Preds {
+					if q == s {
+						t.Preds[i] = b
+					}
+				}
+			}
+			// Delete s from the function.
+			for i, q := range f.Blocks {
+				if q == s {
+					f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+					break
+				}
+			}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// LowerSelect rewrites select into a diamond CFG with a phi, since the target
+// lowers conditional moves via branches. This is a mandatory pre-isel pass.
+func LowerSelect(f *ir.Func) {
+	for {
+		var sel *ir.Value
+	outer:
+		for _, b := range f.Blocks {
+			for _, v := range b.Values {
+				if v.Op == ir.OpSelect {
+					sel = v
+					break outer
+				}
+			}
+		}
+		if sel == nil {
+			return
+		}
+		splitForSelect(f, sel)
+	}
+}
+
+// splitForSelect splits sel's block: head (up to sel) -> then/else -> tail,
+// with a phi in tail replacing sel.
+func splitForSelect(f *ir.Func, sel *ir.Value) {
+	b := sel.Block
+	idx := 0
+	for i, v := range b.Values {
+		if v == sel {
+			idx = i
+			break
+		}
+	}
+	thenB := f.NewBlock()
+	elseB := f.NewBlock()
+	tail := f.NewBlock()
+
+	// Tail inherits b's instructions after sel, successors and terminator.
+	tail.Values = append(tail.Values, b.Values[idx+1:]...)
+	for _, v := range tail.Values {
+		v.Block = tail
+	}
+	tail.Succs = b.Succs
+	for _, s := range tail.Succs {
+		for i, q := range s.Preds {
+			if q == b {
+				s.Preds[i] = tail
+			}
+		}
+	}
+
+	// Head keeps everything before sel and branches on the condition.
+	b.Values = b.Values[:idx]
+	b.Succs = nil
+	bld := &ir.Builder{Mod: f.Mod, Fn: f, Blk: b}
+	bld.CondBr(sel.Args[0], thenB, elseB)
+
+	bld.SetInsert(thenB)
+	bld.Br(tail)
+	bld.SetInsert(elseB)
+	bld.Br(tail)
+
+	// Phi in tail: order matches tail.Preds = [thenB, elseB].
+	phi := f.NewValueAt(tail, 0, ir.OpPhi, sel.Type, sel.Args[1], sel.Args[2])
+	if tail.Preds[0] != thenB {
+		phi.Args[0], phi.Args[1] = phi.Args[1], phi.Args[0]
+	}
+	f.ReplaceUses(sel, phi, nil)
+}
+
+// SplitCriticalEdges inserts empty blocks on edges from multi-successor
+// blocks to multi-predecessor blocks, a precondition for phi elimination in
+// the backend.
+func SplitCriticalEdges(f *ir.Func) {
+	// Snapshot blocks; we append while iterating.
+	blocks := append([]*ir.Block(nil), f.Blocks...)
+	for _, b := range blocks {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for si, s := range b.Succs {
+			if len(s.Preds) < 2 {
+				continue
+			}
+			e := f.NewBlock()
+			f.NewValueAt(e, 0, ir.OpBr, ir.Void) // e: br s
+			e.Succs = []*ir.Block{s}
+			e.Preds = []*ir.Block{b}
+			b.Succs[si] = e
+			for pi, p := range s.Preds {
+				if p == b {
+					s.Preds[pi] = e
+					break
+				}
+			}
+		}
+	}
+}

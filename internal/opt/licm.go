@@ -1,0 +1,181 @@
+package opt
+
+import "repro/internal/ir"
+
+// LICM hoists loop-invariant pure computation out of natural loops into the
+// block preceding the loop header. It is deliberately conservative:
+//
+//   - only pure, non-trapping operations move (no loads — stores in the loop
+//     may alias; no integer division — it traps and the loop body may never
+//     execute; no calls);
+//   - only loops whose header has exactly two predecessors (entry edge +
+//     latch) and whose entry predecessor ends in an unconditional branch are
+//     transformed, which is exactly the shape the builder's Loop helper and
+//     SimplifyCFG produce.
+//
+// The pass exists both as a genuine optimization and as an ablation lever:
+// hoisting shrinks loop bodies, which changes the dynamic instruction mix
+// the fault injectors sample.
+func LICM(f *ir.Func) bool {
+	dom := ir.Dominators(f)
+	changed := false
+
+	// Find back edges: succ h of block a where h dominates a.
+	for _, a := range f.Blocks {
+		for _, h := range a.Succs {
+			if !dom.Dominates(h, a) {
+				continue
+			}
+			if hoistLoop(f, dom, h, a) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// loopBody collects the natural loop of back edge latch→header: all blocks
+// that can reach the latch without passing through the header.
+func loopBody(header, latch *ir.Block) map[*ir.Block]bool {
+	body := map[*ir.Block]bool{header: true, latch: true}
+	var stack []*ir.Block
+	if latch != header {
+		stack = append(stack, latch)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range b.Preds {
+			if !body[p] {
+				body[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return body
+}
+
+// hoistable reports whether the op may move out of the loop.
+func hoistable(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpAShr,
+		ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFMin, ir.OpFMax,
+		ir.OpFSqrt, ir.OpFAbs, ir.OpFNeg,
+		ir.OpICmp, ir.OpFCmp, ir.OpSIToFP, ir.OpFPToSI, ir.OpGEP,
+		ir.OpConstI, ir.OpConstF, ir.OpGlobal:
+		return true
+	}
+	return false
+}
+
+func hoistLoop(f *ir.Func, dom *ir.DomTree, header, latch *ir.Block) bool {
+	if len(header.Preds) != 2 {
+		return false
+	}
+	body := loopBody(header, latch)
+	// Entry predecessor: the one outside the loop.
+	var entry *ir.Block
+	for _, p := range header.Preds {
+		if !body[p] {
+			entry = p
+		}
+	}
+	if entry == nil || len(entry.Succs) != 1 {
+		return false
+	}
+	term := entry.Term()
+	if term == nil || term.Op != ir.OpBr {
+		return false
+	}
+
+	// A value is invariant when every argument is defined outside the loop
+	// (params count as outside). Iterate to a fixed point.
+	invariant := map[*ir.Value]bool{}
+	outside := func(v *ir.Value) bool {
+		if v.Op == ir.OpParam {
+			return true
+		}
+		if invariant[v] {
+			return true
+		}
+		return v.Block != nil && !body[v.Block]
+	}
+	changed := false
+	for again := true; again; {
+		again = false
+		for b := range body {
+			for _, v := range b.Values {
+				if invariant[v] || !hoistable(v.Op) {
+					continue
+				}
+				ok := true
+				for _, a := range v.Args {
+					if !outside(a) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					invariant[v] = true
+					again = true
+				}
+			}
+		}
+	}
+	if len(invariant) == 0 {
+		return false
+	}
+
+	// Move invariant values, preserving their relative order, to just before
+	// the entry block's terminator.
+	var hoisted []*ir.Value
+	for b := range body {
+		kept := b.Values[:0]
+		for _, v := range b.Values {
+			if invariant[v] {
+				hoisted = append(hoisted, v)
+				continue
+			}
+			kept = append(kept, v)
+		}
+		b.Values = kept
+	}
+	// Order hoisted values so defs precede uses (topological by argument).
+	ordered := topoOrder(hoisted, invariant)
+	insertAt := len(entry.Values) - 1 // before the Br terminator
+	tail := append([]*ir.Value(nil), entry.Values[insertAt:]...)
+	entry.Values = append(entry.Values[:insertAt], ordered...)
+	entry.Values = append(entry.Values, tail...)
+	for _, v := range ordered {
+		v.Block = entry
+	}
+	if len(ordered) > 0 {
+		changed = true
+	}
+	return changed
+}
+
+// topoOrder sorts values so that arguments precede their users.
+func topoOrder(vals []*ir.Value, inSet map[*ir.Value]bool) []*ir.Value {
+	var out []*ir.Value
+	state := map[*ir.Value]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(v *ir.Value)
+	visit = func(v *ir.Value) {
+		if state[v] != 0 {
+			return
+		}
+		state[v] = 1
+		for _, a := range v.Args {
+			if inSet[a] {
+				visit(a)
+			}
+		}
+		state[v] = 2
+		out = append(out, v)
+	}
+	for _, v := range vals {
+		visit(v)
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package opt implements the IR optimization pipeline: SSA promotion
+// (mem2reg), constant folding with algebraic simplification, common
+// subexpression elimination, dead code elimination, and control-flow
+// simplification, plus the mandatory lowering passes the backend requires
+// (select lowering and critical-edge splitting). The pipeline mirrors the
+// role of LLVM's -O pipeline in the paper's workflow: workloads are built
+// with mutable locals (allocas), optimized here, and only then instrumented
+// by the IR-level injector — so IR-level FI observes optimized IR, while the
+// backend-level injector observes the final machine code.
+package opt
+
+import "repro/internal/ir"
+
+// Mem2Reg promotes allocas whose address is only used directly by 8-byte
+// loads and stores into SSA values, inserting phi nodes on the iterated
+// dominance frontier of the stores (Cytron et al.). This is the standard SSA
+// construction pass; without it every local lives in stack memory, which is
+// exactly the "-O0" shape the ablation experiment contrasts.
+func Mem2Reg(f *ir.Func) {
+	entry := f.Entry()
+
+	// Collect promotable allocas.
+	var allocas []*ir.Value
+	promotable := map[*ir.Value]bool{}
+	for _, v := range entry.Values {
+		if v.Op == ir.OpAlloca && v.AuxInt == 8 {
+			allocas = append(allocas, v)
+			promotable[v] = true
+		}
+	}
+	if len(allocas) == 0 {
+		return
+	}
+	// An alloca escapes if used by anything but load/store-address.
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			for i, a := range v.Args {
+				if !promotable[a] {
+					continue
+				}
+				switch {
+				case v.Op == ir.OpLoad && i == 0:
+				case v.Op == ir.OpStore && i == 1:
+				default:
+					promotable[a] = false
+				}
+			}
+		}
+	}
+	var worklist []*ir.Value
+	for _, a := range allocas {
+		if promotable[a] {
+			worklist = append(worklist, a)
+		}
+	}
+	if len(worklist) == 0 {
+		return
+	}
+
+	dom := ir.Dominators(f)
+	df := dom.Frontiers(f)
+	children := dom.Children(f)
+
+	// The type of each promoted variable comes from its loads (fallback i64).
+	varType := map[*ir.Value]ir.Type{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpLoad && promotable[v.Args[0]] {
+				varType[v.Args[0]] = v.Type
+			}
+		}
+	}
+	for _, a := range worklist {
+		if _, ok := varType[a]; !ok {
+			varType[a] = ir.I64
+		}
+	}
+
+	// Phi insertion on the iterated dominance frontier of defining blocks.
+	type phiKey struct {
+		blk *ir.Block
+		al  *ir.Value
+	}
+	phiFor := map[phiKey]*ir.Value{}
+	for _, a := range worklist {
+		defBlocks := map[*ir.Block]bool{}
+		for _, b := range f.Blocks {
+			for _, v := range b.Values {
+				if v.Op == ir.OpStore && v.Args[1] == a {
+					defBlocks[b] = true
+				}
+			}
+		}
+		var work []*ir.Block
+		for b := range defBlocks {
+			work = append(work, b)
+		}
+		inserted := map[*ir.Block]bool{}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fb := range df[b.ID] {
+				if inserted[fb] {
+					continue
+				}
+				inserted[fb] = true
+				phi := newPhi(f, fb, varType[a], len(fb.Preds))
+				phiFor[phiKey{fb, a}] = phi
+				if !defBlocks[fb] {
+					defBlocks[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+
+	// Rename walk over the dominator tree. Uninitialized locals read as zero;
+	// materialize the zero constants eagerly (one per type) right after the
+	// allocas so the rename walk never mutates a block it is iterating.
+	stacks := map[*ir.Value][]*ir.Value{}
+	undef := map[ir.Type]*ir.Value{}
+	for _, a := range worklist {
+		t := varType[a]
+		if _, ok := undef[t]; ok {
+			continue
+		}
+		pos := 0
+		for pos < len(entry.Values) && entry.Values[pos].Op == ir.OpAlloca {
+			pos++
+		}
+		op := ir.OpConstI
+		if t == ir.F64 {
+			op = ir.OpConstF
+		}
+		undef[t] = f.NewValueAt(entry, pos, op, t)
+	}
+	top := func(a *ir.Value) *ir.Value {
+		s := stacks[a]
+		if len(s) == 0 {
+			return undef[varType[a]]
+		}
+		return s[len(s)-1]
+	}
+
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		var pushed []*ir.Value
+		var removed []*ir.Value
+		for _, v := range b.Values {
+			switch v.Op {
+			case ir.OpPhi:
+				for _, a := range worklist {
+					if phiFor[phiKey{b, a}] == v {
+						stacks[a] = append(stacks[a], v)
+						pushed = append(pushed, a)
+					}
+				}
+			case ir.OpLoad:
+				if a := v.Args[0]; promotable[a] {
+					f.ReplaceUses(v, top(a), nil)
+					removed = append(removed, v)
+				}
+			case ir.OpStore:
+				if a := v.Args[1]; promotable[a] {
+					stacks[a] = append(stacks[a], v.Args[0])
+					pushed = append(pushed, a)
+					removed = append(removed, v)
+				}
+			}
+		}
+		// Fill phi args in successors.
+		for _, s := range b.Succs {
+			idx := predIndexOf(s, b)
+			for _, a := range worklist {
+				if phi := phiFor[phiKey{s, a}]; phi != nil {
+					phi.Args[idx] = top(a)
+				}
+			}
+		}
+		for _, c := range children[b.ID] {
+			rename(c)
+		}
+		for _, a := range pushed {
+			stacks[a] = stacks[a][:len(stacks[a])-1]
+		}
+		for _, v := range removed {
+			b.RemoveValue(v)
+		}
+	}
+	rename(entry)
+
+	// Drop the dead allocas.
+	for _, a := range worklist {
+		entry.RemoveValue(a)
+	}
+}
+
+func newPhi(f *ir.Func, b *ir.Block, t ir.Type, nargs int) *ir.Value {
+	bld := &ir.Builder{Mod: f.Mod, Fn: f, Blk: b}
+	args := make([]*ir.Value, nargs)
+	phi := bld.Phi(t, args...)
+	return phi
+}
+
+func predIndexOf(b, p *ir.Block) int {
+	for i, q := range b.Preds {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}

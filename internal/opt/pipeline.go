@@ -1,0 +1,62 @@
+package opt
+
+import "repro/internal/ir"
+
+// Level selects the optimization pipeline.
+type Level int
+
+const (
+	// O0 runs only the mandatory lowering passes (select lowering and
+	// critical-edge splitting); locals stay in stack memory. Used by the
+	// optimization-level ablation.
+	O0 Level = iota
+	// O2 runs the full pipeline: SSA promotion, two rounds of folding/CSE/DCE
+	// and CFG simplification. This is the evaluation configuration — the
+	// paper compiles all benchmarks at -O3 (§A.2.1).
+	O2
+)
+
+// Optimize runs the full pipeline at the given level over every function,
+// including the mandatory backend lowering, then verifies the module. It
+// panics on verifier failure: a broken pass is a programming error in this
+// repository, not a user input error.
+func Optimize(m *ir.Module, lvl Level) {
+	OptimizeNoLower(m, lvl)
+	Legalize(m)
+}
+
+// OptimizeNoLower runs only the optimization passes, leaving the module in
+// portable IR form. The LLFI comparator instruments at exactly this point —
+// after optimization, before lowering — matching its documented workflow
+// (paper §A.3.1: sources → IR → opt -O3 → LLFI instrumentation → backend).
+func OptimizeNoLower(m *ir.Module, lvl Level) {
+	if lvl < O2 {
+		return
+	}
+	for _, f := range m.Funcs {
+		Mem2Reg(f)
+		ConstFold(f)
+		CSE(f)
+		DCE(f)
+		SimplifyCFG(f)
+		LICM(f)
+		ConstFold(f)
+		CSE(f)
+		DCE(f)
+		SimplifyCFG(f)
+	}
+	if err := ir.Verify(m); err != nil {
+		panic("opt: pipeline broke the module: " + err.Error())
+	}
+}
+
+// Legalize runs the mandatory pre-backend lowering passes and verifies.
+func Legalize(m *ir.Module) {
+	for _, f := range m.Funcs {
+		LowerSelect(f)
+		SplitCriticalEdges(f)
+	}
+	if err := ir.Verify(m); err != nil {
+		panic("opt: legalization broke the module: " + err.Error())
+	}
+}

@@ -1,0 +1,390 @@
+package opt
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// ConstFold folds constant expressions and applies algebraic identities
+// (x+0, x*1, x*0, x-x, x^x, select on constant, branches on constants are
+// handled by SimplifyCFG). It iterates to a fixed point within the function.
+func ConstFold(f *ir.Func) bool {
+	changed := false
+	folded := map[*ir.Value]bool{}
+	for again := true; again; {
+		again = false
+		for _, b := range f.Blocks {
+			for _, v := range b.Values {
+				if folded[v] {
+					continue
+				}
+				if nv := foldValue(f, v); nv != nil && nv != v {
+					f.ReplaceUses(v, nv, nil)
+					folded[v] = true
+					again = true
+					changed = true
+				}
+			}
+		}
+	}
+	if changed {
+		DCE(f)
+	}
+	return changed
+}
+
+func isConstI(v *ir.Value) (int64, bool) {
+	if v.Op == ir.OpConstI {
+		return v.AuxInt, true
+	}
+	return 0, false
+}
+
+func isConstF(v *ir.Value) (float64, bool) {
+	if v.Op == ir.OpConstF {
+		return v.AuxF, true
+	}
+	return 0, false
+}
+
+// constIn materializes an integer constant near v (in v's block, before v).
+func constIn(f *ir.Func, v *ir.Value, t ir.Type, x int64) *ir.Value {
+	pos := posOf(v)
+	nv := f.NewValueAt(v.Block, pos, ir.OpConstI, t)
+	nv.AuxInt = x
+	return nv
+}
+
+func constFIn(f *ir.Func, v *ir.Value, x float64) *ir.Value {
+	pos := posOf(v)
+	nv := f.NewValueAt(v.Block, pos, ir.OpConstF, ir.F64)
+	nv.AuxF = x
+	return nv
+}
+
+func posOf(v *ir.Value) int {
+	for i, w := range v.Block.Values {
+		if w == v {
+			return i
+		}
+	}
+	return 0
+}
+
+// foldValue returns a replacement value for v, or nil if none.
+func foldValue(f *ir.Func, v *ir.Value) *ir.Value {
+	switch v.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpAShr:
+		a, aok := isConstI(v.Args[0])
+		b, bok := isConstI(v.Args[1])
+		if aok && bok {
+			return constIn(f, v, ir.I64, evalInt(v.Op, a, b))
+		}
+		// Identities.
+		switch v.Op {
+		case ir.OpAdd:
+			if bok && b == 0 {
+				return v.Args[0]
+			}
+			if aok && a == 0 {
+				return v.Args[1]
+			}
+		case ir.OpSub:
+			if bok && b == 0 {
+				return v.Args[0]
+			}
+			if v.Args[0] == v.Args[1] {
+				return constIn(f, v, ir.I64, 0)
+			}
+		case ir.OpMul:
+			if bok && b == 1 {
+				return v.Args[0]
+			}
+			if aok && a == 1 {
+				return v.Args[1]
+			}
+			if (bok && b == 0) || (aok && a == 0) {
+				return constIn(f, v, ir.I64, 0)
+			}
+		case ir.OpAnd:
+			if v.Args[0] == v.Args[1] {
+				return v.Args[0]
+			}
+			if (aok && a == 0) || (bok && b == 0) {
+				return constIn(f, v, ir.I64, 0)
+			}
+		case ir.OpOr:
+			if v.Args[0] == v.Args[1] {
+				return v.Args[0]
+			}
+			if bok && b == 0 {
+				return v.Args[0]
+			}
+			if aok && a == 0 {
+				return v.Args[1]
+			}
+		case ir.OpXor:
+			if v.Args[0] == v.Args[1] {
+				return constIn(f, v, ir.I64, 0)
+			}
+			if bok && b == 0 {
+				return v.Args[0]
+			}
+		case ir.OpShl, ir.OpAShr:
+			if bok && b == 0 {
+				return v.Args[0]
+			}
+		}
+	case ir.OpSDiv, ir.OpSRem:
+		a, aok := isConstI(v.Args[0])
+		b, bok := isConstI(v.Args[1])
+		if aok && bok && b != 0 && !(a == math.MinInt64 && b == -1) {
+			if v.Op == ir.OpSDiv {
+				return constIn(f, v, ir.I64, a/b)
+			}
+			return constIn(f, v, ir.I64, a%b)
+		}
+		if bok && b == 1 && v.Op == ir.OpSDiv {
+			return v.Args[0]
+		}
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		a, aok := isConstF(v.Args[0])
+		b, bok := isConstF(v.Args[1])
+		if aok && bok {
+			var r float64
+			switch v.Op {
+			case ir.OpFAdd:
+				r = a + b
+			case ir.OpFSub:
+				r = a - b
+			case ir.OpFMul:
+				r = a * b
+			case ir.OpFDiv:
+				r = a / b
+			}
+			return constFIn(f, v, r)
+		}
+	case ir.OpFSqrt:
+		if a, ok := isConstF(v.Args[0]); ok {
+			return constFIn(f, v, math.Sqrt(a))
+		}
+	case ir.OpFNeg:
+		if a, ok := isConstF(v.Args[0]); ok {
+			return constFIn(f, v, -a)
+		}
+	case ir.OpFAbs:
+		if a, ok := isConstF(v.Args[0]); ok {
+			return constFIn(f, v, math.Abs(a))
+		}
+	case ir.OpSIToFP:
+		if a, ok := isConstI(v.Args[0]); ok {
+			return constFIn(f, v, float64(a))
+		}
+	case ir.OpICmp:
+		a, aok := isConstI(v.Args[0])
+		b, bok := isConstI(v.Args[1])
+		if aok && bok {
+			return constIn(f, v, ir.I1, b2i(evalICmp(v.Pred, a, b)))
+		}
+		if v.Args[0] == v.Args[1] {
+			switch v.Pred {
+			case ir.EQ, ir.SLE, ir.SGE, ir.ULE, ir.UGE:
+				return constIn(f, v, ir.I1, 1)
+			case ir.NE, ir.SLT, ir.SGT, ir.ULT, ir.UGT:
+				return constIn(f, v, ir.I1, 0)
+			}
+		}
+	case ir.OpSelect:
+		if c, ok := isConstI(v.Args[0]); ok {
+			if c != 0 {
+				return v.Args[1]
+			}
+			return v.Args[2]
+		}
+		if v.Args[1] == v.Args[2] {
+			return v.Args[1]
+		}
+	case ir.OpGEP:
+		if i, ok := isConstI(v.Args[1]); ok && i == 0 && v.Off == 0 {
+			return v.Args[0]
+		}
+	case ir.OpPhi:
+		// Phi with all identical args collapses.
+		if len(v.Args) > 0 {
+			first := v.Args[0]
+			same := true
+			for _, a := range v.Args[1:] {
+				if a != first && a != v {
+					same = false
+					break
+				}
+			}
+			if same && first != v {
+				return first
+			}
+		}
+	}
+	return nil
+}
+
+func evalInt(op ir.Op, a, b int64) int64 {
+	switch op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		return int64(uint64(a) << (uint64(b) & 63))
+	case ir.OpAShr:
+		return a >> (uint64(b) & 63)
+	}
+	return 0
+}
+
+func evalICmp(p ir.Pred, a, b int64) bool {
+	switch p {
+	case ir.EQ:
+		return a == b
+	case ir.NE:
+		return a != b
+	case ir.SLT:
+		return a < b
+	case ir.SLE:
+		return a <= b
+	case ir.SGT:
+		return a > b
+	case ir.SGE:
+		return a >= b
+	case ir.ULT:
+		return uint64(a) < uint64(b)
+	case ir.ULE:
+		return uint64(a) <= uint64(b)
+	case ir.UGT:
+		return uint64(a) > uint64(b)
+	case ir.UGE:
+		return uint64(a) >= uint64(b)
+	}
+	return false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DCE removes pure values with no uses and is iterated to a fixed point.
+// Stores, calls and terminators are roots.
+func DCE(f *ir.Func) bool {
+	changed := false
+	for again := true; again; {
+		again = false
+		uses := map[*ir.Value]int{}
+		for _, b := range f.Blocks {
+			for _, v := range b.Values {
+				for _, a := range v.Args {
+					uses[a]++
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			live := b.Values[:0]
+			for _, v := range b.Values {
+				if uses[v] == 0 && isPure(v.Op) {
+					again = true
+					changed = true
+					continue
+				}
+				live = append(live, v)
+			}
+			b.Values = live
+		}
+	}
+	return changed
+}
+
+func isPure(op ir.Op) bool {
+	switch op {
+	case ir.OpStore, ir.OpCall, ir.OpBr, ir.OpCondBr, ir.OpRet:
+		return false
+	}
+	return true
+}
+
+// CSE performs dominator-scoped common subexpression elimination on pure,
+// non-memory operations (loads are not CSE'd: stores may intervene).
+func CSE(f *ir.Func) bool {
+	dom := ir.Dominators(f)
+	children := dom.Children(f)
+	changed := false
+
+	type key struct {
+		op     ir.Op
+		a0, a1 *ir.Value
+		auxi   int64
+		auxf   float64
+		aux    string
+		pred   ir.Pred
+		scale  int64
+		off    int64
+	}
+	keyOf := func(v *ir.Value) (key, bool) {
+		switch v.Op {
+		case ir.OpLoad, ir.OpStore, ir.OpCall, ir.OpPhi, ir.OpAlloca,
+			ir.OpBr, ir.OpCondBr, ir.OpRet, ir.OpParam:
+			return key{}, false
+		}
+		k := key{op: v.Op, auxi: v.AuxInt, auxf: v.AuxF, aux: v.Aux,
+			pred: v.Pred, scale: v.Scale, off: v.Off}
+		if len(v.Args) > 0 {
+			k.a0 = v.Args[0]
+		}
+		if len(v.Args) > 1 {
+			k.a1 = v.Args[1]
+		}
+		if len(v.Args) > 2 {
+			return key{}, false
+		}
+		return k, true
+	}
+
+	avail := map[key]*ir.Value{}
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		var added []key
+		for _, v := range b.Values {
+			k, ok := keyOf(v)
+			if !ok {
+				continue
+			}
+			if prev, hit := avail[k]; hit {
+				f.ReplaceUses(v, prev, nil)
+				changed = true
+				continue
+			}
+			avail[k] = v
+			added = append(added, k)
+		}
+		for _, c := range children[b.ID] {
+			walk(c)
+		}
+		for _, k := range added {
+			delete(avail, k)
+		}
+	}
+	walk(f.Entry())
+	if changed {
+		DCE(f)
+	}
+	return changed
+}

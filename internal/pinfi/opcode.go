@@ -1,0 +1,85 @@
+package pinfi
+
+import (
+	"repro/internal/fault"
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+// OP-code corruption (paper §4.5). The published REFINE can only produce
+// *valid* opcodes when a fault hits the instruction encoding, because the
+// compiler's emission stage refuses to write an invalid instruction; the
+// authors list true opcode corruption as future work, achievable by
+// corrupting the instruction bytes in memory at run time. A binary-level
+// injector has no such restriction, and this extension implements both
+// semantics:
+//
+//   - OpcodeAny flips a uniformly chosen bit of the target instruction's
+//     opcode byte in the loaded image. Out-of-range encodings raise the
+//     machine's illegal-instruction trap, exactly like executing a corrupt
+//     text page.
+//   - OpcodeValidOnly redraws until the flipped opcode is a defined,
+//     non-pseudo instruction — the restriction REFINE's compiler-based
+//     emission imposes (§4.5).
+//
+// Corruption is persistent (a flipped bit in the text segment stays
+// flipped), matching a memory/in-cache upset rather than a transient
+// register fault.
+type OpcodeMode uint8
+
+const (
+	// OpcodeAny allows invalid encodings (binary-level semantics).
+	OpcodeAny OpcodeMode = iota
+	// OpcodeValidOnly restricts faults to valid opcodes (compiler-emission
+	// semantics, the published REFINE restriction).
+	OpcodeValidOnly
+)
+
+// OpcodeTrial runs one opcode-corruption experiment: at the target-th
+// dynamic target instruction, one bit of that instruction's opcode byte is
+// flipped for the remainder of the run. The image is restored before the
+// function returns, so trials are independent.
+func OpcodeTrial(m *vm.Machine, cfg fault.Config, costs CostModel, target int64, mode OpcodeMode, rng *fault.RNG) fault.Record {
+	m.Reset()
+	m.Cycles += costs.JITPerStaticInstr * int64(len(m.Img.Instrs))
+	var rec fault.Record
+	var count int64
+	var corruptedPC int32 = -1
+	var savedOp vx.Op
+
+	m.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) {
+		mm.Cycles += costs.PerInstr
+		if !cfg.TargetInst(mm.Img, in) {
+			return
+		}
+		if count == target {
+			old := in.Op
+			bit := uint(rng.Intn(8))
+			flipped := vx.Op(uint8(old) ^ uint8(1<<bit))
+			if mode == OpcodeValidOnly {
+				for !validOpcode(flipped) {
+					bit = uint(rng.Intn(8))
+					flipped = vx.Op(uint8(old) ^ uint8(1<<bit))
+				}
+			}
+			corruptedPC = pc
+			savedOp = old
+			mm.Img.Instrs[pc].Op = flipped
+			rec = fault.Record{DynIdx: count, PC: pc, Bit: bit, Op: old.String() + "->" + flipped.String()}
+			mm.Hook = nil
+		}
+		count++
+	}
+	m.Run()
+	m.Hook = nil
+	if corruptedPC >= 0 {
+		m.Img.Instrs[corruptedPC].Op = savedOp
+	}
+	return rec
+}
+
+// validOpcode reports whether the encoding names a real, emittable
+// instruction (pseudo-ops and out-of-range bytes are invalid).
+func validOpcode(op vx.Op) bool {
+	return op < vx.NumOps && op != vx.VCALL && op != vx.VENTRY
+}

@@ -1,0 +1,159 @@
+package pinfi_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/codegen"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/pinfi"
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+func buildImage(t *testing.T) *vm.Image {
+	t.Helper()
+	m := ir.NewModule("t")
+	m.DeclareHost(ir.HostDecl{Name: "out_i64", Params: []ir.Type{ir.I64}, Ret: ir.I64})
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	s := b.NewVar(ir.I64, b.ConstI(0))
+	b.Loop(b.ConstI(1), b.ConstI(200), b.ConstI(1), func(i *ir.Value) {
+		s.Set(b.Add(s.Get(), b.SDiv(b.Mul(i, i), b.Add(i, b.ConstI(1)))))
+	})
+	b.Call("out_i64", s.Get())
+	b.Ret(b.ConstI(0))
+	opt.Optimize(m, opt.O2)
+	res, err := codegen.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.Assemble(res.Prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func newMachine(img *vm.Image) *vm.Machine {
+	m := vm.New(img)
+	m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+		mm.Output = append(mm.Output, mm.Regs[vx.R1])
+		mm.Regs[vx.R0] = 0
+	}})
+	return m
+}
+
+func TestProfileCountsAndGolden(t *testing.T) {
+	img := buildImage(t)
+	m := newMachine(img)
+	targets, golden := pinfi.Profile(m, fault.DefaultConfig(), pinfi.DefaultCosts())
+	if targets == 0 {
+		t.Fatal("no targets")
+	}
+	if len(golden) != 1 {
+		t.Fatalf("golden length %d", len(golden))
+	}
+	if m.Trap != vm.TrapNone || m.ExitCode != 0 {
+		t.Fatalf("golden run failed")
+	}
+}
+
+func TestProfileCostsMoreThanNative(t *testing.T) {
+	img := buildImage(t)
+	m := newMachine(img)
+	m.Run()
+	native := m.Cycles
+
+	m2 := newMachine(img)
+	pinfi.Profile(m2, fault.DefaultConfig(), pinfi.DefaultCosts())
+	if m2.Cycles <= native {
+		t.Fatalf("instrumented profile (%d cycles) not slower than native (%d)", m2.Cycles, native)
+	}
+}
+
+func TestTrialInjectsAndDetaches(t *testing.T) {
+	img := buildImage(t)
+	m := newMachine(img)
+	targets, golden := pinfi.Profile(m, fault.DefaultConfig(), pinfi.DefaultCosts())
+	budget := m.InstrCount * 10
+
+	outcomes := map[fault.Outcome]int{}
+	for target := int64(0); target < targets; target += targets/31 + 1 {
+		mt := newMachine(img)
+		mt.Budget = budget
+		rec := pinfi.Trial(mt, fault.DefaultConfig(), pinfi.DefaultCosts(), target, fault.NewRNG(uint64(target)+5))
+		if rec.Op == "" {
+			t.Fatalf("target %d: no fault recorded", target)
+		}
+		if mt.Hook != nil {
+			t.Fatal("hook still attached after trial")
+		}
+		outcomes[fault.Classify(mt, golden)]++
+	}
+	if len(outcomes) < 2 {
+		t.Fatalf("outcome mix degenerate: %v", outcomes)
+	}
+}
+
+// TestDetachReducesCost verifies the §5.2 optimization: a trial injecting
+// early must cost fewer modeled cycles than one injecting late, because
+// instrumentation detaches at the injection point.
+func TestDetachReducesCost(t *testing.T) {
+	img := buildImage(t)
+	m := newMachine(img)
+	targets, _ := pinfi.Profile(m, fault.DefaultConfig(), pinfi.DefaultCosts())
+
+	early := newMachine(img)
+	early.Budget = m.InstrCount * 10
+	// Use a seed whose flip is benign-ish; costs still dominated by hook.
+	pinfi.Trial(early, fault.DefaultConfig(), pinfi.DefaultCosts(), 0, fault.NewRNG(1))
+
+	late := newMachine(img)
+	late.Budget = m.InstrCount * 10
+	pinfi.Trial(late, fault.DefaultConfig(), pinfi.DefaultCosts(), targets-1, fault.NewRNG(1))
+
+	if early.Cycles >= late.Cycles {
+		t.Fatalf("early-inject trial (%d cycles) not cheaper than late-inject (%d): detach not working",
+			early.Cycles, late.Cycles)
+	}
+}
+
+func TestTrialDeterminism(t *testing.T) {
+	img := buildImage(t)
+	m := newMachine(img)
+	targets, golden := pinfi.Profile(m, fault.DefaultConfig(), pinfi.DefaultCosts())
+	target := targets / 2
+
+	m1 := newMachine(img)
+	m1.Budget = m.InstrCount * 10
+	r1 := pinfi.Trial(m1, fault.DefaultConfig(), pinfi.DefaultCosts(), target, fault.NewRNG(99))
+	m2 := newMachine(img)
+	m2.Budget = m.InstrCount * 10
+	r2 := pinfi.Trial(m2, fault.DefaultConfig(), pinfi.DefaultCosts(), target, fault.NewRNG(99))
+	if r1 != r2 || m1.Cycles != m2.Cycles ||
+		fault.Classify(m1, golden) != fault.Classify(m2, golden) {
+		t.Fatal("identical trials diverged")
+	}
+}
+
+func TestRecordFieldsPlausible(t *testing.T) {
+	img := buildImage(t)
+	m := newMachine(img)
+	targets, _ := pinfi.Profile(m, fault.DefaultConfig(), pinfi.DefaultCosts())
+	mt := newMachine(img)
+	mt.Budget = m.InstrCount * 10
+	target := targets / 3
+	rec := pinfi.Trial(mt, fault.DefaultConfig(), pinfi.DefaultCosts(), target, fault.NewRNG(4))
+	if rec.DynIdx != target {
+		t.Fatalf("record dyn %d, want %d", rec.DynIdx, target)
+	}
+	if int(rec.PC) >= len(img.Instrs) {
+		t.Fatalf("record pc out of range")
+	}
+	if rec.Bit >= 64 {
+		t.Fatalf("bit %d out of range", rec.Bit)
+	}
+}

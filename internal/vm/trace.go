@@ -1,0 +1,82 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vx"
+)
+
+// Tracer keeps a ring buffer of the most recently executed instructions.
+// Fault-injection campaigns discard it (speed), but vxrun -trace and crash
+// triage in tests use it to reconstruct how a corrupted execution reached
+// its trap — the kind of failure forensics a debugger-based injector gets
+// for free and compiled-in instrumentation has to earn.
+type Tracer struct {
+	ring []TraceEntry
+	next int
+	full bool
+	prev ExecHook
+}
+
+// TraceEntry records one executed instruction.
+type TraceEntry struct {
+	Seq   int64
+	PC    int32
+	Op    vx.Op
+	SP    uint64
+	Flags uint64
+}
+
+// Attach installs the tracer on the machine, chaining any existing hook
+// (e.g. PINFI's) after it.
+func (t *Tracer) Attach(m *Machine, depth int) {
+	if depth <= 0 {
+		depth = 64
+	}
+	t.ring = make([]TraceEntry, depth)
+	t.next, t.full = 0, false
+	t.prev = m.Hook
+	m.Hook = func(mm *Machine, pc int32, in *Inst) {
+		t.ring[t.next] = TraceEntry{
+			Seq:   mm.InstrCount,
+			PC:    pc,
+			Op:    in.Op,
+			SP:    mm.Regs[vx.SP],
+			Flags: mm.Regs[vx.RFLAGS],
+		}
+		t.next++
+		if t.next == len(t.ring) {
+			t.next = 0
+			t.full = true
+		}
+		if t.prev != nil {
+			t.prev(mm, pc, in)
+		}
+	}
+}
+
+// Entries returns the buffered trace in execution order.
+func (t *Tracer) Entries() []TraceEntry {
+	if !t.full {
+		return append([]TraceEntry(nil), t.ring[:t.next]...)
+	}
+	out := make([]TraceEntry, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dump renders the trace with function names resolved against the image.
+func (t *Tracer) Dump(img *Image) string {
+	var b strings.Builder
+	for _, e := range t.Entries() {
+		fn := "?"
+		if f := img.FuncOf(e.PC); f != nil {
+			fn = f.Name
+		}
+		fmt.Fprintf(&b, "%10d  pc=%-6d %-10s %-12s sp=%#x flags=%04b\n",
+			e.Seq, e.PC, e.Op, fn, e.SP, e.Flags)
+	}
+	return b.String()
+}

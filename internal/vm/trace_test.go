@@ -1,0 +1,68 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+func TestTracerCapturesTail(t *testing.T) {
+	img := mustAssemble(t, buildFactorial())
+	m := vm.New(img)
+	bindOut(m)
+	tr := &vm.Tracer{}
+	tr.Attach(m, 16)
+	m.Run()
+
+	entries := tr.Entries()
+	if len(entries) != 16 {
+		t.Fatalf("ring holds %d entries, want 16", len(entries))
+	}
+	// Entries must be in execution order with increasing sequence numbers.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Seq <= entries[i-1].Seq {
+			t.Fatalf("trace out of order at %d: %d then %d", i, entries[i-1].Seq, entries[i].Seq)
+		}
+	}
+	// The final executed instruction is main's RET.
+	last := entries[len(entries)-1]
+	if last.Op != vx.RET {
+		t.Fatalf("last traced op = %s, want ret", last.Op)
+	}
+	dump := tr.Dump(img)
+	if !strings.Contains(dump, "main") || !strings.Contains(dump, "ret") {
+		t.Fatalf("dump missing symbols:\n%s", dump)
+	}
+}
+
+func TestTracerChainsExistingHook(t *testing.T) {
+	img := mustAssemble(t, buildFactorial())
+	m := vm.New(img)
+	bindOut(m)
+	count := 0
+	m.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) { count++ }
+	tr := &vm.Tracer{}
+	tr.Attach(m, 8)
+	m.Run()
+	if count == 0 {
+		t.Fatal("chained hook never ran")
+	}
+	if int64(count) != m.InstrCount {
+		t.Fatalf("chained hook ran %d times for %d instructions", count, m.InstrCount)
+	}
+}
+
+func TestTracerShortRun(t *testing.T) {
+	img := mustAssemble(t, buildFactorial())
+	m := vm.New(img)
+	bindOut(m)
+	tr := &vm.Tracer{}
+	tr.Attach(m, 4096) // deeper than the run
+	m.Run()
+	entries := tr.Entries()
+	if int64(len(entries)) != m.InstrCount {
+		t.Fatalf("partial ring returned %d entries for %d instructions", len(entries), m.InstrCount)
+	}
+}

@@ -1,0 +1,770 @@
+// Package vm implements the VX64 virtual machine: a deterministic emulator
+// for the executable images produced by the assembler. It models the
+// architectural state that matters for realistic fault injection — a flat
+// guarded address space, a downward-growing stack, a FLAGS register, traps
+// (segfault, divide error, wild control flow), an instruction budget for
+// timeout detection, a deterministic cycle model for the speed experiments,
+// and a per-instruction execution hook that the PINFI comparator uses as its
+// stand-in for dynamic binary instrumentation.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vx"
+)
+
+// OpndKind describes the decoded shape of an instruction operand.
+type OpndKind uint8
+
+const (
+	OpNone OpndKind = iota
+	OpReg
+	OpImm  // integer immediate in Inst.Imm
+	OpFImm // float immediate, bits in Inst.Imm
+	OpMem  // memory operand described by MemBase/MemIndex/MemScale/MemDisp
+)
+
+// Inst is one decoded VX64 instruction, flattened for fast dispatch.
+// A is the destination (and first source for two-address ops); B the source.
+type Inst struct {
+	Op   vx.Op
+	Cond vx.Cond
+
+	AKind, BKind OpndKind
+	AReg, BReg   vx.Reg
+	Imm          int64 // immediate for whichever operand is Imm/FImm
+
+	// One memory operand max: address = [MemBase] + [MemIndex]*MemScale + MemDisp.
+	// MemBase/MemIndex == NoReg means absent (MemDisp then holds an absolute
+	// address, e.g. a global).
+	MemBase, MemIndex vx.Reg
+	MemScale          int32
+	MemDisp           int64
+
+	// Target is the branch destination or callee entry PC. HostIdx >= 0 marks
+	// a call to a host (native library) function instead.
+	Target  int32
+	HostIdx int32
+
+	// Fault-injection metadata, precomputed by the assembler.
+	Class        vx.Class
+	NOut         uint8
+	Outs         [3]vx.Reg
+	SiteID       int32
+	FnIdx        int32
+	Instrumented bool
+
+	NIntArgs, NFPArgs uint8
+}
+
+// FuncInfo records a function's location in the flat instruction stream.
+type FuncInfo struct {
+	Name     string
+	Entry    int32 // first pc
+	End      int32 // one past last pc
+	IsTarget bool  // matched by the -fi-funcs filter at instrumentation time
+}
+
+// Image is a loaded executable: the decoded instruction stream plus the data
+// segment layout.
+type Image struct {
+	Instrs  []Inst
+	Funcs   []FuncInfo
+	EntryPC int32
+
+	// HostFns are the external symbols the program links against, in HostIdx
+	// order. The machine binds them via BindHost before Run.
+	HostFns []string
+
+	// Data segment: initialized bytes are copied to GlobalBase at reset;
+	// GlobalEnd is the first address past the data segment.
+	InitData   []byte
+	GlobalBase int64
+	GlobalEnd  int64
+	MemSize    int64
+
+	// GlobalAddrs maps global names to their placed addresses (for host
+	// libraries that need well-known scratch slots).
+	GlobalAddrs map[string]int64
+
+	// NumSites is the number of static FI sites assigned by instrumentation.
+	NumSites int32
+}
+
+// Imports reports whether the image links against the named host function.
+func (img *Image) Imports(name string) bool {
+	for _, h := range img.HostFns {
+		if h == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncOf returns the function containing pc, or nil.
+func (img *Image) FuncOf(pc int32) *FuncInfo {
+	for i := range img.Funcs {
+		f := &img.Funcs[i]
+		if pc >= f.Entry && pc < f.End {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalBase is the default load address of the data segment. Addresses below
+// it form a guard page so that near-null dereferences trap, as on a real OS.
+const DefaultGlobalBase = 0x1000
+
+// DefaultMemSize is the default size of the flat address space. It is kept
+// deliberately modest so that single-bit corruption of an address or the
+// stack pointer frequently leaves the mapped range — the dominant crash
+// mechanism for pointer faults on real hardware.
+const DefaultMemSize = 1 << 22 // 4 MiB
+
+// TrapKind enumerates abnormal terminations.
+type TrapKind uint8
+
+const (
+	TrapNone TrapKind = iota
+	TrapSegv          // memory access outside the mapped range
+	TrapDivide        // integer divide by zero or INT64_MIN / -1
+	TrapBadPC         // control transfer outside the instruction stream
+	TrapTimeout       // instruction budget exhausted
+	TrapIllegal       // malformed instruction (assembler bug guard)
+)
+
+func (t TrapKind) String() string {
+	switch t {
+	case TrapNone:
+		return "none"
+	case TrapSegv:
+		return "segv"
+	case TrapDivide:
+		return "divide"
+	case TrapBadPC:
+		return "badpc"
+	case TrapTimeout:
+		return "timeout"
+	case TrapIllegal:
+		return "illegal"
+	}
+	return "?"
+}
+
+// HostFn is a native library function callable from VX64 code via CALLQ.
+// Implementations read arguments from and write results to the machine's
+// registers according to the ABI (integer args R1..R6, FP args F0..F7,
+// returns in R0/F0).
+type HostFn struct {
+	Name string
+	Fn   func(m *Machine)
+	// PreserveRegs marks hand-written assembly-stub semantics: the function
+	// clobbers only R0. Normal (C ABI) host functions clobber all
+	// caller-saved registers, which the machine models by scrambling them.
+	PreserveRegs bool
+	// Cycles overrides the modeled cost (0 ⇒ vx.HostCallCycles).
+	Cycles int64
+}
+
+// ExecHook observes each executed instruction. It runs after the
+// instruction's architectural effects are committed, which lets a fault
+// injector flip bits in the instruction's output registers — matching
+// PIN-style "insert analysis call after instruction" semantics. Setting
+// m.Hook = nil from inside the hook detaches it (the paper's §5.2 PINFI
+// optimization).
+type ExecHook func(m *Machine, pc int32, in *Inst)
+
+// Machine executes an Image.
+type Machine struct {
+	Img  *Image
+	Regs [vx.NumRegs]uint64 // GPRs, FPR bit patterns, FLAGS
+	Mem  []byte
+	PC   int32
+
+	Halted   bool
+	ExitCode int64
+	Trap     TrapKind
+	TrapMsg  string
+
+	// InstrCount counts executed instructions; Budget (if > 0) bounds it and
+	// triggers TrapTimeout when exceeded. Cycles accumulates the deterministic
+	// time model.
+	InstrCount int64
+	Budget     int64
+	Cycles     int64
+
+	// Output is the program's result stream (bit patterns of the values the
+	// program emitted via the out_* host functions). Golden-run comparison for
+	// SOC classification uses exactly this stream.
+	Output []uint64
+
+	Hook  ExecHook
+	hosts []HostFn
+}
+
+// New creates a machine for the image with default memory size.
+func New(img *Image) *Machine {
+	m := &Machine{Img: img}
+	m.hosts = make([]HostFn, len(img.HostFns))
+	m.Reset()
+	return m
+}
+
+// Reset re-initializes registers, memory and accounting for a fresh run.
+func (m *Machine) Reset() {
+	img := m.Img
+	if m.Mem == nil || int64(len(m.Mem)) != img.MemSize {
+		m.Mem = make([]byte, img.MemSize)
+	} else {
+		clear(m.Mem)
+	}
+	copy(m.Mem[img.GlobalBase:], img.InitData)
+	for i := range m.Regs {
+		m.Regs[i] = 0
+	}
+	m.PC = img.EntryPC
+	m.Halted = false
+	m.ExitCode = 0
+	m.Trap = TrapNone
+	m.TrapMsg = ""
+	m.InstrCount = 0
+	m.Cycles = 0
+	m.Output = m.Output[:0]
+	// Stack: push the exit sentinel so that RET from the entry function halts.
+	m.Regs[vx.SP] = uint64(img.MemSize)
+	m.push(uint64(len(img.Instrs)))
+}
+
+// BindHost installs the implementation for a named host function. It panics
+// if the image does not import the symbol, which indicates a link error in
+// the harness rather than a program-under-test failure.
+func (m *Machine) BindHost(h HostFn) {
+	for i, name := range m.Img.HostFns {
+		if name == h.Name {
+			m.hosts[i] = h
+			return
+		}
+	}
+	panic(fmt.Sprintf("vm: image does not import host function %q", h.Name))
+}
+
+// HostBound reports whether the named host symbol has an implementation.
+func (m *Machine) HostBound(name string) bool {
+	for i, n := range m.Img.HostFns {
+		if n == name {
+			return m.hosts[i].Fn != nil
+		}
+	}
+	return false
+}
+
+// Crashed reports whether the finished run counts as a crash under the
+// paper's classification: any trap, or a non-zero exit code.
+func (m *Machine) Crashed() bool {
+	return m.Trap != TrapNone || m.ExitCode != 0
+}
+
+func (m *Machine) fault(k TrapKind, format string, args ...any) {
+	m.Trap = k
+	m.TrapMsg = fmt.Sprintf(format, args...)
+	m.Halted = true
+}
+
+// memory access helpers ------------------------------------------------------
+
+func (m *Machine) load64(addr uint64) (uint64, bool) {
+	// Written to be overflow-safe: addr+8 could wrap for addresses near 2^64
+	// (e.g. a bit-flipped stack pointer).
+	if addr < DefaultGlobalBase || addr > uint64(len(m.Mem))-8 {
+		m.fault(TrapSegv, "load at %#x", addr)
+		return 0, false
+	}
+	b := m.Mem[addr:]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, true
+}
+
+func (m *Machine) store64(addr, v uint64) bool {
+	if addr < DefaultGlobalBase || addr > uint64(len(m.Mem))-8 {
+		m.fault(TrapSegv, "store at %#x", addr)
+		return false
+	}
+	b := m.Mem[addr:]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+	return true
+}
+
+func (m *Machine) push(v uint64) bool {
+	sp := m.Regs[vx.SP] - 8
+	m.Regs[vx.SP] = sp
+	return m.store64(sp, v)
+}
+
+func (m *Machine) pop() (uint64, bool) {
+	sp := m.Regs[vx.SP]
+	v, ok := m.load64(sp)
+	if !ok {
+		return 0, false
+	}
+	m.Regs[vx.SP] = sp + 8
+	return v, true
+}
+
+func (m *Machine) effAddr(in *Inst) uint64 {
+	var a uint64
+	if in.MemBase != vx.NoReg {
+		a = m.Regs[in.MemBase]
+	}
+	if in.MemIndex != vx.NoReg {
+		a += m.Regs[in.MemIndex] * uint64(in.MemScale)
+	}
+	return a + uint64(in.MemDisp)
+}
+
+// readB reads the B (source) operand value.
+func (m *Machine) readB(in *Inst) (uint64, bool) {
+	switch in.BKind {
+	case OpReg:
+		return m.Regs[in.BReg], true
+	case OpImm, OpFImm:
+		return uint64(in.Imm), true
+	case OpMem:
+		m.Cycles += vx.MemExtraCycles
+		return m.load64(m.effAddr(in))
+	}
+	m.fault(TrapIllegal, "missing source operand for %s", in.Op)
+	return 0, false
+}
+
+// readA reads the A operand as a source (for two-address read-modify-write).
+func (m *Machine) readA(in *Inst) (uint64, bool) {
+	switch in.AKind {
+	case OpReg:
+		return m.Regs[in.AReg], true
+	case OpImm, OpFImm:
+		return uint64(in.Imm), true
+	case OpMem:
+		m.Cycles += vx.MemExtraCycles
+		return m.load64(m.effAddr(in))
+	}
+	m.fault(TrapIllegal, "missing dest operand for %s", in.Op)
+	return 0, false
+}
+
+// writeA writes the A operand as a destination.
+func (m *Machine) writeA(in *Inst, v uint64) bool {
+	switch in.AKind {
+	case OpReg:
+		m.Regs[in.AReg] = v
+		return true
+	case OpMem:
+		m.Cycles += vx.MemExtraCycles
+		return m.store64(m.effAddr(in), v)
+	}
+	m.fault(TrapIllegal, "bad dest operand for %s", in.Op)
+	return false
+}
+
+func (m *Machine) setFlagsZS(v uint64) {
+	f := uint64(0)
+	if v == 0 {
+		f |= vx.FlagZ
+	}
+	if int64(v) < 0 {
+		f |= vx.FlagS
+	}
+	m.Regs[vx.RFLAGS] = f
+}
+
+// scramble models C-ABI clobbering of caller-saved registers by native
+// library code. Deterministic garbage values surface register-allocation bugs
+// in differential tests without breaking reproducibility.
+func (m *Machine) scramble() {
+	for _, r := range vx.CallerSavedGPR {
+		if r == vx.R0 {
+			continue // return value register, written by the host fn
+		}
+		m.Regs[r] = 0xD15EA5ED0000_0000 | uint64(r)
+	}
+	for _, r := range vx.CallerSavedFPR {
+		if r == vx.F0 {
+			continue
+		}
+		m.Regs[r] = 0x7FF8_DEAD_0000_0000 | uint64(r) // quiet-NaN pattern
+	}
+	m.Regs[vx.RFLAGS] = vx.FlagS
+}
+
+// Run executes until halt, trap, or budget exhaustion. It returns the trap
+// kind (TrapNone for a normal halt).
+func (m *Machine) Run() TrapKind {
+	for !m.Halted {
+		m.Step()
+	}
+	return m.Trap
+}
+
+// Step executes a single instruction.
+func (m *Machine) Step() {
+	if m.Halted {
+		return
+	}
+	img := m.Img
+	if m.PC < 0 || int(m.PC) >= len(img.Instrs) {
+		if int(m.PC) == len(img.Instrs) {
+			// Return through the exit sentinel: normal halt, exit code in R0.
+			m.Halted = true
+			m.ExitCode = int64(m.Regs[vx.R0])
+			return
+		}
+		m.fault(TrapBadPC, "pc %d outside [0,%d)", m.PC, len(img.Instrs))
+		return
+	}
+	if m.Budget > 0 && m.InstrCount >= m.Budget {
+		m.fault(TrapTimeout, "budget %d exhausted", m.Budget)
+		return
+	}
+	pc := m.PC
+	in := &img.Instrs[pc]
+	m.InstrCount++
+	m.Cycles += in.Op.CycleCost()
+	m.PC = pc + 1 // default fallthrough; control flow overrides below
+
+	switch in.Op {
+	case vx.NOP:
+
+	case vx.MOVQ, vx.MOVSD:
+		v, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		if !m.writeA(in, v) {
+			return
+		}
+
+	case vx.LEAQ:
+		m.Regs[in.AReg] = m.effAddr(in)
+
+	case vx.MOVQ2SD, vx.MOVSD2Q:
+		m.Regs[in.AReg] = m.Regs[in.BReg]
+
+	case vx.ADDQ, vx.SUBQ, vx.IMULQ, vx.ANDQ, vx.ORQ, vx.XORQ,
+		vx.SHLQ, vx.SHRQ, vx.SARQ:
+		a, ok := m.readA(in)
+		if !ok {
+			return
+		}
+		b, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		var r uint64
+		switch in.Op {
+		case vx.ADDQ:
+			r = a + b
+		case vx.SUBQ:
+			r = a - b
+		case vx.IMULQ:
+			r = uint64(int64(a) * int64(b))
+		case vx.ANDQ:
+			r = a & b
+		case vx.ORQ:
+			r = a | b
+		case vx.XORQ:
+			r = a ^ b
+		case vx.SHLQ:
+			r = a << (b & 63)
+		case vx.SHRQ:
+			r = a >> (b & 63)
+		case vx.SARQ:
+			r = uint64(int64(a) >> (b & 63))
+		}
+		if !m.writeA(in, r) {
+			return
+		}
+		m.setFlagsZS(r)
+
+	case vx.IDIVQ, vx.IREMQ:
+		a, ok := m.readA(in)
+		if !ok {
+			return
+		}
+		b, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		if b == 0 || (int64(a) == math.MinInt64 && int64(b) == -1) {
+			m.fault(TrapDivide, "divide error at pc %d", pc)
+			return
+		}
+		var r uint64
+		if in.Op == vx.IDIVQ {
+			r = uint64(int64(a) / int64(b))
+		} else {
+			r = uint64(int64(a) % int64(b))
+		}
+		if !m.writeA(in, r) {
+			return
+		}
+		m.setFlagsZS(r)
+
+	case vx.NEGQ:
+		r := uint64(-int64(m.Regs[in.AReg]))
+		m.Regs[in.AReg] = r
+		m.setFlagsZS(r)
+
+	case vx.NOTQ:
+		m.Regs[in.AReg] = ^m.Regs[in.AReg]
+
+	case vx.ADDSD, vx.SUBSD, vx.MULSD, vx.DIVSD, vx.MINSD, vx.MAXSD:
+		bv, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		a := math.Float64frombits(m.Regs[in.AReg])
+		b := math.Float64frombits(bv)
+		var r float64
+		switch in.Op {
+		case vx.ADDSD:
+			r = a + b
+		case vx.SUBSD:
+			r = a - b
+		case vx.MULSD:
+			r = a * b
+		case vx.DIVSD:
+			r = a / b
+		case vx.MINSD:
+			// x64 semantics: unordered or equal ⇒ source operand.
+			if a < b {
+				r = a
+			} else {
+				r = b
+			}
+		case vx.MAXSD:
+			if a > b {
+				r = a
+			} else {
+				r = b
+			}
+		}
+		m.Regs[in.AReg] = math.Float64bits(r)
+
+	case vx.SQRTSD:
+		bv, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		m.Regs[in.AReg] = math.Float64bits(math.Sqrt(math.Float64frombits(bv)))
+
+	case vx.ANDPD:
+		bv, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		m.Regs[in.AReg] &= bv
+
+	case vx.XORPD:
+		bv, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		m.Regs[in.AReg] ^= bv
+
+	case vx.CVTSI2SD:
+		bv, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		m.Regs[in.AReg] = math.Float64bits(float64(int64(bv)))
+
+	case vx.CVTTSD2SI:
+		bv, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		f := math.Float64frombits(bv)
+		var r int64
+		// x64 returns the "integer indefinite" value on NaN/overflow.
+		if math.IsNaN(f) || f >= math.MaxInt64 || f < math.MinInt64 {
+			r = math.MinInt64
+		} else {
+			r = int64(f)
+		}
+		m.Regs[in.AReg] = uint64(r)
+
+	case vx.CMPQ:
+		a, ok := m.readA(in)
+		if !ok {
+			return
+		}
+		b, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		var f uint64
+		if a == b {
+			f |= vx.FlagZ
+		}
+		if int64(a) < int64(b) {
+			f |= vx.FlagS
+		}
+		if a < b {
+			f |= vx.FlagC
+		}
+		m.Regs[vx.RFLAGS] = f
+
+	case vx.TESTQ:
+		a, ok := m.readA(in)
+		if !ok {
+			return
+		}
+		b, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		m.setFlagsZS(a & b)
+
+	case vx.UCOMISD:
+		a := math.Float64frombits(m.Regs[in.AReg])
+		bv, ok := m.readB(in)
+		if !ok {
+			return
+		}
+		b := math.Float64frombits(bv)
+		var f uint64
+		switch {
+		case math.IsNaN(a) || math.IsNaN(b):
+			f = vx.FlagZ | vx.FlagC | vx.FlagP
+		case a == b:
+			f = vx.FlagZ
+		case a < b:
+			f = vx.FlagC
+		}
+		m.Regs[vx.RFLAGS] = f
+
+	case vx.SETCC:
+		if in.Cond.Eval(m.Regs[vx.RFLAGS]) {
+			m.Regs[in.AReg] = 1
+		} else {
+			m.Regs[in.AReg] = 0
+		}
+
+	case vx.JMP:
+		m.PC = in.Target
+
+	case vx.JCC:
+		if in.Cond.Eval(m.Regs[vx.RFLAGS]) {
+			m.PC = in.Target
+		}
+
+	case vx.CALLQ:
+		if in.HostIdx >= 0 {
+			h := &m.hosts[in.HostIdx]
+			if h.Fn == nil {
+				m.fault(TrapIllegal, "unbound host function %q", m.Img.HostFns[in.HostIdx])
+				return
+			}
+			c := h.Cycles
+			if c == 0 {
+				c = vx.HostCallCycles
+			}
+			m.Cycles += c
+			h.Fn(m)
+			if !h.PreserveRegs {
+				m.scrambleExceptResults()
+			}
+		} else {
+			if !m.push(uint64(pc + 1)) {
+				return
+			}
+			m.PC = in.Target
+		}
+
+	case vx.RET:
+		v, ok := m.pop()
+		if !ok {
+			return
+		}
+		if v > uint64(len(img.Instrs)) {
+			m.fault(TrapBadPC, "ret to %#x", v)
+			return
+		}
+		m.PC = int32(v)
+
+	case vx.PUSHQ:
+		v, ok := m.readA(in)
+		if !ok {
+			return
+		}
+		if !m.push(v) {
+			return
+		}
+
+	case vx.POPQ:
+		v, ok := m.pop()
+		if !ok {
+			return
+		}
+		m.Regs[in.AReg] = v
+
+	case vx.PUSHF:
+		if !m.push(m.Regs[vx.RFLAGS]) {
+			return
+		}
+
+	case vx.POPF:
+		v, ok := m.pop()
+		if !ok {
+			return
+		}
+		m.Regs[vx.RFLAGS] = v
+
+	case vx.HALT:
+		m.Halted = true
+		m.ExitCode = int64(m.Regs[vx.R0])
+
+	default:
+		m.fault(TrapIllegal, "unknown opcode %d", in.Op)
+		return
+	}
+
+	if m.Hook != nil && !m.Halted {
+		m.Hook(m, pc, in)
+	}
+}
+
+// scrambleExceptResults clobbers caller-saved registers except the return
+// registers, which the host implementation has already written.
+func (m *Machine) scrambleExceptResults() {
+	saved0, savedF0 := m.Regs[vx.R0], m.Regs[vx.F0]
+	m.scramble()
+	m.Regs[vx.R0] = saved0
+	m.Regs[vx.F0] = savedF0
+}
+
+// FlipBit XORs a single bit into a register. FPR values are stored as bit
+// patterns, so the same operation covers both classes; flips into FLAGS only
+// touch the architecturally meaningful bits (a flip elsewhere is masked, as
+// the reserved bits of a real FLAGS register would be).
+func (m *Machine) FlipBit(r vx.Reg, bit uint) {
+	m.Regs[r] ^= 1 << (bit & 63)
+}
+
+// RegBitSize returns the injectable width of a register for operand/bit
+// selection: 64 for GPRs and FPRs, FlagsBits for FLAGS.
+func RegBitSize(r vx.Reg) uint {
+	if r.IsFlags() {
+		return vx.FlagsBits
+	}
+	return 64
+}

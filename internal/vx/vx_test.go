@@ -1,0 +1,121 @@
+package vx_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vx"
+)
+
+func TestRegisterClassesPartition(t *testing.T) {
+	gprs, fprs := 0, 0
+	for r := vx.Reg(0); r < vx.NumRegs; r++ {
+		switch {
+		case r.IsGPR():
+			gprs++
+			if r.IsFPR() || r.IsFlags() {
+				t.Fatalf("register %s in two classes", r)
+			}
+		case r.IsFPR():
+			fprs++
+			if r.IsFlags() {
+				t.Fatalf("register %s in two classes", r)
+			}
+		case r.IsFlags():
+		default:
+			t.Fatalf("register %d in no class", r)
+		}
+	}
+	if gprs != 16 || fprs != 16 {
+		t.Fatalf("gprs=%d fprs=%d, want 16/16", gprs, fprs)
+	}
+}
+
+func TestCallerCalleeSavedDisjoint(t *testing.T) {
+	seen := map[vx.Reg]string{}
+	for _, r := range vx.CallerSavedGPR {
+		seen[r] = "caller"
+	}
+	for _, r := range vx.CalleeSavedGPR {
+		if seen[r] != "" {
+			t.Fatalf("%s is both caller- and callee-saved", r)
+		}
+		seen[r] = "callee"
+	}
+	for _, r := range vx.CallerSavedFPR {
+		seen[r] = "caller"
+	}
+	for _, r := range vx.CalleeSavedFPR {
+		if seen[r] == "caller" {
+			t.Fatalf("%s is both caller- and callee-saved", r)
+		}
+	}
+	// SP and BP are special; BP must not be in the caller-saved set.
+	for _, r := range vx.CallerSavedGPR {
+		if r == vx.SP || r == vx.BP {
+			t.Fatalf("%s must not be caller-saved", r)
+		}
+	}
+}
+
+func TestCondEvalComplements(t *testing.T) {
+	pairs := [][2]vx.Cond{
+		{vx.CondE, vx.CondNE},
+		{vx.CondL, vx.CondGE},
+		{vx.CondLE, vx.CondG},
+		{vx.CondB, vx.CondAE},
+		{vx.CondBE, vx.CondA},
+		{vx.CondP, vx.CondNP},
+		{vx.CondEO, vx.CondNEU},
+	}
+	err := quick.Check(func(flags uint8) bool {
+		f := uint64(flags) & (vx.FlagZ | vx.FlagS | vx.FlagC | vx.FlagP)
+		for _, p := range pairs {
+			if p[0].Eval(f) == p[1].Eval(f) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondOrderedNotEqual(t *testing.T) {
+	// ONE = !Z && !P; on ordered non-equal compares exactly one of A/B holds.
+	for _, f := range []uint64{0, vx.FlagZ, vx.FlagC, vx.FlagZ | vx.FlagC | vx.FlagP} {
+		one := vx.CondONE.Eval(f)
+		want := f&vx.FlagZ == 0 && f&vx.FlagP == 0
+		if one != want {
+			t.Fatalf("ONE on flags %b = %v, want %v", f, one, want)
+		}
+	}
+}
+
+func TestOpStringsAndCosts(t *testing.T) {
+	for op := vx.Op(0); op < vx.NumOps; op++ {
+		if op.String() == "" || op.String()[0] == 'o' && op.String() == "op?" {
+			t.Fatalf("op %d has no name", op)
+		}
+		if op.CycleCost() <= 0 {
+			t.Fatalf("op %s has non-positive cost", op)
+		}
+	}
+	if vx.IDIVQ.CycleCost() <= vx.ADDQ.CycleCost() {
+		t.Fatal("divide must cost more than add")
+	}
+}
+
+func TestSetsFlags(t *testing.T) {
+	for _, op := range []vx.Op{vx.ADDQ, vx.SUBQ, vx.CMPQ, vx.TESTQ, vx.UCOMISD, vx.NEGQ} {
+		if !op.SetsFlags() {
+			t.Fatalf("%s must set flags", op)
+		}
+	}
+	for _, op := range []vx.Op{vx.MOVQ, vx.MOVSD, vx.LEAQ, vx.ADDSD, vx.NOTQ, vx.JMP} {
+		if op.SetsFlags() {
+			t.Fatalf("%s must not set flags", op)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package workloads_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/workloads"
+)
+
+// TestGoldenRegression pins representative golden outputs per workload.
+// Any change to a kernel, the IR semantics, or the interpreter that alters
+// program results — and would therefore silently invalidate recorded
+// experiment numbers — fails here.
+func TestGoldenRegression(t *testing.T) {
+	// First FP output of each application (bits compared via value).
+	want := map[string]struct {
+		idx int
+		val float64
+		tol float64
+	}{
+		"HPCCG":  {0, 0.095289, 1e-5},  // residual after 12 CG iterations
+		"miniFE": {0, 0.349631, 1e-5},  // residual after 10 CG iterations
+		"EP":     {0, -8.724820, 1e-5}, // Σ gaussian X
+		"FT":     {0, 33.024340, 1e-5}, // Σ re after fwd+evolve+inv FFT
+	}
+	for _, app := range workloads.Registry() {
+		ip := ir.NewInterp(app.Build())
+		if _, err := ip.Run("main"); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		w, ok := want[app.Name]
+		if !ok {
+			continue
+		}
+		got := math.Float64frombits(ip.Output[w.idx])
+		if math.Abs(got-w.val) > w.tol {
+			t.Errorf("%s output[%d] = %.6f, want %.6f ± %g", app.Name, w.idx, got, w.val, w.tol)
+		}
+	}
+}
+
+// TestGoldenStability runs each workload twice and requires bit-identical
+// output streams — the determinism SOC classification depends on.
+func TestGoldenStability(t *testing.T) {
+	for _, app := range workloads.Registry() {
+		a := ir.NewInterp(app.Build())
+		if _, err := a.Run("main"); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		b := ir.NewInterp(app.Build())
+		if _, err := b.Run("main"); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if len(a.Output) != len(b.Output) {
+			t.Fatalf("%s: run-to-run output length differs", app.Name)
+		}
+		for i := range a.Output {
+			if a.Output[i] != b.Output[i] {
+				t.Fatalf("%s: output[%d] differs across runs", app.Name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// BuildFT mimics NAS FT: an iterative radix-2 complex FFT with bit-reversal
+// permutation and per-stage twiddle recurrences (twiddle seeds are compile-
+// time constants, as in the original's precomputed roots), applied forward
+// and inverse with a spectral evolution step between.
+func BuildFT() *ir.Module {
+	m, b := newModule("FT")
+	const nfft = 64
+	const stages = 6 // log2(nfft)
+	m.AddGlobal(ir.Global{Name: "re", Size: nfft * 8})
+	m.AddGlobal(ir.Global{Name: "im", Size: nfft * 8})
+	addLCG(m, b)
+
+	// bitrev(): in-place bit-reversal permutation.
+	b.NewFunc("bitrev", ir.Void)
+	{
+		re, im := b.GlobalAddr("re"), b.GlobalAddr("im")
+		b.Loop(b.ConstI(0), b.ConstI(nfft), b.ConstI(1), func(i *ir.Value) {
+			// Reverse the low `stages` bits of i.
+			rev := b.NewVar(ir.I64, b.ConstI(0))
+			tmp := b.NewVar(ir.I64, i)
+			b.Loop(b.ConstI(0), b.ConstI(stages), b.ConstI(1), func(_ *ir.Value) {
+				rev.Set(b.Or(b.Shl(rev.Get(), b.ConstI(1)), b.And(tmp.Get(), b.ConstI(1))))
+				tmp.Set(b.AShr(tmp.Get(), b.ConstI(1)))
+			})
+			// Swap once per pair.
+			b.If(b.ICmp(ir.SLT, i, rev.Get()), func() {
+				for _, arr := range []*ir.Value{re, im} {
+					a := b.Load(ir.F64, b.Index(arr, i))
+					c := b.Load(ir.F64, b.Index(arr, rev.Get()))
+					b.Store(c, b.Index(arr, i))
+					b.Store(a, b.Index(arr, rev.Get()))
+				}
+			}, nil)
+		})
+		b.Ret(nil)
+	}
+
+	// fft(sign): iterative Cooley–Tukey; sign = +1 forward, −1 inverse.
+	b.NewFunc("fft", ir.Void, ir.F64)
+	{
+		sign := b.Param(0)
+		re, im := b.GlobalAddr("re"), b.GlobalAddr("im")
+		b.Call("bitrev")
+		for s := 1; s <= stages; s++ {
+			l := int64(1) << s
+			half := l / 2
+			ang := -2 * math.Pi / float64(l)
+			wr0, wi0 := math.Cos(ang), math.Sin(ang)
+			wr := b.NewVar(ir.F64, b.ConstF(1))
+			wi := b.NewVar(ir.F64, b.ConstF(0))
+			b.Loop(b.ConstI(0), b.ConstI(half), b.ConstI(1), func(j *ir.Value) {
+				wiEff := b.FMul(wi.Get(), sign)
+				b.Loop(j, b.ConstI(nfft), b.ConstI(l), func(k *ir.Value) {
+					k2 := b.Add(k, b.ConstI(half))
+					ar := b.Load(ir.F64, b.Index(re, k))
+					ai := b.Load(ir.F64, b.Index(im, k))
+					br := b.Load(ir.F64, b.Index(re, k2))
+					bi := b.Load(ir.F64, b.Index(im, k2))
+					tr := b.FSub(b.FMul(wr.Get(), br), b.FMul(wiEff, bi))
+					ti := b.FAdd(b.FMul(wr.Get(), bi), b.FMul(wiEff, br))
+					b.Store(b.FAdd(ar, tr), b.Index(re, k))
+					b.Store(b.FAdd(ai, ti), b.Index(im, k))
+					b.Store(b.FSub(ar, tr), b.Index(re, k2))
+					b.Store(b.FSub(ai, ti), b.Index(im, k2))
+				})
+				// Twiddle recurrence: w *= w0.
+				nwr := b.FSub(b.FMul(wr.Get(), b.ConstF(wr0)), b.FMul(wi.Get(), b.ConstF(wi0)))
+				nwi := b.FAdd(b.FMul(wr.Get(), b.ConstF(wi0)), b.FMul(wi.Get(), b.ConstF(wr0)))
+				wr.Set(nwr)
+				wi.Set(nwi)
+			})
+		}
+		b.Ret(nil)
+	}
+
+	b.NewFunc("main", ir.I64)
+	{
+		seedLCG(b, 161803)
+		re, im := b.GlobalAddr("re"), b.GlobalAddr("im")
+		b.Loop(b.ConstI(0), b.ConstI(nfft), b.ConstI(1), func(i *ir.Value) {
+			b.Store(b.Call("rand_f"), b.Index(re, i))
+			b.Store(b.Call("rand_f"), b.Index(im, i))
+		})
+		b.Call("fft", b.ConstF(1))
+		// Evolve: damp each mode (stand-in for the exp(−4π²t) factors).
+		b.Loop(b.ConstI(0), b.ConstI(nfft), b.ConstI(1), func(i *ir.Value) {
+			damp := b.FDiv(b.ConstF(1), b.FAdd(b.ConstF(1), b.FMul(b.ConstF(0.001), b.SIToFP(i))))
+			b.Store(b.FMul(b.Load(ir.F64, b.Index(re, i)), damp), b.Index(re, i))
+			b.Store(b.FMul(b.Load(ir.F64, b.Index(im, i)), damp), b.Index(im, i))
+		})
+		b.Call("fft", b.ConstF(-1))
+		// Inverse needs 1/n scaling.
+		b.Loop(b.ConstI(0), b.ConstI(nfft), b.ConstI(1), func(i *ir.Value) {
+			b.Store(b.FMul(b.Load(ir.F64, b.Index(re, i)), b.ConstF(1.0/nfft)), b.Index(re, i))
+			b.Store(b.FMul(b.Load(ir.F64, b.Index(im, i)), b.ConstF(1.0/nfft)), b.Index(im, i))
+		})
+		emitChecksum(b, re, nfft)
+		emitChecksum(b, im, nfft)
+		b.Ret(b.ConstI(0))
+	}
+	return m
+}
+
+// BuildLU mimics NAS LU: SSOR — forward (lower) and backward (upper)
+// Gauss–Seidel sweeps over a 2D five-point operator with in-place updates,
+// whose loop-carried dependences distinguish it from Jacobi-style kernels.
+func BuildLU() *ir.Module {
+	m, b := newModule("LU")
+	const n = 18 // n×n interior grid
+	m.AddGlobal(ir.Global{Name: "u", Size: n * n * 8})
+	m.AddGlobal(ir.Global{Name: "f", Size: n * n * 8})
+
+	at := func(b *ir.Builder, p, i, j *ir.Value) *ir.Value {
+		return b.Index(p, b.Add(b.Mul(i, b.ConstI(n)), j))
+	}
+
+	// sweep(dir): dir=0 forward, dir=1 backward; ω-relaxed Gauss–Seidel.
+	b.NewFunc("sweep", ir.Void, ir.I64)
+	{
+		u, f := b.GlobalAddr("u"), b.GlobalAddr("f")
+		dir := b.Param(0)
+		b.Loop(b.ConstI(1), b.ConstI(n-1), b.ConstI(1), func(ii *ir.Value) {
+			b.Loop(b.ConstI(1), b.ConstI(n-1), b.ConstI(1), func(jj *ir.Value) {
+				// Reverse iteration order for the backward sweep.
+				i := b.Select(b.ICmp(ir.EQ, dir, b.ConstI(0)), ii, b.Sub(b.ConstI(n-1), ii))
+				j := b.Select(b.ICmp(ir.EQ, dir, b.ConstI(0)), jj, b.Sub(b.ConstI(n-1), jj))
+				nb := b.FAdd(
+					b.FAdd(b.Load(ir.F64, at(b, u, b.Sub(i, b.ConstI(1)), j)),
+						b.Load(ir.F64, at(b, u, b.Add(i, b.ConstI(1)), j))),
+					b.FAdd(b.Load(ir.F64, at(b, u, i, b.Sub(j, b.ConstI(1)))),
+						b.Load(ir.F64, at(b, u, i, b.Add(j, b.ConstI(1))))))
+				gs := b.FMul(b.ConstF(0.25), b.FAdd(nb, b.Load(ir.F64, at(b, f, i, j))))
+				old := b.Load(ir.F64, at(b, u, i, j))
+				// ω = 1.2 over-relaxation.
+				nv := b.FAdd(b.FMul(b.ConstF(-0.2), old), b.FMul(b.ConstF(1.2), gs))
+				b.Store(nv, at(b, u, i, j))
+			})
+		})
+		b.Ret(nil)
+	}
+
+	// resid() = Σ (f − A·u)² over the interior.
+	b.NewFunc("resid", ir.F64)
+	{
+		u, f := b.GlobalAddr("u"), b.GlobalAddr("f")
+		acc := b.NewVar(ir.F64, b.ConstF(0))
+		b.Loop(b.ConstI(1), b.ConstI(n-1), b.ConstI(1), func(i *ir.Value) {
+			b.Loop(b.ConstI(1), b.ConstI(n-1), b.ConstI(1), func(j *ir.Value) {
+				nb := b.FAdd(
+					b.FAdd(b.Load(ir.F64, at(b, u, b.Sub(i, b.ConstI(1)), j)),
+						b.Load(ir.F64, at(b, u, b.Add(i, b.ConstI(1)), j))),
+					b.FAdd(b.Load(ir.F64, at(b, u, i, b.Sub(j, b.ConstI(1)))),
+						b.Load(ir.F64, at(b, u, i, b.Add(j, b.ConstI(1))))))
+				au := b.FSub(b.FMul(b.ConstF(4), b.Load(ir.F64, at(b, u, i, j))), nb)
+				r := b.FSub(b.Load(ir.F64, at(b, f, i, j)), au)
+				acc.Set(b.FAdd(acc.Get(), b.FMul(r, r)))
+			})
+		})
+		b.Ret(acc.Get())
+	}
+
+	b.NewFunc("main", ir.I64)
+	{
+		u, f := b.GlobalAddr("u"), b.GlobalAddr("f")
+		b.Loop(b.ConstI(0), b.ConstI(n*n), b.ConstI(1), func(k *ir.Value) {
+			b.Store(b.ConstF(0), b.Index(u, k))
+			x := b.SIToFP(b.SRem(k, b.ConstI(n)))
+			y := b.SIToFP(b.SDiv(k, b.ConstI(n)))
+			b.Store(b.FMul(b.ConstF(0.01), b.FMul(x, y)), b.Index(f, k))
+		})
+		b.Loop(b.ConstI(0), b.ConstI(10), b.ConstI(1), func(_ *ir.Value) {
+			b.Call("sweep", b.ConstI(0))
+			b.Call("sweep", b.ConstI(1))
+		})
+		b.Call("out_f64", b.Call("resid"))
+		emitChecksum(b, u, n*n)
+		b.Ret(b.ConstI(0))
+	}
+	return m
+}
+
+// BuildSP mimics NAS SP (scalar pentadiagonal): forward elimination and back
+// substitution over penta-diagonal systems, the scalar counterpart of BT's
+// block solves, repeated for multiple right-hand sides.
+func BuildSP() *ir.Module {
+	m, b := newModule("SP")
+	const n = 60
+	// Bands: a (i−2), bnd (i−1), d (diag), e (i+1), g (i+2); rhs/solution.
+	for _, gl := range []string{"ba", "bb", "bd", "be", "bg", "rhs", "sol"} {
+		m.AddGlobal(ir.Global{Name: gl, Size: n * 8})
+	}
+	addLCG(m, b)
+
+	// solve(): in-place Gaussian elimination specialized to the 5 bands.
+	b.NewFunc("solve", ir.Void)
+	{
+		ba, bbd, bd := b.GlobalAddr("ba"), b.GlobalAddr("bb"), b.GlobalAddr("bd")
+		be, bg, rhs := b.GlobalAddr("be"), b.GlobalAddr("bg"), b.GlobalAddr("rhs")
+		sol := b.GlobalAddr("sol")
+		ld := func(p *ir.Value, i *ir.Value) *ir.Value { return b.Load(ir.F64, b.Index(p, i)) }
+		st := func(v *ir.Value, p *ir.Value, i *ir.Value) { b.Store(v, b.Index(p, i)) }
+
+		// Forward: eliminate the two sub-diagonals.
+		b.Loop(b.ConstI(0), b.ConstI(n-1), b.ConstI(1), func(i *ir.Value) {
+			i1 := b.Add(i, b.ConstI(1))
+			// Row i+1 -= (b[i+1]/d[i]) · row i.
+			f1 := b.FDiv(ld(bbd, i1), ld(bd, i))
+			st(b.FSub(ld(bd, i1), b.FMul(f1, ld(be, i))), bd, i1)
+			st(b.FSub(ld(be, i1), b.FMul(f1, ld(bg, i))), be, i1)
+			st(b.FSub(ld(rhs, i1), b.FMul(f1, ld(rhs, i))), rhs, i1)
+			// Row i+2 -= (a[i+2]/d[i]) · row i.
+			b.If(b.ICmp(ir.SLT, i1, b.ConstI(n-1)), func() {
+				i2 := b.Add(i, b.ConstI(2))
+				f2 := b.FDiv(ld(ba, i2), ld(bd, i))
+				st(b.FSub(ld(bbd, i2), b.FMul(f2, ld(be, i))), bbd, i2)
+				st(b.FSub(ld(bd, i2), b.FMul(f2, ld(bg, i))), bd, i2)
+				st(b.FSub(ld(rhs, i2), b.FMul(f2, ld(rhs, i))), rhs, i2)
+			}, nil)
+		})
+		// Back substitution.
+		last := b.ConstI(n - 1)
+		st(b.FDiv(ld(rhs, last), ld(bd, last)), sol, last)
+		last2 := b.ConstI(n - 2)
+		v := b.FDiv(b.FSub(ld(rhs, last2), b.FMul(ld(be, last2), ld(sol, last))), ld(bd, last2))
+		st(v, sol, last2)
+		b.Loop(b.ConstI(2), b.ConstI(n), b.ConstI(1), func(k *ir.Value) {
+			i := b.Sub(b.ConstI(n-1), k)
+			i1 := b.Add(i, b.ConstI(1))
+			i2 := b.Add(i, b.ConstI(2))
+			num := b.FSub(b.FSub(ld(rhs, i), b.FMul(ld(be, i), ld(sol, i1))), b.FMul(ld(bg, i), ld(sol, i2)))
+			st(b.FDiv(num, ld(bd, i)), sol, i)
+		})
+		b.Ret(nil)
+	}
+
+	b.NewFunc("main", ir.I64)
+	{
+		seedLCG(b, 55)
+		ba, bbd, bd := b.GlobalAddr("ba"), b.GlobalAddr("bb"), b.GlobalAddr("bd")
+		be, bg, rhs := b.GlobalAddr("be"), b.GlobalAddr("bg"), b.GlobalAddr("rhs")
+		sol := b.GlobalAddr("sol")
+		total := b.NewVar(ir.F64, b.ConstF(0))
+		b.Loop(b.ConstI(0), b.ConstI(3), b.ConstI(1), func(_ *ir.Value) {
+			b.Loop(b.ConstI(0), b.ConstI(n), b.ConstI(1), func(i *ir.Value) {
+				small := func() *ir.Value {
+					return b.FMul(b.FSub(b.Call("rand_f"), b.ConstF(0.5)), b.ConstF(0.6))
+				}
+				b.Store(small(), b.Index(ba, i))
+				b.Store(small(), b.Index(bbd, i))
+				b.Store(b.FAdd(b.ConstF(5), b.Call("rand_f")), b.Index(bd, i))
+				b.Store(small(), b.Index(be, i))
+				b.Store(small(), b.Index(bg, i))
+				b.Store(b.Call("rand_f"), b.Index(rhs, i))
+			})
+			b.Call("solve")
+			b.Loop(b.ConstI(0), b.ConstI(n), b.ConstI(1), func(i *ir.Value) {
+				total.Set(b.FAdd(total.Get(), b.Load(ir.F64, b.Index(sol, i))))
+			})
+		})
+		b.Call("out_f64", total.Get())
+		emitChecksum(b, sol, n)
+		b.Ret(b.ConstI(0))
+	}
+	return m
+}
+
+// BuildUA mimics NAS UA (unstructured adaptive): gather–compute–scatter over
+// an element-to-DOF indirection table, with a data-driven adaptation step
+// that rewires the table between iterations — the irregular, pointer-heavy
+// access pattern none of the structured kernels exhibit.
+func BuildUA() *ir.Module {
+	m, b := newModule("UA")
+	const nel = 64
+	const ndof = 100
+	const elSize = 4
+	m.AddGlobal(ir.Global{Name: "conn", Size: nel * elSize * 8}) // element→dof table
+	m.AddGlobal(ir.Global{Name: "dof", Size: ndof * 8})
+	m.AddGlobal(ir.Global{Name: "elval", Size: nel * 8})
+	addLCG(m, b)
+
+	// gatherCompute(): element value = mean of its DOFs, scaled.
+	b.NewFunc("gatherCompute", ir.Void)
+	{
+		conn, dof, elval := b.GlobalAddr("conn"), b.GlobalAddr("dof"), b.GlobalAddr("elval")
+		b.Loop(b.ConstI(0), b.ConstI(nel), b.ConstI(1), func(e *ir.Value) {
+			acc := b.NewVar(ir.F64, b.ConstF(0))
+			b.Loop(b.ConstI(0), b.ConstI(elSize), b.ConstI(1), func(k *ir.Value) {
+				idx := b.Load(ir.I64, b.Index(conn, b.Add(b.Mul(e, b.ConstI(elSize)), k)))
+				acc.Set(b.FAdd(acc.Get(), b.Load(ir.F64, b.Index(dof, idx))))
+			})
+			b.Store(b.FMul(acc.Get(), b.ConstF(0.25)), b.Index(elval, e))
+		})
+		b.Ret(nil)
+	}
+
+	// scatterAdd(): dof += elval/4 over the same connectivity.
+	b.NewFunc("scatterAdd", ir.Void)
+	{
+		conn, dof, elval := b.GlobalAddr("conn"), b.GlobalAddr("dof"), b.GlobalAddr("elval")
+		b.Loop(b.ConstI(0), b.ConstI(nel), b.ConstI(1), func(e *ir.Value) {
+			ev := b.FMul(b.Load(ir.F64, b.Index(elval, e)), b.ConstF(0.05))
+			b.Loop(b.ConstI(0), b.ConstI(elSize), b.ConstI(1), func(k *ir.Value) {
+				idx := b.Load(ir.I64, b.Index(conn, b.Add(b.Mul(e, b.ConstI(elSize)), k)))
+				cur := b.Load(ir.F64, b.Index(dof, idx))
+				b.Store(b.FAdd(cur, ev), b.Index(dof, idx))
+			})
+		})
+		b.Ret(nil)
+	}
+
+	// adapt(): elements with large values rewire one connectivity slot —
+	// data-dependent index mutation, UA's signature behaviour.
+	b.NewFunc("adapt", ir.Void)
+	{
+		conn, elval := b.GlobalAddr("conn"), b.GlobalAddr("elval")
+		b.Loop(b.ConstI(0), b.ConstI(nel), b.ConstI(1), func(e *ir.Value) {
+			ev := b.Load(ir.F64, b.Index(elval, e))
+			b.If(b.FCmp(ir.OGT, ev, b.ConstF(0.6)), func() {
+				slot := b.Add(b.Mul(e, b.ConstI(elSize)), b.SRem(e, b.ConstI(elSize)))
+				nv := b.SRem(b.Call("rand_u"), b.ConstI(ndof))
+				b.Store(nv, b.Index(conn, slot))
+			}, nil)
+		})
+		b.Ret(nil)
+	}
+
+	b.NewFunc("main", ir.I64)
+	{
+		seedLCG(b, 8128)
+		conn, dof := b.GlobalAddr("conn"), b.GlobalAddr("dof")
+		b.Loop(b.ConstI(0), b.ConstI(nel*elSize), b.ConstI(1), func(k *ir.Value) {
+			b.Store(b.SRem(b.Call("rand_u"), b.ConstI(ndof)), b.Index(conn, k))
+		})
+		b.Loop(b.ConstI(0), b.ConstI(ndof), b.ConstI(1), func(k *ir.Value) {
+			b.Store(b.Call("rand_f"), b.Index(dof, k))
+		})
+		b.Loop(b.ConstI(0), b.ConstI(7), b.ConstI(1), func(_ *ir.Value) {
+			b.Call("gatherCompute")
+			b.Call("scatterAdd")
+			b.Call("adapt")
+		})
+		emitChecksum(b, dof, ndof)
+		emitChecksum(b, b.GlobalAddr("elval"), nel)
+		b.Ret(b.ConstI(0))
+	}
+	return m
+}

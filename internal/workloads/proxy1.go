@@ -1,0 +1,356 @@
+package workloads
+
+import "repro/internal/ir"
+
+// BuildHPCCG mimics the HPCCG mini-app (Table 3: a conjugate-gradient solve
+// on a sparse stencil matrix): matrix-free CG on a 2D five-point Laplacian
+// with the classic ddot / waxpby / sparsemv kernel decomposition of the
+// original source tree.
+func BuildHPCCG() *ir.Module {
+	m, b := newModule("HPCCG")
+	const n = 14 // grid side; n*n unknowns
+	const nn = n * n
+	for _, g := range []string{"x", "rhs", "r", "p", "ap"} {
+		m.AddGlobal(ir.Global{Name: g, Size: nn * 8})
+	}
+
+	// ddot(a, b) = Σ a[i]·b[i]
+	b.NewFunc("ddot", ir.F64, ir.Ptr, ir.Ptr)
+	{
+		acc := b.NewVar(ir.F64, b.ConstF(0))
+		b.Loop(b.ConstI(0), b.ConstI(nn), b.ConstI(1), func(i *ir.Value) {
+			av := b.Load(ir.F64, b.Index(b.Param(0), i))
+			bv := b.Load(ir.F64, b.Index(b.Param(1), i))
+			acc.Set(b.FAdd(acc.Get(), b.FMul(av, bv)))
+		})
+		b.Ret(acc.Get())
+	}
+
+	// waxpby(w, alpha, x, beta, y): w = alpha·x + beta·y
+	b.NewFunc("waxpby", ir.Void, ir.Ptr, ir.F64, ir.Ptr, ir.F64, ir.Ptr)
+	{
+		b.Loop(b.ConstI(0), b.ConstI(nn), b.ConstI(1), func(i *ir.Value) {
+			xv := b.Load(ir.F64, b.Index(b.Param(2), i))
+			yv := b.Load(ir.F64, b.Index(b.Param(4), i))
+			v := b.FAdd(b.FMul(b.Param(1), xv), b.FMul(b.Param(3), yv))
+			b.Store(v, b.Index(b.Param(0), i))
+		})
+		b.Ret(nil)
+	}
+
+	// sparsemv(y, x): y = A·x with A the 2D five-point stencil.
+	b.NewFunc("sparsemv", ir.Void, ir.Ptr, ir.Ptr)
+	{
+		yp, xp := b.Param(0), b.Param(1)
+		b.Loop(b.ConstI(0), b.ConstI(n), b.ConstI(1), func(row *ir.Value) {
+			b.Loop(b.ConstI(0), b.ConstI(n), b.ConstI(1), func(col *ir.Value) {
+				idx := b.Add(b.Mul(row, b.ConstI(n)), col)
+				center := b.FMul(b.ConstF(4), b.Load(ir.F64, b.Index(xp, idx)))
+				acc := b.NewVar(ir.F64, center)
+				sub := func(cond *ir.Value, nIdx *ir.Value) {
+					b.If(cond, func() {
+						acc.Set(b.FSub(acc.Get(), b.Load(ir.F64, b.Index(xp, nIdx))))
+					}, nil)
+				}
+				sub(b.ICmp(ir.SGT, col, b.ConstI(0)), b.Sub(idx, b.ConstI(1)))
+				sub(b.ICmp(ir.SLT, col, b.ConstI(n-1)), b.Add(idx, b.ConstI(1)))
+				sub(b.ICmp(ir.SGT, row, b.ConstI(0)), b.Sub(idx, b.ConstI(n)))
+				sub(b.ICmp(ir.SLT, row, b.ConstI(n-1)), b.Add(idx, b.ConstI(n)))
+				b.Store(acc.Get(), b.Index(yp, idx))
+			})
+		})
+		b.Ret(nil)
+	}
+
+	b.NewFunc("main", ir.I64)
+	{
+		x := b.GlobalAddr("x")
+		rhs := b.GlobalAddr("rhs")
+		r := b.GlobalAddr("r")
+		p := b.GlobalAddr("p")
+		ap := b.GlobalAddr("ap")
+		b.Loop(b.ConstI(0), b.ConstI(nn), b.ConstI(1), func(i *ir.Value) {
+			b.Store(b.ConstF(0), b.Index(x, i))
+			b.Store(b.ConstF(1), b.Index(rhs, i))
+			b.Store(b.ConstF(1), b.Index(r, i))
+			b.Store(b.ConstF(1), b.Index(p, i))
+		})
+		rr := b.NewVar(ir.F64, b.Call("ddot", r, r))
+		b.Loop(b.ConstI(0), b.ConstI(12), b.ConstI(1), func(_ *ir.Value) {
+			b.Call("sparsemv", ap, p)
+			pap := b.Call("ddot", p, ap)
+			alpha := b.FDiv(rr.Get(), pap)
+			b.Call("waxpby", x, b.ConstF(1), x, alpha, p)
+			b.Call("waxpby", r, b.ConstF(1), r, b.FNeg(alpha), ap)
+			rrNew := b.Call("ddot", r, r)
+			beta := b.FDiv(rrNew, rr.Get())
+			rr.Set(rrNew)
+			b.Call("waxpby", p, b.ConstF(1), r, beta, p)
+		})
+		b.Call("out_f64", rr.Get())
+		emitChecksum(b, x, nn)
+		b.Ret(b.ConstI(0))
+	}
+	return m
+}
+
+// BuildCoMD mimics the CoMD molecular-dynamics proxy: Lennard-Jones pair
+// forces over all atom pairs with a cutoff, velocity-Verlet integration, and
+// potential/kinetic energy reporting (the eamForce/advance structure of the
+// original, cf. the paper's Listing 1).
+func BuildCoMD() *ir.Module {
+	m, b := newModule("CoMD")
+	const nAtoms = 36
+	for _, g := range []string{"px", "py", "pz", "vx", "vy", "vz", "fx", "fy", "fz"} {
+		m.AddGlobal(ir.Global{Name: g, Size: nAtoms * 8})
+	}
+	m.AddGlobal(ir.Global{Name: "epot", Size: 8})
+	addLCG(m, b)
+
+	// computeForce(): LJ 6-12 forces, accumulating potential energy.
+	b.NewFunc("computeForce", ir.Void)
+	{
+		px, py, pz := b.GlobalAddr("px"), b.GlobalAddr("py"), b.GlobalAddr("pz")
+		fx, fy, fz := b.GlobalAddr("fx"), b.GlobalAddr("fy"), b.GlobalAddr("fz")
+		epot := b.GlobalAddr("epot")
+		b.Loop(b.ConstI(0), b.ConstI(nAtoms), b.ConstI(1), func(i *ir.Value) {
+			b.Store(b.ConstF(0), b.Index(fx, i))
+			b.Store(b.ConstF(0), b.Index(fy, i))
+			b.Store(b.ConstF(0), b.Index(fz, i))
+		})
+		b.Store(b.ConstF(0), epot)
+		b.Loop(b.ConstI(0), b.ConstI(nAtoms), b.ConstI(1), func(i *ir.Value) {
+			xi := b.Load(ir.F64, b.Index(px, i))
+			yi := b.Load(ir.F64, b.Index(py, i))
+			zi := b.Load(ir.F64, b.Index(pz, i))
+			b.Loop(b.Add(i, b.ConstI(1)), b.ConstI(nAtoms), b.ConstI(1), func(j *ir.Value) {
+				dx := b.FSub(xi, b.Load(ir.F64, b.Index(px, j)))
+				dy := b.FSub(yi, b.Load(ir.F64, b.Index(py, j)))
+				dz := b.FSub(zi, b.Load(ir.F64, b.Index(pz, j)))
+				r2 := b.FAdd(b.FAdd(b.FMul(dx, dx), b.FMul(dy, dy)), b.FMul(dz, dz))
+				// Cutoff at r² < 6.25 (2.5σ with σ=1).
+				b.If(b.FCmp(ir.OLT, r2, b.ConstF(6.25)), func() {
+					inv2 := b.FDiv(b.ConstF(1), r2)
+					inv6 := b.FMul(b.FMul(inv2, inv2), inv2)
+					// LJ: e += 4(r⁻¹² − r⁻⁶); fscale = 24(2r⁻¹² − r⁻⁶)/r².
+					e := b.FMul(b.ConstF(4), b.FSub(b.FMul(inv6, inv6), inv6))
+					b.Store(b.FAdd(b.Load(ir.F64, epot), e), epot)
+					fs := b.FMul(b.FMul(b.ConstF(24), b.FSub(b.FMul(b.ConstF(2), b.FMul(inv6, inv6)), inv6)), inv2)
+					add := func(fp *ir.Value, idx *ir.Value, d *ir.Value, sign float64) {
+						cur := b.Load(ir.F64, b.Index(fp, idx))
+						b.Store(b.FAdd(cur, b.FMul(b.ConstF(sign), b.FMul(fs, d))), b.Index(fp, idx))
+					}
+					add(fx, i, dx, 1)
+					add(fy, i, dy, 1)
+					add(fz, i, dz, 1)
+					add(fx, j, dx, -1)
+					add(fy, j, dy, -1)
+					add(fz, j, dz, -1)
+				}, nil)
+			})
+		})
+		b.Ret(nil)
+	}
+
+	// advance(dt): velocity-Verlet half-kick + drift.
+	b.NewFunc("advance", ir.Void, ir.F64)
+	{
+		dt := b.Param(0)
+		px, py, pz := b.GlobalAddr("px"), b.GlobalAddr("py"), b.GlobalAddr("pz")
+		vx, vy, vz := b.GlobalAddr("vx"), b.GlobalAddr("vy"), b.GlobalAddr("vz")
+		fx, fy, fz := b.GlobalAddr("fx"), b.GlobalAddr("fy"), b.GlobalAddr("fz")
+		b.Loop(b.ConstI(0), b.ConstI(nAtoms), b.ConstI(1), func(i *ir.Value) {
+			step := func(v, f, p *ir.Value) {
+				nv := b.FAdd(b.Load(ir.F64, b.Index(v, i)), b.FMul(dt, b.Load(ir.F64, b.Index(f, i))))
+				b.Store(nv, b.Index(v, i))
+				b.Store(b.FAdd(b.Load(ir.F64, b.Index(p, i)), b.FMul(dt, nv)), b.Index(p, i))
+			}
+			step(vx, fx, px)
+			step(vy, fy, py)
+			step(vz, fz, pz)
+		})
+		b.Ret(nil)
+	}
+
+	// kinetic() = ½ Σ v².
+	b.NewFunc("kinetic", ir.F64)
+	{
+		vx, vy, vz := b.GlobalAddr("vx"), b.GlobalAddr("vy"), b.GlobalAddr("vz")
+		acc := b.NewVar(ir.F64, b.ConstF(0))
+		b.Loop(b.ConstI(0), b.ConstI(nAtoms), b.ConstI(1), func(i *ir.Value) {
+			x := b.Load(ir.F64, b.Index(vx, i))
+			y := b.Load(ir.F64, b.Index(vy, i))
+			z := b.Load(ir.F64, b.Index(vz, i))
+			acc.Set(b.FAdd(acc.Get(), b.FAdd(b.FAdd(b.FMul(x, x), b.FMul(y, y)), b.FMul(z, z))))
+		})
+		b.Ret(b.FMul(b.ConstF(0.5), acc.Get()))
+	}
+
+	b.NewFunc("main", ir.I64)
+	{
+		seedLCG(b, 20170901)
+		px, py, pz := b.GlobalAddr("px"), b.GlobalAddr("py"), b.GlobalAddr("pz")
+		// FCC-ish lattice with small jitter: atom k at (k%3, (k/3)%3, k/9)·1.2.
+		b.Loop(b.ConstI(0), b.ConstI(nAtoms), b.ConstI(1), func(k *ir.Value) {
+			jit := func() *ir.Value {
+				return b.FMul(b.FSub(b.Call("rand_f"), b.ConstF(0.5)), b.ConstF(0.05))
+			}
+			cx := b.SIToFP(b.SRem(k, b.ConstI(3)))
+			cy := b.SIToFP(b.SRem(b.SDiv(k, b.ConstI(3)), b.ConstI(3)))
+			cz := b.SIToFP(b.SDiv(k, b.ConstI(9)))
+			b.Store(b.FAdd(b.FMul(cx, b.ConstF(1.2)), jit()), b.Index(px, k))
+			b.Store(b.FAdd(b.FMul(cy, b.ConstF(1.2)), jit()), b.Index(py, k))
+			b.Store(b.FAdd(b.FMul(cz, b.ConstF(1.2)), jit()), b.Index(pz, k))
+		})
+		b.Loop(b.ConstI(0), b.ConstI(4), b.ConstI(1), func(_ *ir.Value) {
+			b.Call("computeForce")
+			b.Call("advance", b.ConstF(0.003))
+		})
+		b.Call("computeForce")
+		b.Call("out_f64", b.Load(ir.F64, b.GlobalAddr("epot")))
+		b.Call("out_f64", b.Call("kinetic"))
+		emitChecksum(b, px, nAtoms)
+		b.Ret(b.ConstI(0))
+	}
+	return m
+}
+
+// BuildAMG mimics AMG2013 (algebraic multigrid): V-cycles over a 1D Poisson
+// hierarchy with weighted-Jacobi smoothing, residual restriction and linear
+// prolongation — the smooth/restrict/prolong kernel structure of the
+// original solve phase.
+func BuildAMG() *ir.Module {
+	m, b := newModule("AMG2013")
+	// Levels: 96, 48, 24.
+	sizes := []int64{96, 48, 24}
+	for l, sz := range sizes {
+		for _, g := range []string{"u", "f", "r"} {
+			m.AddGlobal(ir.Global{Name: gname(g, l), Size: sz * 8})
+		}
+	}
+
+	// smooth(u, f, n): one weighted-Jacobi sweep of -u'' = f (h=1).
+	b.NewFunc("smooth", ir.Void, ir.Ptr, ir.Ptr, ir.I64)
+	{
+		u, f, n := b.Param(0), b.Param(1), b.Param(2)
+		b.Loop(b.ConstI(1), b.Sub(n, b.ConstI(1)), b.ConstI(1), func(i *ir.Value) {
+			left := b.Load(ir.F64, b.Index(u, b.Sub(i, b.ConstI(1))))
+			right := b.Load(ir.F64, b.Index(u, b.Add(i, b.ConstI(1))))
+			fi := b.Load(ir.F64, b.Index(f, i))
+			jac := b.FMul(b.ConstF(0.5), b.FAdd(b.FAdd(left, right), fi))
+			old := b.Load(ir.F64, b.Index(u, i))
+			// ω = 2/3 weighted Jacobi.
+			nv := b.FAdd(b.FMul(b.ConstF(1.0/3.0), old), b.FMul(b.ConstF(2.0/3.0), jac))
+			b.Store(nv, b.Index(u, i))
+		})
+		b.Ret(nil)
+	}
+
+	// residual(u, f, r, n): r = f − A·u.
+	b.NewFunc("residual", ir.Void, ir.Ptr, ir.Ptr, ir.Ptr, ir.I64)
+	{
+		u, f, r, n := b.Param(0), b.Param(1), b.Param(2), b.Param(3)
+		b.Store(b.ConstF(0), b.Index(r, b.ConstI(0)))
+		b.Store(b.ConstF(0), b.Index(r, b.Sub(n, b.ConstI(1))))
+		b.Loop(b.ConstI(1), b.Sub(n, b.ConstI(1)), b.ConstI(1), func(i *ir.Value) {
+			left := b.Load(ir.F64, b.Index(u, b.Sub(i, b.ConstI(1))))
+			right := b.Load(ir.F64, b.Index(u, b.Add(i, b.ConstI(1))))
+			center := b.Load(ir.F64, b.Index(u, i))
+			au := b.FSub(b.FMul(b.ConstF(2), center), b.FAdd(left, right))
+			b.Store(b.FSub(b.Load(ir.F64, b.Index(f, i)), au), b.Index(r, i))
+		})
+		b.Ret(nil)
+	}
+
+	// restrictTo(r, fc, nc): full-weighting restriction.
+	b.NewFunc("restrictTo", ir.Void, ir.Ptr, ir.Ptr, ir.I64)
+	{
+		r, fc, nc := b.Param(0), b.Param(1), b.Param(2)
+		b.Loop(b.ConstI(1), b.Sub(nc, b.ConstI(1)), b.ConstI(1), func(i *ir.Value) {
+			fi := b.Mul(i, b.ConstI(2))
+			a := b.Load(ir.F64, b.Index(r, b.Sub(fi, b.ConstI(1))))
+			c := b.Load(ir.F64, b.Index(r, fi))
+			d := b.Load(ir.F64, b.Index(r, b.Add(fi, b.ConstI(1))))
+			v := b.FAdd(b.FMul(b.ConstF(0.25), b.FAdd(a, d)), b.FMul(b.ConstF(0.5), c))
+			b.Store(v, b.Index(fc, i))
+		})
+		b.Ret(nil)
+	}
+
+	// prolongAdd(uc, u, nc): u += linear interpolation of uc.
+	b.NewFunc("prolongAdd", ir.Void, ir.Ptr, ir.Ptr, ir.I64)
+	{
+		uc, u, nc := b.Param(0), b.Param(1), b.Param(2)
+		b.Loop(b.ConstI(0), b.Sub(nc, b.ConstI(1)), b.ConstI(1), func(i *ir.Value) {
+			ci := b.Load(ir.F64, b.Index(uc, i))
+			cn := b.Load(ir.F64, b.Index(uc, b.Add(i, b.ConstI(1))))
+			fi := b.Mul(i, b.ConstI(2))
+			b.Store(b.FAdd(b.Load(ir.F64, b.Index(u, fi)), ci), b.Index(u, fi))
+			mid := b.FMul(b.ConstF(0.5), b.FAdd(ci, cn))
+			fi1 := b.Add(fi, b.ConstI(1))
+			b.Store(b.FAdd(b.Load(ir.F64, b.Index(u, fi1)), mid), b.Index(u, fi1))
+		})
+		b.Ret(nil)
+	}
+
+	// norm2(r, n) = Σ r².
+	b.NewFunc("norm2", ir.F64, ir.Ptr, ir.I64)
+	{
+		r, n := b.Param(0), b.Param(1)
+		acc := b.NewVar(ir.F64, b.ConstF(0))
+		b.Loop(b.ConstI(0), n, b.ConstI(1), func(i *ir.Value) {
+			v := b.Load(ir.F64, b.Index(r, i))
+			acc.Set(b.FAdd(acc.Get(), b.FMul(v, v)))
+		})
+		b.Ret(acc.Get())
+	}
+
+	b.NewFunc("main", ir.I64)
+	{
+		u0, f0, r0 := b.GlobalAddr("u_0"), b.GlobalAddr("f_0"), b.GlobalAddr("r_0")
+		u1, f1, r1 := b.GlobalAddr("u_1"), b.GlobalAddr("f_1"), b.GlobalAddr("r_1")
+		u2, f2 := b.GlobalAddr("u_2"), b.GlobalAddr("f_2")
+		n0, n1, n2 := b.ConstI(sizes[0]), b.ConstI(sizes[1]), b.ConstI(sizes[2])
+		// f0 = bump; u0 = 0.
+		b.Loop(b.ConstI(0), n0, b.ConstI(1), func(i *ir.Value) {
+			x := b.SIToFP(i)
+			v := b.FMul(x, b.SIToFP(b.Sub(b.ConstI(sizes[0]-1), i)))
+			b.Store(b.FMul(v, b.ConstF(0.001)), b.Index(f0, i))
+			b.Store(b.ConstF(0), b.Index(u0, i))
+		})
+		// 4 V-cycles.
+		b.Loop(b.ConstI(0), b.ConstI(4), b.ConstI(1), func(_ *ir.Value) {
+			b.Call("smooth", u0, f0, n0)
+			b.Call("smooth", u0, f0, n0)
+			b.Call("residual", u0, f0, r0, n0)
+			b.Call("restrictTo", r0, f1, n1)
+			b.Loop(b.ConstI(0), n1, b.ConstI(1), func(i *ir.Value) {
+				b.Store(b.ConstF(0), b.Index(u1, i))
+			})
+			b.Call("smooth", u1, f1, n1)
+			b.Call("smooth", u1, f1, n1)
+			b.Call("residual", u1, f1, r1, n1)
+			b.Call("restrictTo", r1, f2, n2)
+			b.Loop(b.ConstI(0), n2, b.ConstI(1), func(i *ir.Value) {
+				b.Store(b.ConstF(0), b.Index(u2, i))
+			})
+			// Coarse solve: many smoothing sweeps.
+			b.Loop(b.ConstI(0), b.ConstI(20), b.ConstI(1), func(_ *ir.Value) {
+				b.Call("smooth", u2, f2, n2)
+			})
+			b.Call("prolongAdd", u2, u1, n2)
+			b.Call("smooth", u1, f1, n1)
+			b.Call("prolongAdd", u1, u0, n1)
+			b.Call("smooth", u0, f0, n0)
+		})
+		b.Call("residual", u0, f0, r0, n0)
+		b.Call("out_f64", b.Call("norm2", r0, n0))
+		emitChecksum(b, u0, sizes[0])
+		b.Ret(b.ConstI(0))
+	}
+	return m
+}
+
+func gname(base string, level int) string {
+	return base + "_" + string(rune('0'+level))
+}

@@ -1,0 +1,157 @@
+// Package workloads provides the 14 benchmark programs of the paper's
+// evaluation (Table 3) as synthetic kernels built on the IR builder:
+// AMG2013, CoMD, HPCCG, lulesh, XSBench, miniFE, and the NAS Parallel
+// Benchmarks BT, CG, DC, EP, FT, LU, SP and UA. Each kernel mimics its
+// namesake's computational character — memory-access pattern, arithmetic
+// mix, control structure, call depth — at a scale suitable for
+// tens-of-thousands of fault-injection trials. Inputs are fixed and
+// deterministic; every kernel emits its final results through the out_*
+// host functions, giving the golden output for SOC classification.
+//
+// DESIGN.md documents why these stand-ins preserve the behaviours the
+// paper's experiments depend on.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/campaign"
+	"repro/internal/ir"
+)
+
+// Registry returns all 14 applications in the paper's presentation order
+// (Table 3).
+func Registry() []campaign.App {
+	return []campaign.App{
+		{Name: "AMG2013", Build: BuildAMG},
+		{Name: "CoMD", Build: BuildCoMD},
+		{Name: "HPCCG", Build: BuildHPCCG},
+		{Name: "lulesh", Build: BuildLulesh},
+		{Name: "XSBench", Build: BuildXSBench},
+		{Name: "miniFE", Build: BuildMiniFE},
+		{Name: "BT", Build: BuildBT},
+		{Name: "CG", Build: BuildCG},
+		{Name: "DC", Build: BuildDC},
+		{Name: "EP", Build: BuildEP},
+		{Name: "FT", Build: BuildFT},
+		{Name: "LU", Build: BuildLU},
+		{Name: "SP", Build: BuildSP},
+		{Name: "UA", Build: BuildUA},
+	}
+}
+
+// ByName returns the named application.
+func ByName(name string) (campaign.App, error) {
+	for _, a := range Registry() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return campaign.App{}, fmt.Errorf("workloads: unknown application %q", name)
+}
+
+// Names lists registry names sorted for display.
+func Names() []string {
+	var out []string
+	for _, a := range Registry() {
+		out = append(out, a.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newModule creates a module with the standard output host declarations.
+func newModule(name string) (*ir.Module, *ir.Builder) {
+	m := ir.NewModule(name)
+	m.DeclareHost(ir.HostDecl{Name: "out_i64", Params: []ir.Type{ir.I64}, Ret: ir.I64})
+	m.DeclareHost(ir.HostDecl{Name: "out_f64", Params: []ir.Type{ir.F64}, Ret: ir.I64})
+	return m, ir.NewBuilder(m)
+}
+
+// addLCG defines the deterministic pseudo-random kernel every stochastic
+// benchmark uses: a 64-bit LCG over a global seed cell, with integer and
+// [0,1) floating-point views. Implemented in IR, it compiles to real
+// instructions and is part of the fault-injection target surface, exactly
+// like the benchmarks' own RNGs (e.g. NAS EP's pseudorandom stream).
+func addLCG(m *ir.Module, b *ir.Builder) {
+	m.AddGlobal(ir.Global{Name: "__seed", Size: 8})
+
+	// rand_u() → uniform 31-bit non-negative integer.
+	b.NewFunc("rand_u", ir.I64)
+	sp := b.GlobalAddr("__seed")
+	s := b.Load(ir.I64, sp)
+	next := b.Add(b.Mul(s, b.ConstI(6364136223846793005)), b.ConstI(1442695040888963407))
+	b.Store(next, sp)
+	b.Ret(b.And(b.AShr(next, b.ConstI(33)), b.ConstI(0x7FFFFFFF)))
+
+	// rand_f() → uniform double in [0,1).
+	b.NewFunc("rand_f", ir.F64)
+	u := b.Call("rand_u")
+	b.Ret(b.FDiv(b.SIToFP(u), b.ConstF(float64(int64(1)<<31))))
+}
+
+// seedLCG stores the initial seed (call inside main before use).
+func seedLCG(b *ir.Builder, seed int64) {
+	b.Store(b.ConstI(seed), b.GlobalAddr("__seed"))
+}
+
+// addSoftLog defines log_approx(x) for x > 0 using the atanh series
+//
+//	ln x = 2·(z + z³/3 + z⁵/5 + …),  z = (x−1)/(x+1)
+//
+// with range reduction by halving into [0.5, 2). A real libm would be
+// machine code too; implementing it in IR keeps the instruction stream
+// honest (every multiply of the series is an injection target).
+func addSoftLog(m *ir.Module, b *ir.Builder) {
+	b.NewFunc("log_approx", ir.F64, ir.F64)
+	x := b.NewVar(ir.F64, b.Param(0))
+	k := b.NewVar(ir.I64, b.ConstI(0))
+
+	// While x >= 2: x /= 2, k++.
+	header := b.NewBlock()
+	body := b.NewBlock()
+	after := b.NewBlock()
+	b.Br(header)
+	b.SetInsert(header)
+	b.CondBr(b.FCmp(ir.OGE, x.Get(), b.ConstF(2)), body, after)
+	b.SetInsert(body)
+	x.Set(b.FMul(x.Get(), b.ConstF(0.5)))
+	k.Set(b.Add(k.Get(), b.ConstI(1)))
+	b.Br(header)
+	b.SetInsert(after)
+
+	// While x < 0.5: x *= 2, k--.
+	header2 := b.NewBlock()
+	body2 := b.NewBlock()
+	after2 := b.NewBlock()
+	b.Br(header2)
+	b.SetInsert(header2)
+	b.CondBr(b.FCmp(ir.OLT, x.Get(), b.ConstF(0.5)), body2, after2)
+	b.SetInsert(body2)
+	x.Set(b.FMul(x.Get(), b.ConstF(2)))
+	k.Set(b.Sub(k.Get(), b.ConstI(1)))
+	b.Br(header2)
+	b.SetInsert(after2)
+
+	z := b.FDiv(b.FSub(x.Get(), b.ConstF(1)), b.FAdd(x.Get(), b.ConstF(1)))
+	z2 := b.FMul(z, z)
+	term := b.NewVar(ir.F64, z)
+	sum := b.NewVar(ir.F64, b.ConstF(0))
+	b.Loop(b.ConstI(0), b.ConstI(14), b.ConstI(1), func(i *ir.Value) {
+		den := b.FAdd(b.FMul(b.SIToFP(i), b.ConstF(2)), b.ConstF(1))
+		sum.Set(b.FAdd(sum.Get(), b.FDiv(term.Get(), den)))
+		term.Set(b.FMul(term.Get(), z2))
+	})
+	ln2 := b.ConstF(0.6931471805599453)
+	b.Ret(b.FAdd(b.FMul(b.ConstF(2), sum.Get()), b.FMul(b.SIToFP(k.Get()), ln2)))
+}
+
+// emitChecksum prints a running FP checksum of an array (first n elements).
+func emitChecksum(b *ir.Builder, arr *ir.Value, n int64) {
+	sum := b.NewVar(ir.F64, b.ConstF(0))
+	b.Loop(b.ConstI(0), b.ConstI(n), b.ConstI(1), func(i *ir.Value) {
+		sum.Set(b.FAdd(sum.Get(), b.Load(ir.F64, b.Index(arr, i))))
+	})
+	b.Call("out_f64", sum.Get())
+}

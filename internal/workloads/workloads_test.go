@@ -1,0 +1,158 @@
+package workloads_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/campaign"
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/pinfi"
+	"repro/internal/vm"
+	"repro/internal/vx"
+	"repro/internal/workloads"
+)
+
+func TestRegistryHas14Apps(t *testing.T) {
+	reg := workloads.Registry()
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d apps, want 14", len(reg))
+	}
+	want := []string{"AMG2013", "CoMD", "HPCCG", "lulesh", "XSBench", "miniFE",
+		"BT", "CG", "DC", "EP", "FT", "LU", "SP", "UA"}
+	for i, a := range reg {
+		if a.Name != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+	if _, err := workloads.ByName("HPCCG"); err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if _, err := workloads.ByName("nope"); err == nil {
+		t.Fatalf("ByName should reject unknown apps")
+	}
+}
+
+// TestAllWorkloadsVerifyAndAgree is the backbone correctness test: every
+// kernel must verify as IR, and interpreted execution must agree exactly
+// with compiled execution at O0 and O2.
+func TestAllWorkloadsVerifyAndAgree(t *testing.T) {
+	for _, app := range workloads.Registry() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			m := app.Build()
+			if err := ir.Verify(m); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			ip := ir.NewInterp(m)
+			code, err := ip.Run("main")
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			if code != 0 {
+				t.Fatalf("interp exit %d", code)
+			}
+			want := append([]uint64(nil), ip.Output...)
+			if len(want) == 0 {
+				t.Fatalf("no output produced")
+			}
+			for _, lvl := range []opt.Level{opt.O0, opt.O2} {
+				m2 := app.Build()
+				opt.Optimize(m2, lvl)
+				res, err := codegen.Compile(m2)
+				if err != nil {
+					t.Fatalf("compile O%d: %v", lvl, err)
+				}
+				img, err := asm.Assemble(res.Prog, asm.Options{})
+				if err != nil {
+					t.Fatalf("assemble O%d: %v", lvl, err)
+				}
+				mach := vm.New(img)
+				bindOut(mach)
+				if trap := mach.Run(); trap != vm.TrapNone {
+					t.Fatalf("O%d trap %v: %s", lvl, trap, mach.TrapMsg)
+				}
+				if mach.ExitCode != 0 {
+					t.Fatalf("O%d exit %d", lvl, mach.ExitCode)
+				}
+				if len(mach.Output) != len(want) {
+					t.Fatalf("O%d output len %d, want %d", lvl, len(mach.Output), len(want))
+				}
+				for i := range want {
+					if mach.Output[i] != want[i] {
+						t.Fatalf("O%d output[%d] = %#x, want %#x", lvl, i, mach.Output[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadOutputsAreFinite guards against NaN/Inf sneaking into golden
+// outputs, which would make SOC comparison fragile.
+func TestWorkloadOutputsAreFinite(t *testing.T) {
+	for _, app := range workloads.Registry() {
+		ip := ir.NewInterp(app.Build())
+		if _, err := ip.Run("main"); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		for i, bits := range ip.Output {
+			f := math.Float64frombits(bits)
+			// Integer outputs reinterpret as tiny denormals; only flag
+			// actual NaN/Inf patterns.
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Errorf("%s output[%d] is NaN/Inf", app.Name, i)
+			}
+		}
+	}
+}
+
+// TestWorkloadPopulations checks that each app's dynamic target population
+// is large enough for meaningful uniform sampling and that the three tools
+// maintain the expected population relationships on every app.
+func TestWorkloadPopulations(t *testing.T) {
+	for _, app := range workloads.Registry() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			targets := map[campaign.Tool]int64{}
+			for _, tool := range campaign.Tools {
+				bin, err := campaign.BuildBinary(app, tool, campaign.DefaultBuildOptions())
+				if err != nil {
+					t.Fatalf("build %s: %v", tool, err)
+				}
+				prof, err := bin.RunProfile(pinfi.DefaultCosts())
+				if err != nil {
+					t.Fatalf("profile %s: %v", tool, err)
+				}
+				targets[tool] = prof.Targets
+			}
+			if targets[campaign.REFINE] != targets[campaign.PINFI] {
+				t.Errorf("REFINE pool %d != PINFI pool %d", targets[campaign.REFINE], targets[campaign.PINFI])
+			}
+			if targets[campaign.LLFI] >= targets[campaign.PINFI] {
+				t.Errorf("LLFI pool %d not smaller than machine pool %d", targets[campaign.LLFI], targets[campaign.PINFI])
+			}
+			if targets[campaign.PINFI] < 5000 {
+				t.Errorf("population %d too small for uniform sampling", targets[campaign.PINFI])
+			}
+			if targets[campaign.PINFI] > 3_000_000 {
+				t.Errorf("population %d too large for campaign speed", targets[campaign.PINFI])
+			}
+		})
+	}
+}
+
+func bindOut(m *vm.Machine) {
+	m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+		mm.Output = append(mm.Output, mm.Regs[vx.R1])
+		mm.Regs[vx.R0] = 0
+	}})
+	m.BindHost(vm.HostFn{Name: "out_f64", Fn: func(mm *vm.Machine) {
+		mm.Output = append(mm.Output, mm.Regs[vx.F0])
+		mm.Regs[vx.R0] = 0
+	}})
+}

@@ -1,0 +1,142 @@
+// Package refine is the public API of the REFINE reproduction: realistic
+// fault injection via compiler-based instrumentation (Georgakoudis, Laguna,
+// Nikolopoulos, Schulz — SC'17), rebuilt as a self-contained Go system.
+//
+// The package re-exports the high-level workflow:
+//
+//	app, _  := refine.AppByName("HPCCG")
+//	bin, _  := refine.Build(app, refine.REFINE, refine.DefaultOptions())
+//	prof, _ := refine.ProfileRun(bin)
+//	trial   := refine.Trial(bin, prof, seed)
+//	res, _  := refine.Campaign(app, refine.REFINE, 1068, seed, 0)
+//
+// Substrates live in internal packages: the SSA IR and optimizer
+// (internal/ir, internal/opt), the VX64 backend (internal/codegen,
+// internal/mir, internal/vx), the assembler and virtual machine
+// (internal/asm, internal/vm), the REFINE pass and runtime (internal/core),
+// the LLFI and PINFI comparators (internal/llfi, internal/pinfi), the fault
+// model (internal/fault), campaign orchestration (internal/campaign),
+// statistics (internal/stats), and the 14 benchmark kernels
+// (internal/workloads).
+package refine
+
+import (
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/pinfi"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Tool identifies one of the three fault-injection tools.
+type Tool = campaign.Tool
+
+// Tool constants, in the paper's presentation order.
+const (
+	LLFI   = campaign.LLFI
+	REFINE = campaign.REFINE
+	PINFI  = campaign.PINFI
+)
+
+// Tools lists all three tools.
+var Tools = campaign.Tools
+
+// App is a benchmark program buildable to IR.
+type App = campaign.App
+
+// Binary is a compiled, instrumented (or plain, for PINFI) executable image.
+type Binary = campaign.Binary
+
+// Profile carries the profiling-step results: dynamic target population,
+// golden output, timeout budget.
+type Profile = campaign.Profile
+
+// TrialResult is one fault-injection run's outcome.
+type TrialResult = campaign.TrialResult
+
+// Result aggregates a campaign.
+type Result = campaign.Result
+
+// Options configure the build pipeline (optimization level, -fi-funcs,
+// -fi-instrs).
+type Options = campaign.BuildOptions
+
+// Outcome is the crash/SOC/benign classification.
+type Outcome = fault.Outcome
+
+// Outcome constants.
+const (
+	Benign = fault.Benign
+	Crash  = fault.Crash
+	SOC    = fault.SOC
+)
+
+// Counts aggregates outcome frequencies.
+type Counts = fault.Counts
+
+// Apps returns the 14 benchmark applications of the paper's Table 3.
+func Apps() []App { return workloads.Registry() }
+
+// AppByName looks up a benchmark by name (e.g. "HPCCG", "lulesh", "BT").
+func AppByName(name string) (App, error) { return workloads.ByName(name) }
+
+// DefaultOptions is the paper's evaluation configuration:
+// -O2, -fi=true -fi-funcs=* -fi-instrs=all.
+func DefaultOptions() Options { return campaign.DefaultBuildOptions() }
+
+// Build compiles an application under the given tool's pipeline.
+func Build(app App, tool Tool, o Options) (*Binary, error) {
+	return campaign.BuildBinary(app, tool, o)
+}
+
+// ProfileRun executes the profiling step (golden output + dynamic counts).
+func ProfileRun(bin *Binary) (*Profile, error) {
+	return bin.RunProfile(pinfi.DefaultCosts())
+}
+
+// Trial executes one fault-injection experiment with the given seed.
+func Trial(bin *Binary, prof *Profile, seed uint64) TrialResult {
+	return bin.RunTrial(prof, pinfi.DefaultCosts(), seed)
+}
+
+// Campaign runs n trials of (app, tool) across workers goroutines
+// (workers ≤ 0 uses GOMAXPROCS) with the default build options.
+func Campaign(app App, tool Tool, n int, seed uint64, workers int) (*Result, error) {
+	return campaign.Run(app, tool, n, seed, workers, DefaultOptions())
+}
+
+// CampaignWith runs a campaign with explicit build options (ablations).
+func CampaignWith(app App, tool Tool, n int, seed uint64, workers int, o Options) (*Result, error) {
+	return campaign.Run(app, tool, n, seed, workers, o)
+}
+
+// SampleSize computes the Leveugle et al. sample count; the paper's margin
+// (3%) and confidence (95%) over a large population give 1068.
+func SampleSize(population int64, marginOfError, z float64) int {
+	return stats.SampleSize(population, marginOfError, z)
+}
+
+// PaperTrials is the per-configuration trial count of the paper (§5.3).
+var PaperTrials = stats.SampleSize(1<<40, 0.03, stats.Z95)
+
+// ChiSquaredCompare tests whether two tools' outcome counts differ
+// significantly (α = 0.05), as in the paper's Table 5.
+func ChiSquaredCompare(app, baseTool, cmpTool string, base, cmp Counts) (stats.TestResult, error) {
+	return stats.CompareCounts(app, baseTool, cmpTool,
+		[3]int64{int64(base.Crash), int64(base.SOC), int64(base.Benign)},
+		[3]int64{int64(cmp.Crash), int64(cmp.SOC), int64(cmp.Benign)})
+}
+
+// WilsonCI returns the 95% confidence interval for k/n, used for the
+// Figure 4 error bars.
+func WilsonCI(k, n int) (lo, hi float64) {
+	return stats.WilsonCI(k, n, stats.Z95)
+}
+
+// NewModule and Builder re-exports allow custom workloads against the
+// public API (see examples/custom-workload).
+func NewModule(name string) *ir.Module { return ir.NewModule(name) }
+
+// NewBuilder returns an IR builder over a module.
+func NewBuilder(m *ir.Module) *ir.Builder { return ir.NewBuilder(m) }
