@@ -7,12 +7,14 @@
 // Usage:
 //
 //	fi-speed [-trials 200] [-seed 1] [-workers 0] [-apps CSV]
+//	         [-cpuprofile out.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/campaign"
@@ -22,11 +24,33 @@ import (
 )
 
 func main() {
+	// All errors return through run so the deferred profile stop/flush runs
+	// before exit — a partial profile of a failed suite is still useful.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fi-speed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	trials := flag.Int("trials", 200, "trials per (app, tool)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "parallel workers")
 	appsFlag := flag.String("apps", "", "comma-separated app subset")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := experiments.Config{
 		Trials:  *trials,
@@ -38,14 +62,14 @@ func main() {
 		for _, name := range strings.Split(*appsFlag, ",") {
 			app, err := workloads.ByName(strings.TrimSpace(name))
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			cfg.Apps = append(cfg.Apps, app)
 		}
 	}
 	suite, err := experiments.RunSuite(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Println(suite.Figure5())
 
@@ -61,9 +85,5 @@ func main() {
 	costs := pinfi.DefaultCosts()
 	fmt.Printf("\nCost model: PIN per-instr callback %d cycles, JIT %d cycles/static-instr, host call %d cycles.\n",
 		costs.PerInstr, costs.JITPerStaticInstr, 30)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fi-speed:", err)
-	os.Exit(1)
+	return nil
 }

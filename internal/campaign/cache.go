@@ -1,0 +1,120 @@
+package campaign
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/opt"
+	"repro/internal/pinfi"
+	"repro/internal/vm"
+)
+
+// Cache memoizes the per-campaign fixed costs: compiling an application
+// under a tool's pipeline and golden-running it for the profile (dynamic
+// target population, golden output, timeout budget). A suite over T tools
+// and repeated campaigns — benchmark iterations, ablations, the fi-* drivers
+// regenerating several tables from the same binaries — pays the build and
+// profile once per (app, tool, options, cost-model) key instead of once per
+// campaign. Both artifacts are immutable after construction (machines only
+// read the Image; Profile is never written after RunProfile), so cached
+// entries are safe to share across goroutines and campaigns. The one
+// exception is pinfi.OpcodeTrial, which mutates the Image in place for the
+// duration of a trial: opcode-corruption experiments must not run on a
+// shared cached Binary concurrently with anything else (use a private
+// Cache or a fresh BuildBinary).
+//
+// Keys include the application name and memory size but not the Build
+// function itself (Go functions are not comparable): two distinct App values
+// that share a name but build different IR would collide. The workload
+// registry guarantees unique names; callers with synthetic apps of the same
+// name must use distinct names or a private Cache.
+type Cache struct {
+	mu sync.Mutex
+	m  map[cacheKey]*cacheEntry
+}
+
+type cacheKey struct {
+	app     string
+	memSize int64
+	tool    Tool
+	opt     opt.Level
+	funcs   string // canonical -fi-funcs encoding
+	classes uint8  // fault.ClassSet
+	costs   pinfi.CostModel
+}
+
+type cacheEntry struct {
+	once sync.Once
+	bin  *Binary
+	prof *Profile
+	err  error
+}
+
+// NewCache returns an empty build/profile cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[cacheKey]*cacheEntry)}
+}
+
+// defaultCache backs campaign.Run (and through it experiments.RunSuite and
+// the cmd/fi-* drivers) for the lifetime of the process.
+var defaultCache = NewCache()
+
+// DefaultCache returns the process-wide build/profile cache.
+func DefaultCache() *Cache { return defaultCache }
+
+// BuildAndProfile returns the compiled binary and its profile for the key,
+// building and golden-running at most once per key even under concurrent
+// callers. Errors are cached too: a broken build fails every campaign the
+// same way instead of rebuilding.
+func (c *Cache) BuildAndProfile(app App, tool Tool, o BuildOptions, costs pinfi.CostModel) (*Binary, *Profile, error) {
+	k := cacheKey{
+		app:     app.Name,
+		memSize: app.MemSize,
+		tool:    tool,
+		opt:     o.Opt,
+		funcs:   strings.Join(o.FI.Funcs, "\x00"),
+		classes: uint8(o.FI.Classes),
+		costs:   costs,
+	}
+	c.mu.Lock()
+	e := c.m[k]
+	if e == nil {
+		e = &cacheEntry{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.bin, e.err = BuildBinary(app, tool, o)
+		if e.err == nil {
+			e.prof, e.err = e.bin.RunProfile(costs)
+		}
+	})
+	return e.bin, e.prof, e.err
+}
+
+// Len reports the number of cached entries (for tests and diagnostics).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// machine pooling ------------------------------------------------------------
+
+// AcquireMachine returns a reset machine for the binary, reusing a pooled
+// one when available. Pooled machines live on the (cached) Binary, so a
+// worker's machine — and its dirty-page state — survives across campaigns
+// instead of being reallocated per run. Release with ReleaseMachine.
+func (b *Binary) AcquireMachine() *vm.Machine {
+	if v := b.pool.Get(); v != nil {
+		m := v.(*vm.Machine)
+		m.Reset()
+		return m
+	}
+	return b.NewMachine()
+}
+
+// ReleaseMachine returns a machine obtained from AcquireMachine to the pool.
+func (b *Binary) ReleaseMachine(m *vm.Machine) {
+	b.pool.Put(m)
+}

@@ -77,6 +77,11 @@ type Binary struct {
 	Img   *vm.Image
 	Sites int // static instrumentation sites (REFINE / LLFI)
 	Cfg   fault.Config
+
+	// pool recycles machines across trials and campaigns (see
+	// AcquireMachine); a 4 MiB address space per trial is the dominant
+	// allocation of a campaign otherwise.
+	pool sync.Pool
 }
 
 // BuildBinary compiles the application with the given tool's pipeline:
@@ -204,14 +209,15 @@ func (b *Binary) RunTrial(prof *Profile, costs pinfi.CostModel, seed uint64) Tri
 func (b *Binary) runTrialOn(m *vm.Machine, prof *Profile, costs pinfi.CostModel, seed uint64) TrialResult {
 	rng := fault.NewRNG(seed)
 	target := rng.Intn(prof.Targets)
-	m.Budget = prof.Budget
 
 	var rec fault.Record
 	switch b.Tool {
 	case PINFI:
-		rec = pinfi.Trial(m, b.Cfg, costs, target, rng) // Trial resets the machine
+		m.Budget = prof.Budget
+		rec = pinfi.Trial(m, b.Cfg, costs, target, rng) // Trial resets, keeping the budget
 	case REFINE:
 		m.Reset()
+		m.Budget = prof.Budget
 		lib := &core.InjectLib{Target: target, RNG: rng}
 		lib.Bind(m)
 		m.Run()
@@ -219,6 +225,7 @@ func (b *Binary) runTrialOn(m *vm.Machine, prof *Profile, costs pinfi.CostModel,
 		rec = lib.Rec
 	case LLFI:
 		m.Reset()
+		m.Budget = prof.Budget
 		lib := &llfi.InjectLib{Target: target, RNG: rng}
 		lib.Bind(m)
 		m.Run()
@@ -240,6 +247,11 @@ type Result struct {
 	Cycles  int64 // total modeled cycles across all trials
 	Trials  int
 	Profile *Profile
+	// Records holds every trial's result in trial order — the campaign's
+	// full fault log. Trial i is seeded by TrialSeed(baseSeed, tool, i), so
+	// Records must be identical across worker counts and cache states; the
+	// determinism suite asserts exactly that.
+	Records []TrialResult
 }
 
 // TrialSeed derives the RNG seed of trial i for a tool. Each tool gets an
@@ -253,14 +265,29 @@ func TrialSeed(baseSeed uint64, tool Tool, i int) uint64 {
 
 // Run executes a full campaign: build, profile, and n trials distributed
 // over workers goroutines (0 ⇒ GOMAXPROCS). Trial i uses TrialSeed(baseSeed,
-// tool, i), so results are reproducible regardless of parallelism.
+// tool, i), so results are reproducible regardless of parallelism. Builds
+// and profiles come from the process-wide cache; use RunCached to control
+// caching explicitly.
 func Run(app App, tool Tool, n int, baseSeed uint64, workers int, o BuildOptions) (*Result, error) {
-	bin, err := BuildBinary(app, tool, o)
-	if err != nil {
-		return nil, err
-	}
+	return RunCached(defaultCache, app, tool, n, baseSeed, workers, o)
+}
+
+// RunCached is Run with an explicit build/profile cache. A nil cache
+// builds and profiles from scratch (the pre-cache behavior, used by the
+// determinism tests to compare cached and fresh campaigns).
+func RunCached(c *Cache, app App, tool Tool, n int, baseSeed uint64, workers int, o BuildOptions) (*Result, error) {
 	costs := pinfi.DefaultCosts()
-	prof, err := bin.RunProfile(costs)
+	var bin *Binary
+	var prof *Profile
+	var err error
+	if c != nil {
+		bin, prof, err = c.BuildAndProfile(app, tool, o, costs)
+	} else {
+		bin, err = BuildBinary(app, tool, o)
+		if err == nil {
+			prof, err = bin.RunProfile(costs)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -268,8 +295,8 @@ func Run(app App, tool Tool, n int, baseSeed uint64, workers int, o BuildOptions
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	res := &Result{App: app.Name, Tool: tool, Trials: n, Profile: prof}
-	var mu sync.Mutex
+	res := &Result{App: app.Name, Tool: tool, Trials: n, Profile: prof,
+		Records: make([]TrialResult, n)}
 	var wg sync.WaitGroup
 	next := make(chan int, n)
 	for i := 0; i < n; i++ {
@@ -280,16 +307,19 @@ func Run(app App, tool Tool, n int, baseSeed uint64, workers int, o BuildOptions
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m := bin.NewMachine() // one reusable machine per worker
+			m := bin.AcquireMachine() // one pooled machine per worker
+			defer bin.ReleaseMachine(m)
 			for i := range next {
-				tr := bin.runTrialOn(m, prof, costs, TrialSeed(baseSeed, tool, i))
-				mu.Lock()
-				res.Counts.Add(tr.Outcome)
-				res.Cycles += tr.Cycles
-				mu.Unlock()
+				res.Records[i] = bin.runTrialOn(m, prof, costs, TrialSeed(baseSeed, tool, i))
 			}
 		}()
 	}
 	wg.Wait()
+	// Aggregate serially in trial order: no mutex on the trial path, and the
+	// totals are independent of goroutine scheduling by construction.
+	for i := range res.Records {
+		res.Counts.Add(res.Records[i].Outcome)
+		res.Cycles += res.Records[i].Cycles
+	}
 	return res, nil
 }

@@ -1,0 +1,137 @@
+package campaign_test
+
+// Determinism suite for the execution-engine overhaul: a fixed-seed
+// campaign must produce identical Counts, total Cycles, and per-trial
+// Records regardless of worker count and regardless of whether the binary
+// and profile came from the build cache or a fresh build.
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/pinfi"
+	"repro/internal/workloads"
+)
+
+func detCosts() pinfi.CostModel { return pinfi.DefaultCosts() }
+
+const (
+	detTrials = 60
+	detSeed   = 7
+)
+
+func detApp(t *testing.T) campaign.App {
+	t.Helper()
+	app, err := workloads.ByName("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func sameResult(t *testing.T, label string, a, b *campaign.Result) {
+	t.Helper()
+	if a.Counts != b.Counts {
+		t.Errorf("%s: counts differ: %+v vs %+v", label, a.Counts, b.Counts)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("%s: total cycles differ: %d vs %d", label, a.Cycles, b.Cycles)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("%s: record counts differ: %d vs %d", label, len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Errorf("%s: trial %d differs:\n%+v\nvs\n%+v", label, i, a.Records[i], b.Records[i])
+			return
+		}
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	app := detApp(t)
+	o := campaign.DefaultBuildOptions()
+	for _, tool := range campaign.Tools {
+		w1, err := campaign.RunCached(nil, app, tool, detTrials, detSeed, 1, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w8, err := campaign.RunCached(nil, app, tool, detTrials, detSeed, 8, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, tool.String()+" workers=1 vs workers=8", w1, w8)
+	}
+}
+
+func TestCampaignDeterministicAcrossCacheStates(t *testing.T) {
+	app := detApp(t)
+	o := campaign.DefaultBuildOptions()
+	cache := campaign.NewCache()
+	for _, tool := range campaign.Tools {
+		fresh, err := campaign.RunCached(nil, app, tool, detTrials, detSeed, 4, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := campaign.RunCached(cache, app, tool, detTrials, detSeed, 4, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := campaign.RunCached(cache, app, tool, detTrials, detSeed, 4, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, tool.String()+" fresh vs cold cache", fresh, cold)
+		sameResult(t, tool.String()+" cold vs warm cache", cold, warm)
+	}
+	// Three tools were built and profiled exactly once each.
+	if got := cache.Len(); got != len(campaign.Tools) {
+		t.Errorf("cache entries = %d, want %d", got, len(campaign.Tools))
+	}
+}
+
+func TestCacheKeysDistinguishOptions(t *testing.T) {
+	app := detApp(t)
+	cache := campaign.NewCache()
+	o := campaign.DefaultBuildOptions()
+	if _, _, err := cache.BuildAndProfile(app, campaign.REFINE, o, detCosts()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cache.BuildAndProfile(app, campaign.REFINE, o, detCosts()); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Len(); got != 1 {
+		t.Fatalf("repeat key: cache entries = %d, want 1", got)
+	}
+	o2 := o
+	o2.FI.Funcs = []string{"main"}
+	if _, _, err := cache.BuildAndProfile(app, campaign.REFINE, o2, detCosts()); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Len(); got != 2 {
+		t.Fatalf("distinct FI config: cache entries = %d, want 2", got)
+	}
+	if _, _, err := cache.BuildAndProfile(app, campaign.PINFI, o, detCosts()); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Len(); got != 3 {
+		t.Fatalf("distinct tool: cache entries = %d, want 3", got)
+	}
+}
+
+func TestCachedBinarySharedAcrossCampaigns(t *testing.T) {
+	app := detApp(t)
+	cache := campaign.NewCache()
+	o := campaign.DefaultBuildOptions()
+	b1, p1, err := cache.BuildAndProfile(app, campaign.PINFI, o, detCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, p2, err := cache.BuildAndProfile(app, campaign.PINFI, o, detCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 || p1 != p2 {
+		t.Errorf("cache returned distinct objects for the same key")
+	}
+}

@@ -30,6 +30,11 @@ type Config struct {
 	Seed    uint64
 	Workers int
 	Build   campaign.BuildOptions
+	// Cache selects the build/profile cache for the suite's campaigns
+	// (nil ⇒ the process-wide default). Suites regenerating several tables
+	// from the same configuration reuse each binary and golden run instead
+	// of recompiling per campaign.
+	Cache *campaign.Cache
 	// Progress, if non-nil, receives one line per completed campaign.
 	Progress func(string)
 }
@@ -47,12 +52,16 @@ func RunSuite(cfg Config) (*Suite, error) {
 	if cfg.Build.FI.Classes == 0 {
 		cfg.Build = campaign.DefaultBuildOptions()
 	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = campaign.DefaultCache()
+	}
 	s := &Suite{Trials: trials, Results: map[string]map[campaign.Tool]*campaign.Result{}}
 	for _, app := range apps {
 		s.Order = append(s.Order, app.Name)
 		s.Results[app.Name] = map[campaign.Tool]*campaign.Result{}
 		for _, tool := range campaign.Tools {
-			res, err := campaign.Run(app, tool, trials, cfg.Seed, cfg.Workers, cfg.Build)
+			res, err := campaign.RunCached(cache, app, tool, trials, cfg.Seed, cfg.Workers, cfg.Build)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%s: %w", app.Name, tool, err)
 			}

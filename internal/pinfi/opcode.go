@@ -40,7 +40,9 @@ const (
 // flipped for the remainder of the run. The image is restored before the
 // function returns, so trials are independent.
 func OpcodeTrial(m *vm.Machine, cfg fault.Config, costs CostModel, target int64, mode OpcodeMode, rng *fault.RNG) fault.Record {
+	budget := m.Budget
 	m.Reset()
+	m.Budget = budget
 	m.Cycles += costs.JITPerStaticInstr * int64(len(m.Img.Instrs))
 	var rec fault.Record
 	var count int64
@@ -65,6 +67,7 @@ func OpcodeTrial(m *vm.Machine, cfg fault.Config, costs CostModel, target int64,
 			corruptedPC = pc
 			savedOp = old
 			mm.Img.Instrs[pc].Op = flipped
+			mm.Img.Repredecode(pc)
 			rec = fault.Record{DynIdx: count, PC: pc, Bit: bit, Op: old.String() + "->" + flipped.String()}
 			mm.Hook = nil
 		}
@@ -74,6 +77,7 @@ func OpcodeTrial(m *vm.Machine, cfg fault.Config, costs CostModel, target int64,
 	m.Hook = nil
 	if corruptedPC >= 0 {
 		m.Img.Instrs[corruptedPC].Op = savedOp
+		m.Img.Repredecode(corruptedPC)
 	}
 	return rec
 }

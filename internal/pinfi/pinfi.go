@@ -61,9 +61,13 @@ func Profile(m *vm.Machine, cfg fault.Config, costs CostModel) (targets int64, g
 // Trial runs one fault-injection experiment: the hook counts target
 // instructions, flips one uniformly drawn bit of one uniformly drawn output
 // register of the target-index-th dynamic target instruction, then detaches.
-// The machine is left halted for outcome classification.
+// The machine is left halted for outcome classification. Trial resets the
+// machine but re-applies the caller-set instruction budget (Reset clears it,
+// by the machine-reuse hygiene contract).
 func Trial(m *vm.Machine, cfg fault.Config, costs CostModel, target int64, rng *fault.RNG) fault.Record {
+	budget := m.Budget
 	m.Reset()
+	m.Budget = budget
 	m.Cycles += costs.JITPerStaticInstr * int64(len(m.Img.Instrs))
 	var rec fault.Record
 	var count int64

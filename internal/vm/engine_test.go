@@ -1,0 +1,301 @@
+package vm_test
+
+// Differential tests for the predecoded fast execution engine: for real
+// workload binaries under all three tool pipelines, the fast loop must be
+// observationally identical to the Step reference path — same traps, exit
+// codes, outputs, instruction counts, cycle accounting, and final register
+// file — including under fault injection, and the dirty-page Reset must
+// restore exactly the state a fresh machine starts from.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/llfi"
+	"repro/internal/pinfi"
+	"repro/internal/vm"
+	"repro/internal/vx"
+	"repro/internal/workloads"
+)
+
+// machineState snapshots everything observable about a finished run.
+type machineState struct {
+	Trap       vm.TrapKind
+	ExitCode   int64
+	InstrCount int64
+	Cycles     int64
+	PC         int32
+	Regs       [33]uint64
+	Output     []uint64
+}
+
+func snapshot(m *vm.Machine) machineState {
+	return machineState{
+		Trap:       m.Trap,
+		ExitCode:   m.ExitCode,
+		InstrCount: m.InstrCount,
+		Cycles:     m.Cycles,
+		PC:         m.PC,
+		Regs:       m.Regs,
+		Output:     append([]uint64(nil), m.Output...),
+	}
+}
+
+func equalStates(a, b machineState) bool {
+	if a.Trap != b.Trap || a.ExitCode != b.ExitCode || a.InstrCount != b.InstrCount ||
+		a.Cycles != b.Cycles || a.PC != b.PC || a.Regs != b.Regs {
+		return false
+	}
+	if len(a.Output) != len(b.Output) {
+		return false
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func buildBin(t *testing.T, appName string, tool campaign.Tool) *campaign.Binary {
+	t.Helper()
+	app, err := workloads.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := campaign.BuildBinary(app, tool, campaign.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// bindGolden installs the per-tool profiling runtime (REFINE/LLFI images
+// import instrumentation symbols that must resolve before Run).
+func bindGolden(m *vm.Machine, tool campaign.Tool) {
+	switch tool {
+	case campaign.REFINE:
+		(&core.ProfileLib{}).Bind(m)
+	case campaign.LLFI:
+		(&llfi.ProfileLib{}).Bind(m)
+	}
+}
+
+// refRun executes the machine entirely through the Step reference path by
+// keeping a no-op hook attached (a nil-effect hook costs no cycles, so the
+// accounting is identical to an unhooked stepping loop).
+func refRun(m *vm.Machine) {
+	m.Hook = func(*vm.Machine, int32, *vm.Inst) {}
+	m.Run()
+	m.Hook = nil
+}
+
+func TestFastEngineMatchesStepReference(t *testing.T) {
+	apps := []string{"FT", "HPCCG", "CG", "lulesh", "EP", "DC"}
+	for _, name := range apps {
+		for _, tool := range campaign.Tools {
+			bin := buildBin(t, name, tool)
+
+			fast := bin.NewMachine()
+			bindGolden(fast, tool)
+			fast.Run()
+
+			ref := bin.NewMachine()
+			bindGolden(ref, tool)
+			refRun(ref)
+
+			if fs, rs := snapshot(fast), snapshot(ref); !equalStates(fs, rs) {
+				t.Errorf("%s/%s: fast engine diverged from Step reference:\nfast: %+v\nref:  %+v",
+					name, tool, fs, rs)
+			}
+		}
+	}
+}
+
+// TestFastEngineMatchesStepUnderInjection drives corrupted executions (the
+// post-fault wild-control-flow paths the campaign actually exercises)
+// through both engines for a spread of REFINE injection targets.
+func TestFastEngineMatchesStepUnderInjection(t *testing.T) {
+	bin := buildBin(t, "HPCCG", campaign.REFINE)
+	prof, err := bin.RunProfile(pinfi.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		target := (prof.Targets * int64(i)) / 24
+		run := func(exec func(m *vm.Machine)) machineState {
+			m := bin.NewMachine()
+			m.Budget = prof.Budget
+			lib := &core.InjectLib{Target: target, RNG: fault.NewRNG(uint64(i) * 977)}
+			lib.Bind(m)
+			exec(m)
+			return snapshot(m)
+		}
+		fs := run(func(m *vm.Machine) { m.Run() })
+		rs := run(refRun)
+		if !equalStates(fs, rs) {
+			t.Errorf("target %d: fast engine diverged under injection:\nfast: %+v\nref:  %+v", target, fs, rs)
+		}
+	}
+}
+
+// TestDirtyPageResetMatchesFreshMachine verifies that Reset's dirty-page
+// clearing restores memory byte-for-byte to the state of a brand-new
+// machine, even after runs that trap mid-execution.
+func TestDirtyPageResetMatchesFreshMachine(t *testing.T) {
+	for _, tool := range campaign.Tools {
+		bin := buildBin(t, "CG", tool)
+		m := bin.NewMachine()
+		bindGolden(m, tool)
+		m.Run()
+		m.Reset()
+
+		fresh := bin.NewMachine()
+		if !bytes.Equal(m.Mem, fresh.Mem) {
+			t.Fatalf("%s: reset memory differs from fresh machine", tool)
+		}
+		if m.Regs != fresh.Regs || m.PC != fresh.PC {
+			t.Fatalf("%s: reset registers differ from fresh machine", tool)
+		}
+
+		// Re-run after the dirty reset: accounting must replay exactly.
+		bindGolden(m, tool)
+		m.Run()
+		fresh2 := bin.NewMachine()
+		bindGolden(fresh2, tool)
+		fresh2.Run()
+		if fs, rs := snapshot(m), snapshot(fresh2); !equalStates(fs, rs) {
+			t.Fatalf("%s: rerun after dirty reset diverged:\nreset: %+v\nfresh: %+v", tool, fs, rs)
+		}
+	}
+}
+
+// TestHostAttachedHookMatchesStep covers the one way a hook can appear
+// mid-run in the fast loop: a host function attaching it. Step fires a
+// freshly attached hook for the attaching CALLQ itself, so the fast loop
+// must too — the hook's observation count and the final state have to match
+// the reference path exactly.
+func TestHostAttachedHookMatchesStep(t *testing.T) {
+	img := mustAssemble(t, buildFactorial())
+	run := func(ref bool) (machineState, int) {
+		m := vm.New(img)
+		hooked := 0
+		m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+			mm.Output = append(mm.Output, mm.Regs[vx.R1])
+			mm.Regs[vx.R0] = 0
+			mm.Hook = func(*vm.Machine, int32, *vm.Inst) { hooked++ }
+		}})
+		if ref {
+			refRun(m)
+		} else {
+			m.Run()
+		}
+		return snapshot(m), hooked
+	}
+	fs, fh := run(false)
+	rs, rh := run(true)
+	if fh != rh {
+		t.Errorf("host-attached hook observed %d instructions fast vs %d stepped", fh, rh)
+	}
+	if !equalStates(fs, rs) {
+		t.Errorf("host-attached hook run diverged:\nfast: %+v\nref:  %+v", fs, rs)
+	}
+}
+
+// TestHostClearedBudgetMatchesStep: a host function lifting the budget
+// mid-run must stop timeout enforcement in the fast loop too (the countdown
+// is refreshed after every host call).
+func TestHostClearedBudgetMatchesStep(t *testing.T) {
+	img := mustAssemble(t, buildFactorial())
+	probe := vm.New(img)
+	probe.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+		mm.Regs[vx.R0] = 0
+	}})
+	if probe.Run() != vm.TrapNone {
+		t.Fatal("probe run failed")
+	}
+	total := probe.InstrCount
+
+	run := func(ref bool) machineState {
+		m := vm.New(img)
+		m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+			mm.Regs[vx.R0] = 0
+			mm.Budget = 0 // lift the timeout mid-run
+		}})
+		m.Budget = total - 1 // would trap before halting if the lift were lost
+		if ref {
+			refRun(m)
+		} else {
+			m.Run()
+		}
+		return snapshot(m)
+	}
+	fs := run(false)
+	rs := run(true)
+	if fs.Trap != vm.TrapNone {
+		t.Errorf("fast run trapped %v despite host lifting the budget", fs.Trap)
+	}
+	if !equalStates(fs, rs) {
+		t.Errorf("budget-lift run diverged:\nfast: %+v\nref:  %+v", fs, rs)
+	}
+}
+
+// TestImageIndexes pins the map/binary-search rewrites of Imports and
+// FuncOf to the semantics of the old linear scans.
+func TestImageIndexes(t *testing.T) {
+	bin := buildBin(t, "HPCCG", campaign.REFINE)
+	img := bin.Img
+	if !img.Imports(core.HostSelInstr) {
+		t.Errorf("Imports(%q) = false, want true", core.HostSelInstr)
+	}
+	if img.Imports("no_such_symbol") {
+		t.Errorf("Imports(no_such_symbol) = true, want false")
+	}
+	// Every pc must resolve to the function whose [Entry, End) contains it,
+	// exactly as the linear scan did.
+	for pc := int32(0); int(pc) < len(img.Instrs); pc++ {
+		var want *vm.FuncInfo
+		for i := range img.Funcs {
+			f := &img.Funcs[i]
+			if pc >= f.Entry && pc < f.End {
+				want = f
+				break
+			}
+		}
+		if got := img.FuncOf(pc); got != want {
+			t.Fatalf("FuncOf(%d) = %v, want %v", pc, got, want)
+		}
+	}
+	if img.FuncOf(-1) != nil || img.FuncOf(int32(len(img.Instrs)+7)) != nil {
+		t.Errorf("FuncOf out of range should be nil")
+	}
+}
+
+// TestResetClearsBudgetAndHook is the machine-reuse hygiene regression
+// test: a pooled machine must not leak the previous trial's timeout budget
+// or exec hook into the next run.
+func TestResetClearsBudgetAndHook(t *testing.T) {
+	bin := buildBin(t, "CG", campaign.PINFI)
+	m := bin.NewMachine()
+	m.Budget = 123
+	m.Hook = func(*vm.Machine, int32, *vm.Inst) {}
+	m.Reset()
+	if m.Budget != 0 {
+		t.Errorf("Reset left Budget = %d, want 0", m.Budget)
+	}
+	if m.Hook != nil {
+		t.Errorf("Reset left Hook attached")
+	}
+	// A reused machine whose previous trial timed out must now complete.
+	m.Budget = 10
+	if trap := m.Run(); trap != vm.TrapTimeout {
+		t.Fatalf("trap = %v, want timeout", trap)
+	}
+	m.Reset()
+	if trap := m.Run(); trap != vm.TrapNone {
+		t.Fatalf("after reset trap = %v (budget leaked?)", trap)
+	}
+}

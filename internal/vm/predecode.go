@@ -1,0 +1,389 @@
+package vm
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/vx"
+)
+
+// This file implements the image predecode pass: it lowers the decoded
+// instruction stream into a parallel array of compact micro-ops (uops)
+// specialized by operand shape, so the inner dispatch loop in run.go pays
+// neither the operand-kind switches of readA/readB/writeA nor the
+// CycleCost lookup on the hot path. It also fuses the ubiquitous
+// CMPQ+JCC / TESTQ+JCC pairs into superinstructions, and builds the
+// host-symbol and function indexes used by Imports/BindHost/FuncOf.
+//
+// Fusion never rewrites the second instruction of a pair: the JCC slot
+// keeps its own unfused uop, so control transfers that land on it directly
+// (branches, corrupted return addresses after a fault) still execute
+// correctly. The fused uop only runs when fallthrough reaches the compare.
+
+type predecodeOnce = sync.Once
+
+// uopKind enumerates the specialized micro-ops. Anything not covered by a
+// dedicated kind falls back to uGeneric, which dispatches through the same
+// execOp switch Step uses, so the long tail keeps reference semantics.
+type uopKind uint8
+
+const (
+	uGeneric uopKind = iota
+
+	// Data movement.
+	uMOVrr  // reg ← reg (MOVQ/MOVSD/MOVQ2SD/MOVSD2Q)
+	uMOVri  // reg ← imm bits
+	uLOAD   // reg ← [mem]
+	uSTORE  // [mem] ← reg
+	uSTOREi // [mem] ← imm (displacement in tgt)
+	uLEA    // reg ← effective address
+
+	// Integer ALU, reg ← reg op {reg, imm}; sets ZF/SF.
+	uADDrr
+	uADDri
+	uSUBrr
+	uSUBri
+	uIMULrr
+	uIMULri
+	uANDrr
+	uANDri
+	uORrr
+	uORri
+	uXORrr
+	uXORri
+	uSHLrr
+	uSHLri
+	uSHRrr
+	uSHRri
+	uSARrr
+	uSARri
+	uIDIVrr
+	uIDIVri
+	uIREMrr
+	uIREMri
+	uNEG
+	uNOT
+
+	// FP ALU, reg ← reg op {reg, imm bits}; no flags.
+	uFADDrr
+	uFADDri
+	uFSUBrr
+	uFSUBri
+	uFMULrr
+	uFMULri
+	uFDIVrr
+	uFDIVri
+	uSQRTrr
+	uFXORrr
+	uCVTSI2SDrr
+	uCVTTSD2SIrr
+	uUCOMISDrr
+
+	// Compares, branches, and fused superinstructions.
+	uCMPrr
+	uCMPri
+	uTESTrr
+	uTESTri
+	uCMPrrJCC
+	uCMPriJCC
+	uTESTrrJCC
+	uTESTriJCC
+	uJMP
+	uJCC
+	uSETCC
+
+	// Stack and calls.
+	uPUSHr
+	uPOPr
+	uPUSHF
+	uPOPF
+	uRET
+	uCALL  // direct call, target in tgt
+	uCALLH // host call, host index in tgt
+
+	uNOP
+	uHALT
+)
+
+// uop is one predecoded micro-op. Field use depends on kind:
+//
+//	a           destination / register operand
+//	b, c, scale memory base, index (NoReg ⇒ absent) and scale
+//	imm         immediate or memory displacement
+//	tgt         branch target, host index, or uSTOREi displacement
+//	cond        condition code for (fused) JCC / SETCC
+//	cost        cycle cost charged up front (op cost + memory surcharge)
+//	cost2       cycle cost of the branch half of a fused pair
+type uop struct {
+	kind  uopKind
+	a     uint8
+	b     uint8
+	c     uint8
+	scale uint8
+	cond  uint8
+	cost  uint8
+	cost2 uint8
+	imm   int64
+	tgt   int32
+	_     int32
+}
+
+// ensure builds the predecoded state exactly once. Images are immutable
+// after assembly/loading (BuildBinary only flips FuncInfo.IsTarget, which
+// no index depends on), so lazy one-shot construction is safe even with
+// machines created concurrently.
+func (img *Image) ensure() {
+	img.once.Do(img.build)
+}
+
+func (img *Image) build() {
+	img.hostIndex = make(map[string]int32, len(img.HostFns))
+	for i, n := range img.HostFns {
+		if _, dup := img.hostIndex[n]; !dup {
+			img.hostIndex[n] = int32(i) // first wins, like the old linear scan
+		}
+	}
+
+	img.funcOrder = make([]int32, len(img.Funcs))
+	for i := range img.funcOrder {
+		img.funcOrder[i] = int32(i)
+	}
+	sort.SliceStable(img.funcOrder, func(i, j int) bool {
+		return img.Funcs[img.funcOrder[i]].Entry < img.Funcs[img.funcOrder[j]].Entry
+	})
+
+	img.code = make([]uop, len(img.Instrs))
+	for pc := range img.Instrs {
+		img.code[pc] = predecode1(&img.Instrs[pc])
+	}
+	// Superinstruction fusion: a reg/imm-shaped CMPQ/TESTQ immediately
+	// followed by a JCC executes as one dispatch when reached by
+	// fallthrough. The JCC slot keeps its unfused uop (see file comment).
+	for pc := range img.Instrs {
+		img.fuse(int32(pc))
+	}
+}
+
+// fuse upgrades code[pc] to a fused compare+branch superinstruction when
+// the instruction at pc+1 is a JCC and pc holds a fusable compare shape.
+func (img *Image) fuse(pc int32) {
+	if int(pc)+1 >= len(img.Instrs) {
+		return
+	}
+	next := &img.Instrs[pc+1]
+	if next.Op != vx.JCC {
+		return
+	}
+	var fused uopKind
+	switch img.code[pc].kind {
+	case uCMPrr:
+		fused = uCMPrrJCC
+	case uCMPri:
+		fused = uCMPriJCC
+	case uTESTrr:
+		fused = uTESTrrJCC
+	case uTESTri:
+		fused = uTESTriJCC
+	default:
+		return
+	}
+	img.code[pc].kind = fused
+	img.code[pc].cond = uint8(next.Cond)
+	img.code[pc].tgt = next.Target
+	img.code[pc].cost2 = uint8(vx.JCC.CycleCost())
+}
+
+// Repredecode refreshes the predecoded state of pc after an in-place
+// mutation of Instrs[pc] (the opcode-corruption ablation rewrites opcodes
+// mid-run). The neighboring slot pc-1 is re-fused as well, since its fused
+// state depends on what pc holds. Mutating an image forfeits its
+// share-across-goroutines guarantee: callers must have exclusive use of
+// the image for the whole mutate/run/restore window.
+func (img *Image) Repredecode(pc int32) {
+	img.ensure()
+	for _, p := range [2]int32{pc - 1, pc} {
+		if p < 0 || int(p) >= len(img.Instrs) {
+			continue
+		}
+		img.code[p] = predecode1(&img.Instrs[p])
+		img.fuse(p)
+	}
+}
+
+// intALUKinds and fpALUKinds map two-address ALU opcodes to their reg/reg
+// uop kind; the reg/imm kind is always the next enumerator (rr+1).
+var intALUKinds = map[vx.Op]uopKind{
+	vx.ADDQ: uADDrr, vx.SUBQ: uSUBrr, vx.IMULQ: uIMULrr,
+	vx.ANDQ: uANDrr, vx.ORQ: uORrr, vx.XORQ: uXORrr,
+	vx.SHLQ: uSHLrr, vx.SHRQ: uSHRrr, vx.SARQ: uSARrr,
+	vx.IDIVQ: uIDIVrr, vx.IREMQ: uIREMrr,
+}
+
+var fpALUKinds = map[vx.Op]uopKind{
+	vx.ADDSD: uFADDrr, vx.SUBSD: uFSUBrr,
+	vx.MULSD: uFMULrr, vx.DIVSD: uFDIVrr,
+}
+
+// predecode1 lowers one instruction. It only specializes shapes whose
+// handler is exactly equivalent to execOp's; anything else stays uGeneric.
+func predecode1(in *Inst) uop {
+	u := uop{kind: uGeneric, cost: uint8(in.Op.CycleCost())}
+
+	regA := in.AKind == OpReg
+	immB := in.BKind == OpImm || in.BKind == OpFImm
+	regB := in.BKind == OpReg
+	memOK := func() bool {
+		// The fast handlers support scale 0..255 and any displacement; the
+		// assembler only emits 1/2/4/8 but stay defensive.
+		return in.MemScale >= 0 && in.MemScale <= 255
+	}
+	setMem := func() {
+		u.b = uint8(in.MemBase)
+		u.c = uint8(in.MemIndex)
+		u.scale = uint8(in.MemScale)
+		u.imm = in.MemDisp
+	}
+
+	switch in.Op {
+	case vx.NOP:
+		u.kind = uNOP
+
+	case vx.MOVQ, vx.MOVSD:
+		switch {
+		case regA && regB:
+			u.kind, u.a, u.b = uMOVrr, uint8(in.AReg), uint8(in.BReg)
+		case regA && immB:
+			u.kind, u.a, u.imm = uMOVri, uint8(in.AReg), in.Imm
+		case regA && in.BKind == OpMem && memOK():
+			u.kind, u.a = uLOAD, uint8(in.AReg)
+			setMem()
+			u.cost += vx.MemExtraCycles
+		case in.AKind == OpMem && regB && memOK():
+			u.kind, u.a = uSTORE, uint8(in.BReg)
+			setMem()
+			u.cost += vx.MemExtraCycles
+		case in.AKind == OpMem && immB && memOK() && int64(int32(in.MemDisp)) == in.MemDisp:
+			u.kind, u.imm = uSTOREi, in.Imm
+			u.b = uint8(in.MemBase)
+			u.c = uint8(in.MemIndex)
+			u.scale = uint8(in.MemScale)
+			u.tgt = int32(in.MemDisp)
+			u.cost += vx.MemExtraCycles
+		}
+
+	case vx.MOVQ2SD, vx.MOVSD2Q:
+		u.kind, u.a, u.b = uMOVrr, uint8(in.AReg), uint8(in.BReg)
+
+	case vx.LEAQ:
+		if memOK() {
+			u.kind, u.a = uLEA, uint8(in.AReg)
+			setMem()
+		}
+
+	case vx.ADDQ, vx.SUBQ, vx.IMULQ, vx.ANDQ, vx.ORQ, vx.XORQ,
+		vx.SHLQ, vx.SHRQ, vx.SARQ, vx.IDIVQ, vx.IREMQ:
+		if !regA {
+			break
+		}
+		rr := intALUKinds[in.Op]
+		switch {
+		case regB:
+			u.kind, u.a, u.b = rr, uint8(in.AReg), uint8(in.BReg)
+		case in.BKind == OpImm:
+			u.kind, u.a, u.imm = rr+1, uint8(in.AReg), in.Imm // ri kind follows rr
+		}
+
+	case vx.NEGQ:
+		u.kind, u.a = uNEG, uint8(in.AReg)
+
+	case vx.NOTQ:
+		u.kind, u.a = uNOT, uint8(in.AReg)
+
+	case vx.ADDSD, vx.SUBSD, vx.MULSD, vx.DIVSD:
+		rr := fpALUKinds[in.Op]
+		switch {
+		case regB:
+			u.kind, u.a, u.b = rr, uint8(in.AReg), uint8(in.BReg)
+		case immB:
+			u.kind, u.a, u.imm = rr+1, uint8(in.AReg), in.Imm
+		}
+
+	case vx.SQRTSD:
+		if regB {
+			u.kind, u.a, u.b = uSQRTrr, uint8(in.AReg), uint8(in.BReg)
+		}
+
+	case vx.XORPD:
+		if regB {
+			u.kind, u.a, u.b = uFXORrr, uint8(in.AReg), uint8(in.BReg)
+		}
+
+	case vx.CVTSI2SD:
+		if regB {
+			u.kind, u.a, u.b = uCVTSI2SDrr, uint8(in.AReg), uint8(in.BReg)
+		}
+
+	case vx.CVTTSD2SI:
+		if regB {
+			u.kind, u.a, u.b = uCVTTSD2SIrr, uint8(in.AReg), uint8(in.BReg)
+		}
+
+	case vx.UCOMISD:
+		if regB {
+			u.kind, u.a, u.b = uUCOMISDrr, uint8(in.AReg), uint8(in.BReg)
+		}
+
+	case vx.CMPQ:
+		switch {
+		case regA && regB:
+			u.kind, u.a, u.b = uCMPrr, uint8(in.AReg), uint8(in.BReg)
+		case regA && in.BKind == OpImm:
+			u.kind, u.a, u.imm = uCMPri, uint8(in.AReg), in.Imm
+		}
+
+	case vx.TESTQ:
+		switch {
+		case regA && regB:
+			u.kind, u.a, u.b = uTESTrr, uint8(in.AReg), uint8(in.BReg)
+		case regA && in.BKind == OpImm:
+			u.kind, u.a, u.imm = uTESTri, uint8(in.AReg), in.Imm
+		}
+
+	case vx.SETCC:
+		u.kind, u.a, u.cond = uSETCC, uint8(in.AReg), uint8(in.Cond)
+
+	case vx.JMP:
+		u.kind, u.tgt = uJMP, in.Target
+
+	case vx.JCC:
+		u.kind, u.cond, u.tgt = uJCC, uint8(in.Cond), in.Target
+
+	case vx.CALLQ:
+		if in.HostIdx >= 0 {
+			u.kind, u.tgt = uCALLH, in.HostIdx
+		} else {
+			u.kind, u.tgt = uCALL, in.Target
+		}
+
+	case vx.RET:
+		u.kind = uRET
+
+	case vx.PUSHQ:
+		if regA {
+			u.kind, u.a = uPUSHr, uint8(in.AReg)
+		}
+
+	case vx.POPQ:
+		u.kind, u.a = uPOPr, uint8(in.AReg)
+
+	case vx.PUSHF:
+		u.kind = uPUSHF
+
+	case vx.POPF:
+		u.kind = uPOPF
+
+	case vx.HALT:
+		u.kind = uHALT
+	}
+	return u
+}

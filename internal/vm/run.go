@@ -1,0 +1,431 @@
+package vm
+
+import (
+	"math"
+
+	"repro/internal/vx"
+)
+
+// Run executes until halt, trap, or budget exhaustion. It returns the trap
+// kind (TrapNone for a normal halt).
+//
+// Run alternates between two loop variants: while an ExecHook is attached it
+// single-steps through the reference path (Step), which invokes the hook
+// after every instruction; while no hook is attached it executes the
+// predecoded fast loop, which hoists the halt/bounds/hook checks out of the
+// per-instruction path. The PINFI comparator detaches its hook mid-run
+// (§5.2), so a typical PINFI trial starts hooked and finishes fast.
+func (m *Machine) Run() TrapKind {
+	m.Img.ensure()
+	for !m.Halted {
+		if m.Hook != nil {
+			for !m.Halted && m.Hook != nil {
+				m.Step()
+			}
+		} else {
+			m.runFast()
+		}
+	}
+	return m.Trap
+}
+
+// runFast is the hook-free inner interpreter loop over predecoded uops. It
+// must stay observationally identical to stepping: same traps, same cycle
+// accounting, same InstrCount at every host-call boundary. It returns when
+// the machine halts or a host function attaches an ExecHook.
+func (m *Machine) runFast() {
+	img := m.Img
+	code := img.code
+	n := int32(len(code))
+	// Budget as a steps-until-deadline countdown: `left <= 0` is equivalent
+	// to Step's `InstrCount >= Budget` as long as both are advanced in
+	// lockstep. With no budget the countdown starts effectively infinite.
+	left := int64(math.MaxInt64)
+	if m.Budget > 0 {
+		left = m.Budget - m.InstrCount
+	}
+	for {
+		pc := m.PC
+		if uint32(pc) >= uint32(n) {
+			if pc == n {
+				// Return through the exit sentinel: normal halt.
+				m.Halted = true
+				m.ExitCode = int64(m.Regs[vx.R0])
+				return
+			}
+			m.fault(TrapBadPC, "pc %d outside [0,%d)", pc, n)
+			return
+		}
+		if left <= 0 {
+			m.fault(TrapTimeout, "budget %d exhausted", m.Budget)
+			return
+		}
+		u := &code[pc]
+		m.InstrCount++
+		m.Cycles += int64(u.cost)
+		m.PC = pc + 1 // default fallthrough; control flow overrides below
+		left--
+
+		switch u.kind {
+		case uMOVrr:
+			m.Regs[u.a] = m.Regs[u.b]
+
+		case uMOVri:
+			m.Regs[u.a] = uint64(u.imm)
+
+		case uLOAD:
+			v, ok := m.load64(m.uopAddr(u))
+			if !ok {
+				return
+			}
+			m.Regs[u.a] = v
+
+		case uSTORE:
+			if !m.store64(m.uopAddr(u), m.Regs[u.a]) {
+				return
+			}
+
+		case uSTOREi:
+			var addr uint64
+			if u.b != uint8(vx.NoReg) {
+				addr = m.Regs[u.b]
+			}
+			if u.c != uint8(vx.NoReg) {
+				addr += m.Regs[u.c] * uint64(u.scale)
+			}
+			addr += uint64(int64(u.tgt))
+			if !m.store64(addr, uint64(u.imm)) {
+				return
+			}
+
+		case uLEA:
+			m.Regs[u.a] = m.uopAddr(u)
+
+		case uADDrr:
+			r := m.Regs[u.a] + m.Regs[u.b]
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uADDri:
+			r := m.Regs[u.a] + uint64(u.imm)
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uSUBrr:
+			r := m.Regs[u.a] - m.Regs[u.b]
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uSUBri:
+			r := m.Regs[u.a] - uint64(u.imm)
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uIMULrr:
+			r := uint64(int64(m.Regs[u.a]) * int64(m.Regs[u.b]))
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uIMULri:
+			r := uint64(int64(m.Regs[u.a]) * u.imm)
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uANDrr:
+			r := m.Regs[u.a] & m.Regs[u.b]
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uANDri:
+			r := m.Regs[u.a] & uint64(u.imm)
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uORrr:
+			r := m.Regs[u.a] | m.Regs[u.b]
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uORri:
+			r := m.Regs[u.a] | uint64(u.imm)
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uXORrr:
+			r := m.Regs[u.a] ^ m.Regs[u.b]
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uXORri:
+			r := m.Regs[u.a] ^ uint64(u.imm)
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uSHLrr:
+			r := m.Regs[u.a] << (m.Regs[u.b] & 63)
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uSHLri:
+			r := m.Regs[u.a] << (uint64(u.imm) & 63)
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uSHRrr:
+			r := m.Regs[u.a] >> (m.Regs[u.b] & 63)
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uSHRri:
+			r := m.Regs[u.a] >> (uint64(u.imm) & 63)
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uSARrr:
+			r := uint64(int64(m.Regs[u.a]) >> (m.Regs[u.b] & 63))
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+		case uSARri:
+			r := uint64(int64(m.Regs[u.a]) >> (uint64(u.imm) & 63))
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+
+		case uIDIVrr, uIREMrr, uIDIVri, uIREMri:
+			a := m.Regs[u.a]
+			var b uint64
+			if u.kind == uIDIVrr || u.kind == uIREMrr {
+				b = m.Regs[u.b]
+			} else {
+				b = uint64(u.imm)
+			}
+			if b == 0 || (int64(a) == math.MinInt64 && int64(b) == -1) {
+				m.fault(TrapDivide, "divide error at pc %d", pc)
+				return
+			}
+			var r uint64
+			if u.kind == uIDIVrr || u.kind == uIDIVri {
+				r = uint64(int64(a) / int64(b))
+			} else {
+				r = uint64(int64(a) % int64(b))
+			}
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+
+		case uNEG:
+			r := uint64(-int64(m.Regs[u.a]))
+			m.Regs[u.a] = r
+			m.setFlagsZS(r)
+
+		case uNOT:
+			m.Regs[u.a] = ^m.Regs[u.a]
+
+		case uFADDrr:
+			m.Regs[u.a] = math.Float64bits(math.Float64frombits(m.Regs[u.a]) + math.Float64frombits(m.Regs[u.b]))
+		case uFADDri:
+			m.Regs[u.a] = math.Float64bits(math.Float64frombits(m.Regs[u.a]) + math.Float64frombits(uint64(u.imm)))
+		case uFSUBrr:
+			m.Regs[u.a] = math.Float64bits(math.Float64frombits(m.Regs[u.a]) - math.Float64frombits(m.Regs[u.b]))
+		case uFSUBri:
+			m.Regs[u.a] = math.Float64bits(math.Float64frombits(m.Regs[u.a]) - math.Float64frombits(uint64(u.imm)))
+		case uFMULrr:
+			m.Regs[u.a] = math.Float64bits(math.Float64frombits(m.Regs[u.a]) * math.Float64frombits(m.Regs[u.b]))
+		case uFMULri:
+			m.Regs[u.a] = math.Float64bits(math.Float64frombits(m.Regs[u.a]) * math.Float64frombits(uint64(u.imm)))
+		case uFDIVrr:
+			m.Regs[u.a] = math.Float64bits(math.Float64frombits(m.Regs[u.a]) / math.Float64frombits(m.Regs[u.b]))
+		case uFDIVri:
+			m.Regs[u.a] = math.Float64bits(math.Float64frombits(m.Regs[u.a]) / math.Float64frombits(uint64(u.imm)))
+
+		case uSQRTrr:
+			m.Regs[u.a] = math.Float64bits(math.Sqrt(math.Float64frombits(m.Regs[u.b])))
+
+		case uFXORrr:
+			m.Regs[u.a] ^= m.Regs[u.b]
+
+		case uCVTSI2SDrr:
+			m.Regs[u.a] = math.Float64bits(float64(int64(m.Regs[u.b])))
+
+		case uCVTTSD2SIrr:
+			f := math.Float64frombits(m.Regs[u.b])
+			var r int64
+			if math.IsNaN(f) || f >= math.MaxInt64 || f < math.MinInt64 {
+				r = math.MinInt64
+			} else {
+				r = int64(f)
+			}
+			m.Regs[u.a] = uint64(r)
+
+		case uUCOMISDrr:
+			a := math.Float64frombits(m.Regs[u.a])
+			b := math.Float64frombits(m.Regs[u.b])
+			var f uint64
+			switch {
+			case math.IsNaN(a) || math.IsNaN(b):
+				f = vx.FlagZ | vx.FlagC | vx.FlagP
+			case a == b:
+				f = vx.FlagZ
+			case a < b:
+				f = vx.FlagC
+			}
+			m.Regs[vx.RFLAGS] = f
+
+		case uCMPrr:
+			m.Regs[vx.RFLAGS] = cmpFlags(m.Regs[u.a], m.Regs[u.b])
+		case uCMPri:
+			m.Regs[vx.RFLAGS] = cmpFlags(m.Regs[u.a], uint64(u.imm))
+		case uTESTrr:
+			m.setFlagsZS(m.Regs[u.a] & m.Regs[u.b])
+		case uTESTri:
+			m.setFlagsZS(m.Regs[u.a] & uint64(u.imm))
+
+		case uCMPrrJCC, uCMPriJCC, uTESTrrJCC, uTESTriJCC:
+			// Fused compare+branch superinstruction: one dispatch, two
+			// architectural instructions. The accounting (InstrCount, cycles,
+			// budget check between the pair) matches the unfused sequence
+			// exactly, including a timeout landing on the branch.
+			var b uint64
+			if u.kind == uCMPrrJCC || u.kind == uTESTrrJCC {
+				b = m.Regs[u.b]
+			} else {
+				b = uint64(u.imm)
+			}
+			var f uint64
+			if u.kind == uCMPrrJCC || u.kind == uCMPriJCC {
+				f = cmpFlags(m.Regs[u.a], b)
+			} else {
+				v := m.Regs[u.a] & b
+				if v == 0 {
+					f |= vx.FlagZ
+				}
+				if int64(v) < 0 {
+					f |= vx.FlagS
+				}
+			}
+			m.Regs[vx.RFLAGS] = f
+			if left <= 0 {
+				m.fault(TrapTimeout, "budget %d exhausted", m.Budget)
+				return
+			}
+			m.InstrCount++
+			m.Cycles += int64(u.cost2)
+			left--
+			if vx.Cond(u.cond).Eval(f) {
+				m.PC = u.tgt
+			} else {
+				m.PC = pc + 2
+			}
+
+		case uJMP:
+			m.PC = u.tgt
+
+		case uJCC:
+			if vx.Cond(u.cond).Eval(m.Regs[vx.RFLAGS]) {
+				m.PC = u.tgt
+			}
+
+		case uSETCC:
+			if vx.Cond(u.cond).Eval(m.Regs[vx.RFLAGS]) {
+				m.Regs[u.a] = 1
+			} else {
+				m.Regs[u.a] = 0
+			}
+
+		case uPUSHr:
+			if !m.push(m.Regs[u.a]) {
+				return
+			}
+		case uPOPr:
+			v, ok := m.pop()
+			if !ok {
+				return
+			}
+			m.Regs[u.a] = v
+		case uPUSHF:
+			if !m.push(m.Regs[vx.RFLAGS]) {
+				return
+			}
+		case uPOPF:
+			v, ok := m.pop()
+			if !ok {
+				return
+			}
+			m.Regs[vx.RFLAGS] = v
+
+		case uRET:
+			v, ok := m.pop()
+			if !ok {
+				return
+			}
+			if v > uint64(n) {
+				m.fault(TrapBadPC, "ret to %#x", v)
+				return
+			}
+			m.PC = int32(v)
+
+		case uCALL:
+			if !m.push(uint64(pc + 1)) {
+				return
+			}
+			m.PC = u.tgt
+
+		case uCALLH:
+			h := &m.hosts[u.tgt]
+			if h.Fn == nil {
+				m.fault(TrapIllegal, "unbound host function %q", img.HostFns[u.tgt])
+				return
+			}
+			c := h.Cycles
+			if c == 0 {
+				c = vx.HostCallCycles
+			}
+			m.Cycles += c
+			h.Fn(m)
+			if !h.PreserveRegs {
+				m.scrambleExceptResults()
+			}
+			// Host code runs arbitrary Go: it may halt the machine, attach an
+			// ExecHook (Step fires a freshly attached hook for the attaching
+			// instruction, so do the same before handing over to the stepping
+			// loop), or change the budget (refresh the countdown either way).
+			if m.Halted {
+				return
+			}
+			if m.Hook != nil {
+				m.Hook(m, pc, &img.Instrs[pc])
+				return
+			}
+			left = int64(math.MaxInt64)
+			if m.Budget > 0 {
+				left = m.Budget - m.InstrCount
+			}
+
+		case uNOP:
+
+		case uHALT:
+			m.Halted = true
+			m.ExitCode = int64(m.Regs[vx.R0])
+			return
+
+		default: // uGeneric: full decode through the reference switch.
+			m.execOp(pc, &img.Instrs[pc])
+			if m.Halted || m.Hook != nil {
+				return
+			}
+			left = int64(math.MaxInt64)
+			if m.Budget > 0 {
+				left = m.Budget - m.InstrCount
+			}
+		}
+	}
+}
+
+// uopAddr computes the effective address of a uop memory operand.
+func (m *Machine) uopAddr(u *uop) uint64 {
+	var a uint64
+	if u.b != uint8(vx.NoReg) {
+		a = m.Regs[u.b]
+	}
+	if u.c != uint8(vx.NoReg) {
+		a += m.Regs[u.c] * uint64(u.scale)
+	}
+	return a + uint64(u.imm)
+}
+
+// cmpFlags computes CMPQ's ZF/SF/CF triple.
+func cmpFlags(a, b uint64) uint64 {
+	var f uint64
+	if a == b {
+		f |= vx.FlagZ
+	}
+	if int64(a) < int64(b) {
+		f |= vx.FlagS
+	}
+	if a < b {
+		f |= vx.FlagC
+	}
+	return f
+}

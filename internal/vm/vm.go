@@ -9,8 +9,10 @@
 package vm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/vx"
 )
@@ -91,25 +93,43 @@ type Image struct {
 
 	// NumSites is the number of static FI sites assigned by instrumentation.
 	NumSites int32
+
+	// Execution-engine state, built once per image on first use (see
+	// predecode.go): the predecoded instruction stream, the host-symbol
+	// index, and the entry-sorted function index for FuncOf.
+	once      predecodeOnce
+	code      []uop
+	hostIndex map[string]int32
+	funcOrder []int32 // indexes into Funcs, sorted by Entry
 }
 
 // Imports reports whether the image links against the named host function.
 func (img *Image) Imports(name string) bool {
-	for _, h := range img.HostFns {
-		if h == name {
-			return true
-		}
-	}
-	return false
+	img.ensure()
+	_, ok := img.hostIndex[name]
+	return ok
 }
 
 // FuncOf returns the function containing pc, or nil.
 func (img *Image) FuncOf(pc int32) *FuncInfo {
-	for i := range img.Funcs {
-		f := &img.Funcs[i]
-		if pc >= f.Entry && pc < f.End {
-			return f
+	img.ensure()
+	// Binary search over function entries: find the last function whose
+	// Entry is <= pc, then confirm pc falls inside it.
+	lo, hi := 0, len(img.funcOrder)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if img.Funcs[img.funcOrder[mid]].Entry <= pc {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	f := &img.Funcs[img.funcOrder[lo-1]]
+	if pc >= f.Entry && pc < f.End {
+		return f
 	}
 	return nil
 }
@@ -128,12 +148,12 @@ const DefaultMemSize = 1 << 22 // 4 MiB
 type TrapKind uint8
 
 const (
-	TrapNone TrapKind = iota
-	TrapSegv          // memory access outside the mapped range
-	TrapDivide        // integer divide by zero or INT64_MIN / -1
-	TrapBadPC         // control transfer outside the instruction stream
-	TrapTimeout       // instruction budget exhausted
-	TrapIllegal       // malformed instruction (assembler bug guard)
+	TrapNone    TrapKind = iota
+	TrapSegv             // memory access outside the mapped range
+	TrapDivide           // integer divide by zero or INT64_MIN / -1
+	TrapBadPC            // control transfer outside the instruction stream
+	TrapTimeout          // instruction budget exhausted
+	TrapIllegal          // malformed instruction (assembler bug guard)
 )
 
 func (t TrapKind) String() string {
@@ -203,25 +223,56 @@ type Machine struct {
 
 	Hook  ExecHook
 	hosts []HostFn
+
+	// dirty is a bitmap of memory pages (dirtyPageSize bytes each) written
+	// since the last Reset. The store path marks pages; Reset clears only the
+	// marked pages instead of the whole address space, so short trials stop
+	// paying O(MemSize) per run.
+	dirty []uint64
 }
+
+// dirtyPageShift selects the dirty-tracking page size (4 KiB, like a real
+// MMU page). A 4 MiB address space needs a 16-word bitmap.
+const dirtyPageShift = 12
+
+const dirtyPageSize = 1 << dirtyPageShift
 
 // New creates a machine for the image with default memory size.
 func New(img *Image) *Machine {
+	img.ensure()
 	m := &Machine{Img: img}
 	m.hosts = make([]HostFn, len(img.HostFns))
 	m.Reset()
 	return m
 }
 
-// Reset re-initializes registers, memory and accounting for a fresh run.
+// Reset re-initializes registers, memory and accounting for a fresh run. It
+// also clears the instruction Budget and detaches any ExecHook, so a pooled
+// machine cannot leak the previous trial's timeout or instrumentation into
+// the next run. Only pages dirtied since the previous Reset are cleared.
 func (m *Machine) Reset() {
 	img := m.Img
 	if m.Mem == nil || int64(len(m.Mem)) != img.MemSize {
 		m.Mem = make([]byte, img.MemSize)
+		npages := (len(m.Mem) + dirtyPageSize - 1) >> dirtyPageShift
+		m.dirty = make([]uint64, (npages+63)/64)
 	} else {
-		clear(m.Mem)
+		for wi, w := range m.dirty {
+			if w == 0 {
+				continue
+			}
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << b
+				lo := (wi*64 + b) << dirtyPageShift
+				hi := min(lo+dirtyPageSize, len(m.Mem))
+				clear(m.Mem[lo:hi])
+			}
+			m.dirty[wi] = 0
+		}
 	}
 	copy(m.Mem[img.GlobalBase:], img.InitData)
+	m.markDirtyRange(uint64(img.GlobalBase), int64(len(img.InitData)))
 	for i := range m.Regs {
 		m.Regs[i] = 0
 	}
@@ -231,32 +282,60 @@ func (m *Machine) Reset() {
 	m.Trap = TrapNone
 	m.TrapMsg = ""
 	m.InstrCount = 0
+	m.Budget = 0
 	m.Cycles = 0
+	m.Hook = nil
 	m.Output = m.Output[:0]
 	// Stack: push the exit sentinel so that RET from the entry function halts.
 	m.Regs[vx.SP] = uint64(img.MemSize)
 	m.push(uint64(len(img.Instrs)))
 }
 
+// markDirty records that the 8 bytes at addr were written. The caller has
+// already bounds-checked addr, so both page indexes are in range.
+func (m *Machine) markDirty(addr uint64) {
+	p := addr >> dirtyPageShift
+	m.dirty[p>>6] |= 1 << (p & 63)
+	p = (addr + 7) >> dirtyPageShift
+	m.dirty[p>>6] |= 1 << (p & 63)
+}
+
+// MarkMemWritten records an n-byte direct write to Mem so the dirty-page
+// Reset knows to clear it. Guest stores go through the VM and are tracked
+// automatically; host functions or harness code that write Mem directly
+// must call this, or the bytes survive the next Reset on a reused machine.
+func (m *Machine) MarkMemWritten(addr uint64, n int64) {
+	m.markDirtyRange(addr, n)
+}
+
+// markDirtyRange records an n-byte external write at addr (e.g. the
+// init-data copy during Reset).
+func (m *Machine) markDirtyRange(addr uint64, n int64) {
+	if n <= 0 {
+		return
+	}
+	for p := addr >> dirtyPageShift; p <= (addr+uint64(n)-1)>>dirtyPageShift; p++ {
+		m.dirty[p>>6] |= 1 << (p & 63)
+	}
+}
+
 // BindHost installs the implementation for a named host function. It panics
 // if the image does not import the symbol, which indicates a link error in
 // the harness rather than a program-under-test failure.
 func (m *Machine) BindHost(h HostFn) {
-	for i, name := range m.Img.HostFns {
-		if name == h.Name {
-			m.hosts[i] = h
-			return
-		}
+	m.Img.ensure()
+	if i, ok := m.Img.hostIndex[h.Name]; ok {
+		m.hosts[i] = h
+		return
 	}
 	panic(fmt.Sprintf("vm: image does not import host function %q", h.Name))
 }
 
 // HostBound reports whether the named host symbol has an implementation.
 func (m *Machine) HostBound(name string) bool {
-	for i, n := range m.Img.HostFns {
-		if n == name {
-			return m.hosts[i].Fn != nil
-		}
+	m.Img.ensure()
+	if i, ok := m.Img.hostIndex[name]; ok {
+		return m.hosts[i].Fn != nil
 	}
 	return false
 }
@@ -275,16 +354,18 @@ func (m *Machine) fault(k TrapKind, format string, args ...any) {
 
 // memory access helpers ------------------------------------------------------
 
+// load64 and store64 are the only memory-access primitives of both
+// execution paths; store64 is also the single point where dirty-page
+// marking happens. The bounds checks are written to be overflow-safe:
+// addr+8 could wrap for addresses near 2^64 (e.g. a bit-flipped stack
+// pointer).
+
 func (m *Machine) load64(addr uint64) (uint64, bool) {
-	// Written to be overflow-safe: addr+8 could wrap for addresses near 2^64
-	// (e.g. a bit-flipped stack pointer).
 	if addr < DefaultGlobalBase || addr > uint64(len(m.Mem))-8 {
 		m.fault(TrapSegv, "load at %#x", addr)
 		return 0, false
 	}
-	b := m.Mem[addr:]
-	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
-		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, true
+	return binary.LittleEndian.Uint64(m.Mem[addr:]), true
 }
 
 func (m *Machine) store64(addr, v uint64) bool {
@@ -292,15 +373,8 @@ func (m *Machine) store64(addr, v uint64) bool {
 		m.fault(TrapSegv, "store at %#x", addr)
 		return false
 	}
-	b := m.Mem[addr:]
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-	b[4] = byte(v >> 32)
-	b[5] = byte(v >> 40)
-	b[6] = byte(v >> 48)
-	b[7] = byte(v >> 56)
+	m.markDirty(addr)
+	binary.LittleEndian.PutUint64(m.Mem[addr:], v)
 	return true
 }
 
@@ -405,16 +479,10 @@ func (m *Machine) scramble() {
 	m.Regs[vx.RFLAGS] = vx.FlagS
 }
 
-// Run executes until halt, trap, or budget exhaustion. It returns the trap
-// kind (TrapNone for a normal halt).
-func (m *Machine) Run() TrapKind {
-	for !m.Halted {
-		m.Step()
-	}
-	return m.Trap
-}
-
-// Step executes a single instruction.
+// Step executes a single instruction. It is the reference path: hooked runs
+// (PINFI's stand-in for dynamic binary instrumentation) and single-stepping
+// tools use it, and the predecoded fast loop in run.go must stay
+// observationally identical to it.
 func (m *Machine) Step() {
 	if m.Halted {
 		return
@@ -439,7 +507,16 @@ func (m *Machine) Step() {
 	m.InstrCount++
 	m.Cycles += in.Op.CycleCost()
 	m.PC = pc + 1 // default fallthrough; control flow overrides below
+	m.execOp(pc, in)
+	if m.Hook != nil && !m.Halted {
+		m.Hook(m, pc, in)
+	}
+}
 
+// execOp applies the architectural effects of one instruction. The caller
+// has already accounted for it (InstrCount, base cycle cost, fallthrough PC).
+func (m *Machine) execOp(pc int32, in *Inst) {
+	img := m.Img
 	switch in.Op {
 	case vx.NOP:
 
@@ -736,10 +813,6 @@ func (m *Machine) Step() {
 	default:
 		m.fault(TrapIllegal, "unknown opcode %d", in.Op)
 		return
-	}
-
-	if m.Hook != nil && !m.Halted {
-		m.Hook(m, pc, in)
 	}
 }
 

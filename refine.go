@@ -101,14 +101,27 @@ func Trial(bin *Binary, prof *Profile, seed uint64) TrialResult {
 }
 
 // Campaign runs n trials of (app, tool) across workers goroutines
-// (workers ≤ 0 uses GOMAXPROCS) with the default build options.
+// (workers ≤ 0 uses GOMAXPROCS) with the default build options. Builds and
+// golden-run profiles are memoized process-wide, keyed by the app's name,
+// memory size, tool and build options — repeated campaigns over the same
+// configuration compile and profile once. Apps are identified by name: two
+// Apps sharing a name but building different IR would collide in the cache;
+// use distinct names, or CampaignFresh to bypass caching.
 func Campaign(app App, tool Tool, n int, seed uint64, workers int) (*Result, error) {
 	return campaign.Run(app, tool, n, seed, workers, DefaultOptions())
 }
 
 // CampaignWith runs a campaign with explicit build options (ablations).
+// It shares the process-wide build/profile cache (see Campaign).
 func CampaignWith(app App, tool Tool, n int, seed uint64, workers int, o Options) (*Result, error) {
 	return campaign.Run(app, tool, n, seed, workers, o)
+}
+
+// CampaignFresh runs a campaign with a from-scratch build and profile,
+// bypassing the process-wide cache — for apps whose Build closures change
+// between runs while keeping the same name.
+func CampaignFresh(app App, tool Tool, n int, seed uint64, workers int, o Options) (*Result, error) {
+	return campaign.RunCached(nil, app, tool, n, seed, workers, o)
 }
 
 // SampleSize computes the Leveugle et al. sample count; the paper's margin
