@@ -95,12 +95,12 @@ func BenchmarkTable5ChiSquared(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		llfiSig, refineSig, err := suite.SummaryCounts()
+		sig, err := suite.SummaryCounts()
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(llfiSig), "LLFI_sig_apps")
-		b.ReportMetric(float64(refineSig), "REFINE_sig_apps")
+		b.ReportMetric(float64(sig["LLFI"]), "LLFI_sig_apps")
+		b.ReportMetric(float64(sig["REFINE"]), "REFINE_sig_apps")
 		b.ReportMetric(float64(len(apps)), "apps")
 	}
 }

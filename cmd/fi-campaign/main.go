@@ -5,11 +5,15 @@
 // Usage:
 //
 //	fi-campaign [-trials 1068] [-seed 1] [-workers 0] [-apps HPCCG,CG,...]
-//	            [-instrs all|arithm|mem|stack] [-O 2|0] [-quiet]
+//	            [-tools LLFI,REFINE,PINFI,REFINE2] [-instrs all|arithm|mem|stack]
+//	            [-O 2|0] [-quiet]
 //
 // The paper's configuration is the default: 1068 trials (3% margin, 95%
 // confidence), -fi-funcs=* -fi-instrs=all, -O2. 14 apps × 3 tools × 1068 =
-// 44,856 experiments, as in §5.3.
+// 44,856 experiments, as in §5.3. -tools selects any subset of the injector
+// registry, including extensions such as the REFINE2 double-bit-flip
+// variant; the statistical tables that need the PINFI baseline are skipped
+// when it is not selected.
 package main
 
 import (
@@ -24,6 +28,9 @@ import (
 	"repro/internal/fault"
 	"repro/internal/opt"
 	"repro/internal/workloads"
+
+	// Register the multi-bit REFINE variant so -tools REFINE2 resolves.
+	_ "repro/internal/multibit"
 )
 
 func main() {
@@ -31,6 +38,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 14)")
+	toolsFlag := flag.String("tools", "", "comma-separated tool subset from the injector registry\n(default: LLFI,REFINE,PINFI; registered: "+strings.Join(campaign.ToolNames(), ",")+")")
 	instrs := flag.String("instrs", "all", "-fi-instrs class filter: all|arithm|mem|stack")
 	optLevel := flag.Int("O", 2, "optimization level (2 or 0)")
 	quiet := flag.Bool("quiet", false, "suppress per-campaign progress")
@@ -59,6 +67,15 @@ func main() {
 			cfg.Apps = append(cfg.Apps, app)
 		}
 	}
+	if *toolsFlag != "" {
+		for _, name := range strings.Split(*toolsFlag, ",") {
+			tool, err := campaign.ToolByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Tools = append(cfg.Tools, tool)
+		}
+	}
 	if !*quiet {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -68,12 +85,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("# %d apps x 3 tools x %d trials = %d experiments in %v\n\n",
-		len(suite.Order), suite.Trials, len(suite.Order)*3*suite.Trials, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("# %d apps x %d tools x %d trials = %d experiments in %v\n\n",
+		len(suite.Order), len(suite.Tools), suite.Trials,
+		len(suite.Order)*len(suite.Tools)*suite.Trials, time.Since(start).Round(time.Millisecond))
 
 	fmt.Println(suite.Table6())
 	fmt.Println(suite.Figure4())
-	fmt.Println(suite.Table4(suite.Order[0]))
+
+	hasPINFI := false
+	hasLLFI := false
+	for _, t := range suite.Tools {
+		if t == campaign.PINFI {
+			hasPINFI = true
+		}
+		if t == campaign.LLFI {
+			hasLLFI = true
+		}
+	}
+	if !hasPINFI || len(suite.Tools) < 2 {
+		fmt.Println("(statistical comparisons skipped: they need PINFI plus at least one other tool)")
+		return
+	}
+
+	if hasLLFI {
+		fmt.Println(suite.Table4(suite.Order[0]))
+	}
 	t5, err := suite.Table5()
 	if err != nil {
 		fatal(err)
@@ -81,14 +117,25 @@ func main() {
 	fmt.Println(t5)
 	fmt.Println(suite.Figure5())
 
-	llfiSig, refineSig, err := suite.SummaryCounts()
+	sig, err := suite.SummaryCounts()
 	if err != nil {
 		fatal(err)
 	}
-	lNorm, rNorm := suite.Speedups()
-	fmt.Printf("Headline: LLFI differs from PINFI on %d/%d apps; REFINE on %d/%d.\n",
-		llfiSig, len(suite.Order), refineSig, len(suite.Order))
-	fmt.Printf("Campaign time vs PINFI: LLFI %.1fx, REFINE %.1fx (paper: 3.9x, 1.2x).\n", lNorm, rNorm)
+	fmt.Print("Headline:")
+	for _, t := range suite.Tools {
+		if n, ok := sig[t.Name()]; ok {
+			fmt.Printf(" %s differs from PINFI on %d/%d apps;", t.Name(), n, len(suite.Order))
+		}
+	}
+	fmt.Println()
+	fmt.Print("Campaign time vs PINFI:")
+	for _, t := range suite.Tools {
+		if t == campaign.PINFI {
+			continue
+		}
+		fmt.Printf(" %s %.1fx", t.Name(), suite.NormalizedTime(t))
+	}
+	fmt.Println(" (paper: LLFI 3.9x, REFINE 1.2x).")
 }
 
 func fatal(err error) {

@@ -6,8 +6,11 @@
 //
 // Usage:
 //
-//	fi-speed [-trials 200] [-seed 1] [-workers 0] [-apps CSV]
+//	fi-speed [-trials 200] [-seed 1] [-workers 0] [-apps CSV] [-tools CSV]
 //	         [-cpuprofile out.pprof]
+//
+// -tools selects injectors from the registry (PINFI is always included — it
+// is the normalization baseline).
 package main
 
 import (
@@ -21,6 +24,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/pinfi"
 	"repro/internal/workloads"
+
+	// Register the multi-bit REFINE variant so -tools REFINE2 resolves.
+	_ "repro/internal/multibit"
 )
 
 func main() {
@@ -37,6 +43,7 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "parallel workers")
 	appsFlag := flag.String("apps", "", "comma-separated app subset")
+	toolsFlag := flag.String("tools", "", "comma-separated tool subset from the injector registry\n(default: LLFI,REFINE,PINFI; registered: "+strings.Join(campaign.ToolNames(), ",")+")")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file")
 	flag.Parse()
 
@@ -65,6 +72,23 @@ func run() error {
 				return err
 			}
 			cfg.Apps = append(cfg.Apps, app)
+		}
+	}
+	if *toolsFlag != "" {
+		havePINFI := false
+		for _, name := range strings.Split(*toolsFlag, ",") {
+			tool, err := campaign.ToolByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			if tool == campaign.PINFI {
+				havePINFI = true
+			}
+			cfg.Tools = append(cfg.Tools, tool)
+		}
+		if !havePINFI {
+			// Figure 5 normalizes to PINFI; keep the baseline in the suite.
+			cfg.Tools = append(cfg.Tools, campaign.PINFI)
 		}
 	}
 	suite, err := experiments.RunSuite(cfg)

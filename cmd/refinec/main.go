@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	refinec -app HPCCG [-tool refine|llfi|none] [-o out.vxo]
+//	refinec -app HPCCG [-tool refine|llfi|none|<registry name>] [-o out.vxo]
 //	        [-fi-funcs '*'] [-fi-instrs all] [-O 2] [-S] [-emit-ir]
 //
 // -S prints the final assembly instead of writing an object; -emit-ir prints
@@ -24,6 +24,9 @@ import (
 	"repro/internal/fault"
 	"repro/internal/opt"
 	"repro/internal/workloads"
+
+	// Register the multi-bit REFINE variant so -tool refine2 resolves.
+	_ "repro/internal/multibit"
 )
 
 func main() {
@@ -60,16 +63,22 @@ func main() {
 		o.FI.Funcs = strings.Split(*fiFuncs, ",")
 	}
 
-	var ct campaign.Tool
-	switch *tool {
-	case "refine":
-		ct = campaign.REFINE
-	case "llfi":
-		ct = campaign.LLFI
-	case "none", "pinfi":
-		ct = campaign.PINFI // plain binary
-	default:
-		fatal(fmt.Errorf("unknown tool %q", *tool))
+	// Resolve the instrumentation pipeline through the injector registry;
+	// "none" builds the plain binary (PINFI's pipeline instruments nothing).
+	// Exact registry names win; the historical lowercase spellings
+	// ("refine", "llfi", ...) fall back to an uppercase lookup.
+	name := *tool
+	if name == "none" {
+		name = "PINFI"
+	}
+	ct, err := campaign.ToolByName(name)
+	if err != nil {
+		if upper, upperErr := campaign.ToolByName(strings.ToUpper(name)); upperErr == nil {
+			ct, err = upper, nil
+		}
+	}
+	if err != nil {
+		fatal(err)
 	}
 
 	if *emitIR {

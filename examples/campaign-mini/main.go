@@ -1,7 +1,8 @@
 // Campaign-mini: a reduced version of the paper's full evaluation — three
-// benchmarks, all three tools, a few hundred trials each — producing the
-// same artifacts (outcome table, chi-squared tests, normalized campaign
-// times) in under a minute.
+// benchmarks, the three paper tools plus the registry-provided REFINE2
+// double-bit-flip variant, a few hundred trials each — producing the same
+// artifacts (outcome table, chi-squared tests, normalized campaign times)
+// in under a minute.
 package main
 
 import (
@@ -22,6 +23,10 @@ func main() {
 		}
 		cfg.Apps = append(cfg.Apps, app)
 	}
+	// The suite runs every registered injector: LLFI, REFINE, PINFI and the
+	// REFINE2 extension — Table 5 and Figure 5 then compare each of them
+	// against the PINFI baseline.
+	cfg.Tools = refine.Registered()
 	cfg.Trials = 400
 	cfg.Seed = 1
 

@@ -14,7 +14,6 @@ import (
 
 	refine "repro"
 	"repro/internal/asm"
-	"repro/internal/campaign"
 	"repro/internal/codegen"
 	"repro/internal/llfi"
 	"repro/internal/opt"
@@ -65,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pbin, err := refine.Build(app, campaign.PINFI, refine.DefaultOptions())
+	pbin, err := refine.Build(app, refine.PINFI, refine.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

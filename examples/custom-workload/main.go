@@ -1,10 +1,12 @@
 // Custom-workload: fault-inject your own kernel. The public API exposes the
-// IR builder, so any program expressible in the IR can be studied with all
-// three tools — here a small iterative stencil with a checksum, built from
-// scratch, swept with 300 trials per tool.
+// IR builder, so any program expressible in the IR can be studied with every
+// registered tool — here a small iterative stencil with a checksum, built
+// from scratch, swept with 300 trials per tool through the v2 campaign API
+// (functional options, context cancellation, streaming observer).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,14 +66,26 @@ func buildHeat() *ir.Module {
 
 func main() {
 	app := refine.App{Name: "heat1d", Build: buildHeat}
+	ctx := context.Background()
 	fmt.Printf("%-8s %8s %8s %8s %12s\n", "tool", "crash", "soc", "benign", "cycles")
-	for _, tool := range refine.Tools {
-		res, err := refine.Campaign(app, tool, 300, 1, 0)
+	for _, tool := range refine.Registered() {
+		// v2 campaign API: a spec with functional options, run under a
+		// context. A streaming observer sees every trial in order without
+		// buffering the whole record log; here it samples every 100th.
+		res, err := refine.NewCampaign(app, tool,
+			refine.WithTrials(300),
+			refine.WithSeed(1),
+			refine.WithObserver(func(i int, tr refine.TrialResult) {
+				if i%100 == 0 {
+					fmt.Printf("  %s trial %3d: %s\n", tool.Name(), i, tr.Outcome)
+				}
+			}),
+		).Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		c := res.Counts
-		fmt.Printf("%-8s %8d %8d %8d %12.3e\n", tool, c.Crash, c.SOC, c.Benign, float64(res.Cycles))
+		fmt.Printf("%-8s %8d %8d %8d %12.3e\n", tool.Name(), c.Crash, c.SOC, c.Benign, float64(res.Cycles))
 	}
 	fmt.Println("\nSingle-fault reproduction with a fixed seed:")
 	bin, err := refine.Build(app, refine.REFINE, refine.DefaultOptions())

@@ -17,8 +17,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Tools are pluggable injectors resolved through a registry; "REFINE"
+	// here could be any registered name (e.g. "REFINE2", the double
+	// bit-flip variant).
+	tool, err := refine.ToolByName("REFINE")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Build with the REFINE pipeline: IR → -O2 → backend → FI pass → binary.
-	bin, err := refine.Build(app, refine.REFINE, refine.DefaultOptions())
+	bin, err := refine.Build(app, tool, refine.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,110 @@
+package campaign
+
+// The paper's three tools as registry entries. Each injector folds the
+// build-pipeline, profiling and trial semantics that used to live in three
+// switch statements inside the orchestrator into one value; the orchestrator
+// itself is now tool-agnostic interface dispatch.
+
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/llfi"
+	"repro/internal/mir"
+	"repro/internal/pinfi"
+	"repro/internal/vm"
+)
+
+// Registered singletons for the paper's tools, in presentation order.
+var (
+	// LLFI instruments the optimized IR (paper §3.3): population misses
+	// backend-generated instructions, and the injectFault calls perturb
+	// code generation.
+	LLFI Tool = &llfiInjector{ToolName: "LLFI"}
+	// REFINE instruments the final machine program (paper §4): full
+	// machine-level population with no code-generation interference.
+	REFINE Tool = &refineInjector{ToolName: "REFINE"}
+	// PINFI is the binary-level baseline: no static instrumentation, the
+	// VM's execution hook stands in for PIN's dynamic instrumentation.
+	PINFI Tool = &pinfiInjector{ToolName: "PINFI"}
+)
+
+// Tools lists the paper's tools in its presentation order. Extensions
+// registered by other packages appear in RegisteredTools, not here.
+var Tools = []Tool{LLFI, REFINE, PINFI}
+
+func init() {
+	for _, t := range Tools {
+		Register(t)
+	}
+}
+
+// llfiInjector ----------------------------------------------------------------
+
+type llfiInjector struct{ ToolName }
+
+func (llfiInjector) InstrumentIR(m *ir.Module, cfg fault.Config) int {
+	return llfi.Instrument(m, cfg)
+}
+
+func (llfiInjector) InstrumentMachine(*mir.Prog, fault.Config) (int, error) { return 0, nil }
+
+func (llfiInjector) Profile(m *vm.Machine, _ fault.Config, _ pinfi.CostModel) (int64, []uint64) {
+	lib := &llfi.ProfileLib{}
+	lib.Bind(m)
+	m.Run()
+	return lib.Count, append([]uint64(nil), m.Output...)
+}
+
+func (llfiInjector) Trial(m *vm.Machine, _ *Binary, prof *Profile, _ pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+	m.Reset()
+	m.Budget = prof.Budget
+	lib := &llfi.InjectLib{Target: target, RNG: rng}
+	lib.Bind(m)
+	m.Run()
+	return lib.Rec
+}
+
+// refineInjector --------------------------------------------------------------
+
+type refineInjector struct{ ToolName }
+
+func (refineInjector) InstrumentIR(*ir.Module, fault.Config) int { return 0 }
+
+func (refineInjector) InstrumentMachine(p *mir.Prog, cfg fault.Config) (int, error) {
+	return core.Instrument(p, cfg)
+}
+
+func (refineInjector) Profile(m *vm.Machine, _ fault.Config, _ pinfi.CostModel) (int64, []uint64) {
+	lib := &core.ProfileLib{}
+	lib.Bind(m)
+	m.Run()
+	return lib.Count, append([]uint64(nil), m.Output...)
+}
+
+func (refineInjector) Trial(m *vm.Machine, b *Binary, prof *Profile, _ pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+	m.Reset()
+	m.Budget = prof.Budget
+	lib := &core.InjectLib{Target: target, RNG: rng}
+	lib.Bind(m)
+	m.Run()
+	lib.ResolveRecord(b.Img)
+	return lib.Rec
+}
+
+// pinfiInjector ---------------------------------------------------------------
+
+type pinfiInjector struct{ ToolName }
+
+func (pinfiInjector) InstrumentIR(*ir.Module, fault.Config) int { return 0 }
+
+func (pinfiInjector) InstrumentMachine(*mir.Prog, fault.Config) (int, error) { return 0, nil }
+
+func (pinfiInjector) Profile(m *vm.Machine, cfg fault.Config, costs pinfi.CostModel) (int64, []uint64) {
+	return pinfi.Profile(m, cfg, costs)
+}
+
+func (pinfiInjector) Trial(m *vm.Machine, b *Binary, prof *Profile, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+	m.Budget = prof.Budget
+	return pinfi.Trial(m, b.Cfg, costs, target, rng) // Trial resets, keeping the budget
+}

@@ -36,7 +36,7 @@ type Cache struct {
 type cacheKey struct {
 	app     string
 	memSize int64
-	tool    Tool
+	tool    string // stable injector name
 	opt     opt.Level
 	funcs   string // canonical -fi-funcs encoding
 	classes uint8  // fault.ClassSet
@@ -70,8 +70,8 @@ func (c *Cache) BuildAndProfile(app App, tool Tool, o BuildOptions, costs pinfi.
 	k := cacheKey{
 		app:     app.Name,
 		memSize: app.MemSize,
-		tool:    tool,
-		opt:     o.Opt,
+		tool:    tool.Name(),
+		opt:     o.Opt.Resolve(), // "unset" and "explicitly O2" share an entry
 		funcs:   strings.Join(o.FI.Funcs, "\x00"),
 		classes: uint8(o.FI.Classes),
 		costs:   costs,

@@ -7,48 +7,38 @@
 // Campaigns run trials in parallel across worker goroutines, standing in for
 // the paper's cluster of nodes (§A.4); every trial seeds its own RNG, so
 // results are independent of scheduling.
+//
+// The orchestrator is generic over the Injector interface: tools plug into
+// the shared build pipeline (IR hook for LLFI-style passes, machine hook for
+// REFINE-style passes) and provide their own profiling and trial semantics.
+// The paper's three tools are pre-registered; extensions register through
+// Register without touching this package (see internal/multibit).
+//
+// Campaigns are driven through the spec + functional-options API:
+//
+//	res, err := campaign.New(app, campaign.REFINE,
+//	        campaign.WithTrials(1068),
+//	        campaign.WithSeed(1),
+//	        campaign.WithObserver(func(i int, tr campaign.TrialResult) { ... }),
+//	).Run(ctx)
+//
+// The old positional Run/RunCached entry points remain as deprecated
+// wrappers.
 package campaign
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/codegen"
-	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/ir"
-	"repro/internal/llfi"
 	"repro/internal/opt"
 	"repro/internal/pinfi"
 	"repro/internal/vm"
 	"repro/internal/vx"
 )
-
-// Tool identifies a fault-injection tool.
-type Tool uint8
-
-const (
-	LLFI Tool = iota
-	REFINE
-	PINFI
-)
-
-func (t Tool) String() string {
-	switch t {
-	case LLFI:
-		return "LLFI"
-	case REFINE:
-		return "REFINE"
-	case PINFI:
-		return "PINFI"
-	}
-	return "?"
-}
-
-// Tools lists all tools in the paper's presentation order.
-var Tools = []Tool{LLFI, REFINE, PINFI}
 
 // App is a benchmark program: a name and an IR builder. Build must return a
 // fresh module on every call (instrumentation mutates modules).
@@ -61,7 +51,7 @@ type App struct {
 
 // BuildOptions control the per-tool build pipeline.
 type BuildOptions struct {
-	Opt opt.Level    // optimization level (ablation hook; default O2)
+	Opt opt.Level    // optimization level (ablation hook; zero value = O2)
 	FI  fault.Config // -fi-funcs / -fi-instrs
 }
 
@@ -84,32 +74,30 @@ type Binary struct {
 	pool sync.Pool
 }
 
-// BuildBinary compiles the application with the given tool's pipeline:
+// BuildBinary compiles the application through the shared pipeline, letting
+// the tool instrument at its hook points:
 //
-//	LLFI:   IR → O2 → IR instrumentation → legalize → backend → assemble
-//	REFINE: IR → O2 → legalize → backend → REFINE backend pass → assemble
-//	PINFI:  IR → O2 → legalize → backend → assemble (plain binary)
+//	IR → O2 → [InstrumentIR] → legalize → backend → [InstrumentMachine] → assemble
+//
+// LLFI instruments at the IR hook, REFINE at the machine hook, PINFI at
+// neither (plain binary).
 func BuildBinary(app App, tool Tool, o BuildOptions) (*Binary, error) {
 	m := app.Build()
 	if err := ir.Verify(m); err != nil {
 		return nil, fmt.Errorf("campaign: %s: verify: %w", app.Name, err)
 	}
-	sites := 0
 	opt.OptimizeNoLower(m, o.Opt)
-	if tool == LLFI {
-		sites = llfi.Instrument(m, o.FI)
-	}
+	sites := tool.InstrumentIR(m, o.FI)
 	opt.Legalize(m)
 	res, err := codegen.Compile(m)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %s: %w", app.Name, err)
 	}
-	if tool == REFINE {
-		sites, err = core.Instrument(res.Prog, o.FI)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: %s: %w", app.Name, err)
-		}
+	machineSites, err := tool.InstrumentMachine(res.Prog, o.FI)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s: %w", app.Name, err)
 	}
+	sites += machineSites
 	img, err := asm.Assemble(res.Prog, asm.Options{MemSize: app.MemSize})
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %s: assemble: %w", app.Name, err)
@@ -157,33 +145,19 @@ type Profile struct {
 // crashed (timeout) after 10× the profiled execution length.
 const TimeoutFactor = 10
 
-// RunProfile executes the profiling step for the binary.
+// RunProfile executes the profiling step for the binary: the tool counts its
+// dynamic target population over a golden run, and the orchestrator
+// validates the run and derives the timeout budget.
 func (b *Binary) RunProfile(costs pinfi.CostModel) (*Profile, error) {
 	m := b.NewMachine()
 	p := &Profile{}
-	switch b.Tool {
-	case PINFI:
-		targets, golden := pinfi.Profile(m, b.Cfg, costs)
-		p.Targets, p.Golden = targets, golden
-	case REFINE:
-		lib := &core.ProfileLib{}
-		lib.Bind(m)
-		m.Run()
-		p.Targets = lib.Count
-		p.Golden = append([]uint64(nil), m.Output...)
-	case LLFI:
-		lib := &llfi.ProfileLib{}
-		lib.Bind(m)
-		m.Run()
-		p.Targets = lib.Count
-		p.Golden = append([]uint64(nil), m.Output...)
-	}
+	p.Targets, p.Golden = b.Tool.Profile(m, b.Cfg, costs)
 	if m.Trap != vm.TrapNone || m.ExitCode != 0 {
 		return nil, fmt.Errorf("campaign: %s/%s: golden run failed: trap=%v exit=%d %s",
-			b.App.Name, b.Tool, m.Trap, m.ExitCode, m.TrapMsg)
+			b.App.Name, b.Tool.Name(), m.Trap, m.ExitCode, m.TrapMsg)
 	}
 	if p.Targets == 0 {
-		return nil, fmt.Errorf("campaign: %s/%s: empty target population", b.App.Name, b.Tool)
+		return nil, fmt.Errorf("campaign: %s/%s: empty target population", b.App.Name, b.Tool.Name())
 	}
 	p.Budget = m.InstrCount * TimeoutFactor
 	p.Cycles = m.Cycles
@@ -209,28 +183,7 @@ func (b *Binary) RunTrial(prof *Profile, costs pinfi.CostModel, seed uint64) Tri
 func (b *Binary) runTrialOn(m *vm.Machine, prof *Profile, costs pinfi.CostModel, seed uint64) TrialResult {
 	rng := fault.NewRNG(seed)
 	target := rng.Intn(prof.Targets)
-
-	var rec fault.Record
-	switch b.Tool {
-	case PINFI:
-		m.Budget = prof.Budget
-		rec = pinfi.Trial(m, b.Cfg, costs, target, rng) // Trial resets, keeping the budget
-	case REFINE:
-		m.Reset()
-		m.Budget = prof.Budget
-		lib := &core.InjectLib{Target: target, RNG: rng}
-		lib.Bind(m)
-		m.Run()
-		lib.ResolveRecord(b.Img)
-		rec = lib.Rec
-	case LLFI:
-		m.Reset()
-		m.Budget = prof.Budget
-		lib := &llfi.InjectLib{Target: target, RNG: rng}
-		lib.Bind(m)
-		m.Run()
-		rec = lib.Rec
-	}
+	rec := b.Tool.Trial(m, b, prof, costs, target, rng)
 	return TrialResult{
 		Outcome: fault.Classify(m, prof.Golden),
 		Rec:     rec,
@@ -250,76 +203,9 @@ type Result struct {
 	// Records holds every trial's result in trial order — the campaign's
 	// full fault log. Trial i is seeded by TrialSeed(baseSeed, tool, i), so
 	// Records must be identical across worker counts and cache states; the
-	// determinism suite asserts exactly that.
+	// determinism suite asserts exactly that. Records is populated only when
+	// the campaign opts in via WithRecords (million-trial campaigns stream
+	// through WithObserver instead); the deprecated Run/RunCached wrappers
+	// always opt in, preserving their historical behavior.
 	Records []TrialResult
-}
-
-// TrialSeed derives the RNG seed of trial i for a tool. Each tool gets an
-// independent stream: the paper's campaigns are independent samples of the
-// same fault-outcome distribution per tool, not replays of one sample (the
-// exact-replay property is covered separately by the REFINE≡PINFI
-// equivalence tests, which pass identical seeds to both tools explicitly).
-func TrialSeed(baseSeed uint64, tool Tool, i int) uint64 {
-	return fault.NewRNG(baseSeed ^ (uint64(tool)+1)<<56 ^ uint64(i)).Next()
-}
-
-// Run executes a full campaign: build, profile, and n trials distributed
-// over workers goroutines (0 ⇒ GOMAXPROCS). Trial i uses TrialSeed(baseSeed,
-// tool, i), so results are reproducible regardless of parallelism. Builds
-// and profiles come from the process-wide cache; use RunCached to control
-// caching explicitly.
-func Run(app App, tool Tool, n int, baseSeed uint64, workers int, o BuildOptions) (*Result, error) {
-	return RunCached(defaultCache, app, tool, n, baseSeed, workers, o)
-}
-
-// RunCached is Run with an explicit build/profile cache. A nil cache
-// builds and profiles from scratch (the pre-cache behavior, used by the
-// determinism tests to compare cached and fresh campaigns).
-func RunCached(c *Cache, app App, tool Tool, n int, baseSeed uint64, workers int, o BuildOptions) (*Result, error) {
-	costs := pinfi.DefaultCosts()
-	var bin *Binary
-	var prof *Profile
-	var err error
-	if c != nil {
-		bin, prof, err = c.BuildAndProfile(app, tool, o, costs)
-	} else {
-		bin, err = BuildBinary(app, tool, o)
-		if err == nil {
-			prof, err = bin.RunProfile(costs)
-		}
-	}
-	if err != nil {
-		return nil, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	res := &Result{App: app.Name, Tool: tool, Trials: n, Profile: prof,
-		Records: make([]TrialResult, n)}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			m := bin.AcquireMachine() // one pooled machine per worker
-			defer bin.ReleaseMachine(m)
-			for i := range next {
-				res.Records[i] = bin.runTrialOn(m, prof, costs, TrialSeed(baseSeed, tool, i))
-			}
-		}()
-	}
-	wg.Wait()
-	// Aggregate serially in trial order: no mutex on the trial path, and the
-	// totals are independent of goroutine scheduling by construction.
-	for i := range res.Records {
-		res.Counts.Add(res.Records[i].Outcome)
-		res.Cycles += res.Records[i].Cycles
-	}
-	return res, nil
 }

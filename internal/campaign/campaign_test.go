@@ -141,6 +141,9 @@ func TestRefinePinfiEquivalence(t *testing.T) {
 // actual benchmark kernels (a diverse structural sample: FP stencil CG,
 // integer data cube, irregular gather/scatter).
 func TestRefinePinfiEquivalenceOnRealWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-workload equivalence sweep is too heavy for -short (race CI)")
+	}
 	for _, name := range []string{"HPCCG", "DC", "UA"} {
 		name := name
 		t.Run(name, func(t *testing.T) {

@@ -6,6 +6,7 @@ package campaign_test
 // and profile came from the build cache or a fresh build.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/campaign"
@@ -49,6 +50,9 @@ func sameResult(t *testing.T, label string, a, b *campaign.Result) {
 }
 
 func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fresh CG builds per tool are too heavy for -short (race CI); TestObserverMatchesRecords covers worker-count determinism there")
+	}
 	app := detApp(t)
 	o := campaign.DefaultBuildOptions()
 	for _, tool := range campaign.Tools {
@@ -65,6 +69,9 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestCampaignDeterministicAcrossCacheStates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fresh CG builds per tool are too heavy for -short (race CI)")
+	}
 	app := detApp(t)
 	o := campaign.DefaultBuildOptions()
 	cache := campaign.NewCache()
@@ -87,6 +94,56 @@ func TestCampaignDeterministicAcrossCacheStates(t *testing.T) {
 	// Three tools were built and profiled exactly once each.
 	if got := cache.Len(); got != len(campaign.Tools) {
 		t.Errorf("cache entries = %d, want %d", got, len(campaign.Tools))
+	}
+}
+
+// TestCampaignStreamingMatchesBuffered: for every tool, a streaming run
+// (observer, no Records buffer) produces bit-identical trial results and
+// aggregate counts to a buffered run, across worker counts.
+func TestCampaignStreamingMatchesBuffered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CG campaigns are too heavy for -short (race CI); TestObserverMatchesRecords covers streaming vs buffered there")
+	}
+	app := detApp(t)
+	o := campaign.DefaultBuildOptions()
+	cache := campaign.NewCache() // shared: both runs reuse one build+profile
+	ctx := context.Background()
+	for _, tool := range campaign.Tools {
+		buffered, err := campaign.New(app, tool,
+			campaign.WithTrials(detTrials), campaign.WithSeed(detSeed),
+			campaign.WithWorkers(1), campaign.WithBuildOptions(o),
+			campaign.WithCache(cache), campaign.WithRecords(),
+		).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 8} {
+			var stream []campaign.TrialResult
+			res, err := campaign.New(app, tool,
+				campaign.WithTrials(detTrials), campaign.WithSeed(detSeed),
+				campaign.WithWorkers(workers), campaign.WithBuildOptions(o),
+				campaign.WithCache(cache),
+				campaign.WithObserver(func(i int, tr campaign.TrialResult) {
+					stream = append(stream, tr)
+				}),
+			).Run(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stream) != len(buffered.Records) {
+				t.Fatalf("%s workers=%d: stream length %d != records %d",
+					tool.Name(), workers, len(stream), len(buffered.Records))
+			}
+			for i := range stream {
+				if stream[i] != buffered.Records[i] {
+					t.Fatalf("%s workers=%d: trial %d differs:\n%+v\nvs\n%+v",
+						tool.Name(), workers, i, stream[i], buffered.Records[i])
+				}
+			}
+			if res.Counts != buffered.Counts || res.Cycles != buffered.Cycles {
+				t.Fatalf("%s workers=%d: aggregates differ", tool.Name(), workers)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,245 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pinfi"
+)
+
+// Campaign is a fully specified fault-injection campaign: one application,
+// one injector, and the run configuration collected from functional options.
+// Construct with New and execute with Run; the zero value is not usable.
+type Campaign struct {
+	app  App
+	tool Tool
+
+	trials  int
+	seed    uint64
+	workers int
+	build   BuildOptions
+	cache   *Cache // nil ⇒ fresh build+profile (no cache)
+	costs   pinfi.CostModel
+
+	observer    func(i int, tr TrialResult)
+	keepRecords bool
+}
+
+// Option configures a Campaign (functional options).
+type Option func(*Campaign)
+
+// WithTrials sets the number of fault-injection trials (default:
+// PaperTrials, the paper's n=1068).
+func WithTrials(n int) Option { return func(c *Campaign) { c.trials = n } }
+
+// WithSeed sets the base RNG seed; trial i uses TrialSeed(seed, tool, i)
+// (default: 1).
+func WithSeed(s uint64) Option { return func(c *Campaign) { c.seed = s } }
+
+// WithWorkers sets the number of parallel trial workers (default and ≤ 0:
+// GOMAXPROCS). Results are independent of the worker count by construction.
+func WithWorkers(n int) Option { return func(c *Campaign) { c.workers = n } }
+
+// WithBuildOptions sets the build pipeline configuration (optimization
+// level, -fi-funcs, -fi-instrs). Default: DefaultBuildOptions.
+func WithBuildOptions(o BuildOptions) Option { return func(c *Campaign) { c.build = o } }
+
+// WithCache selects the build/profile cache. Passing nil forces a fresh
+// build and golden run (the determinism suite compares exactly that against
+// cached campaigns). Default: the process-wide DefaultCache.
+func WithCache(cache *Cache) Option { return func(c *Campaign) { c.cache = cache } }
+
+// WithCostModel overrides the PIN-style dynamic-instrumentation cost model
+// (default: pinfi.DefaultCosts).
+func WithCostModel(m pinfi.CostModel) Option { return func(c *Campaign) { c.costs = m } }
+
+// WithObserver streams trial results as the campaign runs. The observer is
+// invoked exactly once per completed trial, in trial order (i = 0, 1, 2, …)
+// regardless of worker count — out-of-order completions are buffered and
+// delivered in sequence, so an observer sees the identical stream a buffered
+// Records slice would hold. Calls are serialized; a slow observer
+// back-pressures delivery (workers keep running ahead into the reorder
+// buffer), so keep it cheap or hand off to a channel.
+func WithObserver(fn func(i int, tr TrialResult)) Option {
+	return func(c *Campaign) { c.observer = fn }
+}
+
+// WithRecords buffers every trial's TrialResult in Result.Records (the
+// pre-v2 default). Off by default so million-trial campaigns run in constant
+// memory; aggregate Counts/Cycles are always collected, and WithObserver
+// provides the full stream without buffering.
+func WithRecords() Option { return func(c *Campaign) { c.keepRecords = true } }
+
+// PaperTrials is the paper's per-configuration trial count (§5.3: 3% margin,
+// 95% confidence over a large population — the Leveugle et al. sample size;
+// stats.SampleSize(1<<40, 0.03, stats.Z95) computes the same value).
+const PaperTrials = 1068
+
+// New specifies a campaign for (app, tool) with the given options.
+func New(app App, tool Tool, opts ...Option) *Campaign {
+	c := &Campaign{
+		app:    app,
+		tool:   tool,
+		trials: PaperTrials,
+		seed:   1,
+		build:  DefaultBuildOptions(),
+		cache:  defaultCache,
+		costs:  pinfi.DefaultCosts(),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// collector delivers trial results in trial order: workers insert completed
+// trials under the lock, and whoever completes the next-in-sequence trial
+// flushes the contiguous run — aggregating counts, appending records, and
+// invoking the observer — so aggregation order, record order and the
+// observer stream are all deterministic regardless of scheduling.
+type collector struct {
+	mu      sync.Mutex
+	pending map[int]TrialResult
+	next    int // lowest trial index not yet delivered
+	res     *Result
+	obs     func(int, TrialResult)
+	keep    bool
+}
+
+func (c *collector) add(i int, tr TrialResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending[i] = tr
+	for {
+		r, ok := c.pending[c.next]
+		if !ok {
+			return
+		}
+		delete(c.pending, c.next)
+		if c.keep {
+			c.res.Records[c.next] = r
+		}
+		c.res.Counts.Add(r.Outcome)
+		c.res.Cycles += r.Cycles
+		if c.obs != nil {
+			c.obs(c.next, r)
+		}
+		c.next++
+	}
+}
+
+// delivered returns the length of the contiguous delivered prefix.
+func (c *collector) delivered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.next
+}
+
+// Run executes the campaign: build and profile (through the configured
+// cache), then the trials distributed over the worker pool. Trial i uses
+// TrialSeed(seed, tool, i), so Counts, Cycles, Records and the observer
+// stream are all reproducible regardless of parallelism and cache state.
+//
+// Cancelling the context stops the campaign promptly: workers abandon
+// not-yet-started trials, and Run returns the partial Result — aggregates
+// and records covering the contiguous prefix of delivered trials
+// (Result.Trials is shrunk to that prefix) — together with an error wrapping
+// ctx.Err(). The observer never sees a trial outside that prefix.
+func (c *Campaign) Run(ctx context.Context) (*Result, error) {
+	var (
+		bin  *Binary
+		prof *Profile
+		err  error
+	)
+	if c.cache != nil {
+		bin, prof, err = c.cache.BuildAndProfile(c.app, c.tool, c.build, c.costs)
+	} else {
+		bin, err = BuildBinary(c.app, c.tool, c.build)
+		if err == nil {
+			prof, err = bin.RunProfile(c.costs)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: %s/%s: %w", c.app.Name, c.tool.Name(), err)
+	}
+
+	workers := c.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.trials {
+		workers = c.trials
+	}
+
+	res := &Result{App: c.app.Name, Tool: c.tool, Trials: c.trials, Profile: prof}
+	if c.keepRecords {
+		res.Records = make([]TrialResult, c.trials)
+	}
+	col := &collector{pending: map[int]TrialResult{}, res: res, obs: c.observer, keep: c.keepRecords}
+
+	var nextIdx atomic.Int64
+	var wg sync.WaitGroup
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := bin.AcquireMachine() // one pooled machine per worker
+			defer bin.ReleaseMachine(m)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(nextIdx.Add(1)) - 1
+				if i >= c.trials {
+					return
+				}
+				col.add(i, bin.runTrialOn(m, prof, c.costs, TrialSeed(c.seed, c.tool, i)))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		// Partial-safe result: everything up to the first undelivered trial.
+		res.Trials = col.delivered()
+		if c.keepRecords {
+			res.Records = res.Records[:res.Trials]
+		}
+		return res, fmt.Errorf("campaign: %s/%s: cancelled after %d/%d trials: %w",
+			c.app.Name, c.tool.Name(), res.Trials, c.trials, err)
+	}
+	return res, nil
+}
+
+// Run executes a full campaign with the positional pre-v2 signature: build,
+// profile, and n trials over workers goroutines (0 ⇒ GOMAXPROCS), buffering
+// all Records, using the process-wide build/profile cache.
+//
+// Deprecated: use New(app, tool, opts...).Run(ctx) — it adds context
+// cancellation, streaming observers and opt-out record buffering.
+func Run(app App, tool Tool, n int, baseSeed uint64, workers int, o BuildOptions) (*Result, error) {
+	return New(app, tool,
+		WithTrials(n), WithSeed(baseSeed), WithWorkers(workers),
+		WithBuildOptions(o), WithRecords(),
+	).Run(context.Background())
+}
+
+// RunCached is Run with an explicit build/profile cache; nil builds and
+// profiles from scratch.
+//
+// Deprecated: use New(app, tool, WithCache(c), opts...).Run(ctx).
+func RunCached(c *Cache, app App, tool Tool, n int, baseSeed uint64, workers int, o BuildOptions) (*Result, error) {
+	return New(app, tool,
+		WithTrials(n), WithSeed(baseSeed), WithWorkers(workers),
+		WithBuildOptions(o), WithCache(c), WithRecords(),
+	).Run(context.Background())
+}

@@ -63,13 +63,22 @@ func (l *InjectLib) ResolveRecord(img *vm.Image) {
 	if !l.Triggered {
 		return
 	}
+	ResolveRecord(img, &l.Rec, l.OpIdx)
+}
+
+// ResolveRecord locates rec.SiteID's application instruction in the image
+// and fills the record's PC, mnemonic and (for the opIdx-th output operand)
+// register. Shared by every control library speaking the selInstr/setupFI
+// protocol — the library itself only sees operand counts and sizes, like
+// the real control runtime, so site resolution happens after the run.
+func ResolveRecord(img *vm.Image, rec *fault.Record, opIdx int) {
 	for pc := range img.Instrs {
 		in := &img.Instrs[pc]
-		if in.SiteID == l.Rec.SiteID && !in.Instrumented {
-			l.Rec.PC = int32(pc)
-			l.Rec.Op = in.Op.String()
-			if l.OpIdx < int(in.NOut) {
-				l.Rec.Reg = in.Outs[l.OpIdx]
+		if in.SiteID == rec.SiteID && !in.Instrumented {
+			rec.PC = int32(pc)
+			rec.Op = in.Op.String()
+			if opIdx < int(in.NOut) {
+				rec.Reg = in.Outs[opIdx]
 			}
 			return
 		}

@@ -6,7 +6,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -16,17 +18,22 @@ import (
 	"repro/internal/workloads"
 )
 
-// Suite holds campaign results for a set of applications and all tools.
+// Suite holds campaign results for a set of applications and tools.
 type Suite struct {
 	Trials  int
 	Results map[string]map[campaign.Tool]*campaign.Result
-	Order   []string // application display order
+	Order   []string        // application display order
+	Tools   []campaign.Tool // tool display order
 }
 
 // Config controls a suite run.
 type Config struct {
-	Apps    []campaign.App // nil ⇒ all 14
-	Trials  int            // 0 ⇒ paper's 1068
+	Apps []campaign.App // nil ⇒ all 14
+	// Tools selects the injectors to campaign with (nil ⇒ the paper's
+	// LLFI/REFINE/PINFI). Resolve registry extensions with
+	// campaign.ToolByName — any registered injector works here.
+	Tools   []campaign.Tool
+	Trials  int // 0 ⇒ paper's 1068
 	Seed    uint64
 	Workers int
 	Build   campaign.BuildOptions
@@ -39,41 +46,78 @@ type Config struct {
 	Progress func(string)
 }
 
-// RunSuite executes trials×|apps|×3 fault-injection experiments.
+// RunSuite executes trials×|apps|×|tools| fault-injection experiments.
 func RunSuite(cfg Config) (*Suite, error) {
 	apps := cfg.Apps
 	if apps == nil {
 		apps = workloads.Registry()
 	}
+	tools := cfg.Tools
+	if tools == nil {
+		tools = campaign.Tools
+	}
 	trials := cfg.Trials
 	if trials == 0 {
 		trials = stats.SampleSize(1<<40, 0.03, stats.Z95) // 1068
 	}
+	// Default only the unset fields of the build configuration: an explicit
+	// Opt (including opt.O0 — distinguishable from "unset" since the zero
+	// Level is opt.ODefault) or Funcs filter must survive, so never reset
+	// the whole struct.
 	if cfg.Build.FI.Classes == 0 {
-		cfg.Build = campaign.DefaultBuildOptions()
+		cfg.Build.FI.Classes = fault.ClassAll
 	}
 	cache := cfg.Cache
 	if cache == nil {
 		cache = campaign.DefaultCache()
 	}
-	s := &Suite{Trials: trials, Results: map[string]map[campaign.Tool]*campaign.Result{}}
+	s := &Suite{Trials: trials, Results: map[string]map[campaign.Tool]*campaign.Result{},
+		Tools: append([]campaign.Tool(nil), tools...)}
 	for _, app := range apps {
 		s.Order = append(s.Order, app.Name)
 		s.Results[app.Name] = map[campaign.Tool]*campaign.Result{}
-		for _, tool := range campaign.Tools {
-			res, err := campaign.RunCached(cache, app, tool, trials, cfg.Seed, cfg.Workers, cfg.Build)
+		for _, tool := range tools {
+			res, err := campaign.New(app, tool,
+				campaign.WithTrials(trials),
+				campaign.WithSeed(cfg.Seed),
+				campaign.WithWorkers(cfg.Workers),
+				campaign.WithBuildOptions(cfg.Build),
+				campaign.WithCache(cache),
+			).Run(context.Background())
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s: %w", app.Name, tool, err)
+				return nil, fmt.Errorf("experiments: %s/%s: %w", app.Name, tool.Name(), err)
 			}
 			s.Results[app.Name][tool] = res
 			if cfg.Progress != nil {
 				c := res.Counts
 				cfg.Progress(fmt.Sprintf("%-8s %-6s crash=%4d soc=%4d benign=%4d (cycles %.2e)",
-					app.Name, tool, c.Crash, c.SOC, c.Benign, float64(res.Cycles)))
+					app.Name, tool.Name(), c.Crash, c.SOC, c.Benign, float64(res.Cycles)))
 			}
 		}
 	}
 	return s, nil
+}
+
+// has reports whether the suite campaigned with the tool.
+func (s *Suite) has(tool campaign.Tool) bool {
+	for _, t := range s.Tools {
+		if t == tool {
+			return true
+		}
+	}
+	return false
+}
+
+// comparisonTools returns the suite's tools other than PINFI, for the
+// chi-squared comparisons against the PINFI baseline.
+func (s *Suite) comparisonTools() []campaign.Tool {
+	var out []campaign.Tool
+	for _, t := range s.Tools {
+		if t != campaign.PINFI {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // Table6 renders the complete outcome-frequency table (paper Table 6).
@@ -82,9 +126,9 @@ func (s *Suite) Table6() string {
 	fmt.Fprintf(&b, "Table 6: outcome frequencies (n=%d per cell)\n", s.Trials)
 	fmt.Fprintf(&b, "%-10s %-8s %8s %8s %8s\n", "App", "Tool", "Crash", "SOC", "Benign")
 	for _, app := range s.Order {
-		for _, tool := range campaign.Tools {
+		for _, tool := range s.Tools {
 			c := s.Results[app][tool].Counts
-			fmt.Fprintf(&b, "%-10s %-8s %8d %8d %8d\n", app, tool, c.Crash, c.SOC, c.Benign)
+			fmt.Fprintf(&b, "%-10s %-8s %8d %8d %8d\n", app, tool.Name(), c.Crash, c.SOC, c.Benign)
 		}
 	}
 	return b.String()
@@ -97,14 +141,14 @@ func (s *Suite) Figure4() string {
 	fmt.Fprintf(&b, "Figure 4: outcome probabilities ±95%% CI (n=%d)\n", s.Trials)
 	fmt.Fprintf(&b, "%-10s %-8s %22s %22s %22s\n", "App", "Tool", "Crash%", "SOC%", "Benign%")
 	for _, app := range s.Order {
-		for _, tool := range campaign.Tools {
+		for _, tool := range s.Tools {
 			c := s.Results[app][tool].Counts
 			n := c.Total()
 			cell := func(k int) string {
 				lo, hi := stats.WilsonCI(k, n, stats.Z95)
 				return fmt.Sprintf("%5.1f [%5.1f,%5.1f]", 100*float64(k)/float64(n), 100*lo, 100*hi)
 			}
-			fmt.Fprintf(&b, "%-10s %-8s %22s %22s %22s\n", app, tool, cell(c.Crash), cell(c.SOC), cell(c.Benign))
+			fmt.Fprintf(&b, "%-10s %-8s %22s %22s %22s\n", app, tool.Name(), cell(c.Crash), cell(c.SOC), cell(c.Benign))
 		}
 	}
 	return b.String()
@@ -116,13 +160,17 @@ type Comparison struct {
 	Test stats.TestResult
 }
 
-// ChiSquared computes the Table 5 comparisons of cmp against PINFI.
+// ChiSquared computes the Table 5 comparisons of cmp against PINFI. Both
+// tools must be part of the suite.
 func (s *Suite) ChiSquared(cmp campaign.Tool) ([]Comparison, error) {
+	if !s.has(campaign.PINFI) || !s.has(cmp) {
+		return nil, fmt.Errorf("experiments: chi-squared needs both PINFI and %s in the suite", cmp.Name())
+	}
 	var out []Comparison
 	for _, app := range s.Order {
 		base := s.Results[app][campaign.PINFI].Counts
 		c := s.Results[app][cmp].Counts
-		tr, err := stats.CompareCounts(app, "PINFI", cmp.String(),
+		tr, err := stats.CompareCounts(app, "PINFI", cmp.Name(),
 			[3]int64{int64(base.Crash), int64(base.SOC), int64(base.Benign)},
 			[3]int64{int64(c.Crash), int64(c.SOC), int64(c.Benign)})
 		if err != nil {
@@ -133,16 +181,16 @@ func (s *Suite) ChiSquared(cmp campaign.Tool) ([]Comparison, error) {
 	return out, nil
 }
 
-// Table5 renders both tool comparisons against the PINFI baseline.
+// Table5 renders every non-baseline tool's comparison against PINFI.
 func (s *Suite) Table5() (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 5: chi-squared tests vs PINFI (alpha=%.2f)\n", stats.Alpha)
-	for _, cmp := range []campaign.Tool{campaign.LLFI, campaign.REFINE} {
+	for _, cmp := range s.comparisonTools() {
 		rows, err := s.ChiSquared(cmp)
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&b, "\n%s vs PINFI:\n%-10s %10s %4s %10s %6s\n", cmp, "App", "chi2", "df", "p-value", "diff?")
+		fmt.Fprintf(&b, "\n%s vs PINFI:\n%-10s %10s %4s %10s %6s\n", cmp.Name(), "App", "chi2", "df", "p-value", "diff?")
 		for _, r := range rows {
 			sig := "no"
 			if r.Test.Significant {
@@ -155,8 +203,12 @@ func (s *Suite) Table5() (string, error) {
 }
 
 // Table4 renders the worked contingency-table example (paper Table 4):
-// LLFI vs PINFI on the first application of the suite.
+// LLFI vs PINFI on the first application of the suite. Without both tools
+// it degrades to a skip notice.
 func (s *Suite) Table4(app string) string {
+	if !s.has(campaign.LLFI) || !s.has(campaign.PINFI) {
+		return "Table 4: skipped (requires LLFI and PINFI in the suite)\n"
+	}
 	var b strings.Builder
 	l := s.Results[app][campaign.LLFI].Counts
 	p := s.Results[app][campaign.PINFI].Counts
@@ -169,56 +221,80 @@ func (s *Suite) Table4(app string) string {
 }
 
 // Figure5 renders campaign execution time normalized to PINFI, per app and
-// in total (the paper's Figure 5a–o).
+// in total (the paper's Figure 5a–o), one column per non-baseline tool.
+// Without PINFI (the normalization baseline) in the suite it degrades to a
+// skip notice instead of a table.
 func (s *Suite) Figure5() string {
+	if !s.has(campaign.PINFI) {
+		return "Figure 5: skipped (requires the PINFI baseline in the suite)\n"
+	}
+	cmps := s.comparisonTools()
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 5: campaign time normalized to PINFI\n")
-	fmt.Fprintf(&b, "%-10s %8s %8s\n", "App", "LLFI", "REFINE")
-	var totL, totR, totP int64
-	for _, app := range s.Order {
-		l := s.Results[app][campaign.LLFI].Cycles
-		r := s.Results[app][campaign.REFINE].Cycles
-		p := s.Results[app][campaign.PINFI].Cycles
-		totL += l
-		totR += r
-		totP += p
-		fmt.Fprintf(&b, "%-10s %8.1f %8.1f\n", app, float64(l)/float64(p), float64(r)/float64(p))
+	fmt.Fprintf(&b, "%-10s", "App")
+	for _, t := range cmps {
+		fmt.Fprintf(&b, " %8s", t.Name())
 	}
-	fmt.Fprintf(&b, "%-10s %8.1f %8.1f\n", "Total", float64(totL)/float64(totP), float64(totR)/float64(totP))
+	fmt.Fprintf(&b, "\n")
+	tot := make([]int64, len(cmps))
+	var totP int64
+	for _, app := range s.Order {
+		p := s.Results[app][campaign.PINFI].Cycles
+		totP += p
+		fmt.Fprintf(&b, "%-10s", app)
+		for i, t := range cmps {
+			c := s.Results[app][t].Cycles
+			tot[i] += c
+			fmt.Fprintf(&b, " %8.1f", float64(c)/float64(p))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "%-10s", "Total")
+	for i := range cmps {
+		fmt.Fprintf(&b, " %8.1f", float64(tot[i])/float64(totP))
+	}
+	fmt.Fprintf(&b, "\n")
 	return b.String()
+}
+
+// NormalizedTime returns the tool's total campaign cycles over the suite,
+// normalized to the PINFI baseline. It returns NaN when the suite lacks
+// either tool.
+func (s *Suite) NormalizedTime(tool campaign.Tool) float64 {
+	if !s.has(campaign.PINFI) || !s.has(tool) {
+		return math.NaN()
+	}
+	var tot, totP int64
+	for _, app := range s.Order {
+		tot += s.Results[app][tool].Cycles
+		totP += s.Results[app][campaign.PINFI].Cycles
+	}
+	return float64(tot) / float64(totP)
 }
 
 // Speedups returns (LLFI/PINFI, REFINE/PINFI) normalized total campaign
 // times for programmatic checks.
 func (s *Suite) Speedups() (llfiNorm, refineNorm float64) {
-	var totL, totR, totP int64
-	for _, app := range s.Order {
-		totL += s.Results[app][campaign.LLFI].Cycles
-		totR += s.Results[app][campaign.REFINE].Cycles
-		totP += s.Results[app][campaign.PINFI].Cycles
-	}
-	return float64(totL) / float64(totP), float64(totR) / float64(totP)
+	return s.NormalizedTime(campaign.LLFI), s.NormalizedTime(campaign.REFINE)
 }
 
 // SummaryCounts returns the suite's Table 5 verdict counts: how many apps
-// show a significant difference per comparison tool.
-func (s *Suite) SummaryCounts() (llfiSig, refineSig int, err error) {
-	for _, cmp := range []campaign.Tool{campaign.LLFI, campaign.REFINE} {
-		rows, e := s.ChiSquared(cmp)
-		if e != nil {
-			return 0, 0, e
+// show a significant difference per comparison tool, keyed by tool name.
+func (s *Suite) SummaryCounts() (map[string]int, error) {
+	sig := make(map[string]int)
+	for _, cmp := range s.comparisonTools() {
+		rows, err := s.ChiSquared(cmp)
+		if err != nil {
+			return nil, err
 		}
+		sig[cmp.Name()] = 0
 		for _, r := range rows {
 			if r.Test.Significant {
-				if cmp == campaign.LLFI {
-					llfiSig++
-				} else {
-					refineSig++
-				}
+				sig[cmp.Name()]++
 			}
 		}
 	}
-	return llfiSig, refineSig, nil
+	return sig, nil
 }
 
 // PaperTable6 returns the published Table 6 counts for side-by-side

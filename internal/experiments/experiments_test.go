@@ -1,11 +1,13 @@
 package experiments_test
 
 import (
+	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/opt"
 	"repro/internal/workloads"
 )
 
@@ -97,6 +99,70 @@ func TestPaperDataTables(t *testing.T) {
 	p5 := experiments.PaperFigure5()
 	if p5["Total"][0] != 3.9 || p5["Total"][1] != 1.2 {
 		t.Fatalf("paper Figure 5 totals wrong: %v", p5["Total"])
+	}
+}
+
+// TestExplicitO0SurvivesDefaulting guards the zero-value regression: a
+// config with an explicit Opt: opt.O0 but unset FI.Classes must run at O0 —
+// previously the Classes==0 check reset the whole Build block to defaults,
+// silently clobbering the optimization level.
+func TestExplicitO0SurvivesDefaulting(t *testing.T) {
+	app, err := workloads.ByName("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(b campaign.BuildOptions) *campaign.Result {
+		t.Helper()
+		s, err := experiments.RunSuite(experiments.Config{
+			Apps: []campaign.App{app}, Tools: []campaign.Tool{campaign.PINFI},
+			Trials: 10, Seed: 1, Build: b, Cache: campaign.NewCache(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Results[app.Name][campaign.PINFI]
+	}
+	o0 := run(campaign.BuildOptions{Opt: opt.O0}) // Classes deliberately unset
+	def := run(campaign.BuildOptions{})
+	// O0 keeps locals in stack memory, so its dynamic run (and hence the 10×
+	// timeout budget) is strictly longer than the O2 default's.
+	if o0.Profile.Budget <= def.Profile.Budget {
+		t.Fatalf("explicit O0 was clobbered: O0 budget %d <= default budget %d",
+			o0.Profile.Budget, def.Profile.Budget)
+	}
+}
+
+// TestSuiteToolSubset: a suite restricted to a tool subset produces its
+// tables for exactly those tools, and baseline-dependent analyses fail
+// cleanly when PINFI is absent.
+func TestSuiteToolSubset(t *testing.T) {
+	app, err := workloads.ByName("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := experiments.RunSuite(experiments.Config{
+		Apps: []campaign.App{app}, Tools: []campaign.Tool{campaign.REFINE},
+		Trials: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t6 := s.Table6()
+	if !strings.Contains(t6, "REFINE") || strings.Contains(t6, "LLFI") || strings.Contains(t6, "PINFI") {
+		t.Fatalf("Table6 should cover only the REFINE subset:\n%s", t6)
+	}
+	if _, err := s.ChiSquared(campaign.REFINE); err == nil {
+		t.Fatal("ChiSquared without the PINFI baseline must error")
+	}
+	// Baseline-dependent renderers degrade to skip notices, never panic.
+	if f5 := s.Figure5(); !strings.Contains(f5, "skipped") {
+		t.Fatalf("Figure5 without PINFI should be skipped, got:\n%s", f5)
+	}
+	if t4 := s.Table4(app.Name); !strings.Contains(t4, "skipped") {
+		t.Fatalf("Table4 without LLFI/PINFI should be skipped, got:\n%s", t4)
+	}
+	if v := s.NormalizedTime(campaign.REFINE); !math.IsNaN(v) {
+		t.Fatalf("NormalizedTime without PINFI = %v, want NaN", v)
 	}
 }
 

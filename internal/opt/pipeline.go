@@ -2,19 +2,45 @@ package opt
 
 import "repro/internal/ir"
 
-// Level selects the optimization pipeline.
+// Level selects the optimization pipeline. The zero value is ODefault, which
+// resolves to O2 — so a zero-valued build configuration gets the evaluation
+// pipeline while an explicit O0 stays distinguishable from "unset" (the
+// ablation drivers rely on that distinction).
 type Level int
 
 const (
+	// ODefault is the zero value: callers that leave the level unset get the
+	// evaluation configuration (O2). Resolve maps it before comparisons.
+	ODefault Level = iota
 	// O0 runs only the mandatory lowering passes (select lowering and
 	// critical-edge splitting); locals stay in stack memory. Used by the
 	// optimization-level ablation.
-	O0 Level = iota
+	O0
 	// O2 runs the full pipeline: SSA promotion, two rounds of folding/CSE/DCE
 	// and CFG simplification. This is the evaluation configuration — the
 	// paper compiles all benchmarks at -O3 (§A.2.1).
 	O2
 )
+
+// Resolve maps ODefault to the concrete evaluation level (O2); explicit
+// levels pass through. Cache keys and pipelines should compare resolved
+// levels so "unset" and "explicitly O2" coincide.
+func (l Level) Resolve() Level {
+	if l == ODefault {
+		return O2
+	}
+	return l
+}
+
+func (l Level) String() string {
+	switch l.Resolve() {
+	case O0:
+		return "O0"
+	case O2:
+		return "O2"
+	}
+	return "O?"
+}
 
 // Optimize runs the full pipeline at the given level over every function,
 // including the mandatory backend lowering, then verifies the module. It
@@ -30,7 +56,7 @@ func Optimize(m *ir.Module, lvl Level) {
 // after optimization, before lowering — matching its documented workflow
 // (paper §A.3.1: sources → IR → opt -O3 → LLFI instrumentation → backend).
 func OptimizeNoLower(m *ir.Module, lvl Level) {
-	if lvl < O2 {
+	if lvl.Resolve() < O2 {
 		return
 	}
 	for _, f := range m.Funcs {

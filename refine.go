@@ -8,39 +8,66 @@
 //	bin, _  := refine.Build(app, refine.REFINE, refine.DefaultOptions())
 //	prof, _ := refine.ProfileRun(bin)
 //	trial   := refine.Trial(bin, prof, seed)
-//	res, _  := refine.Campaign(app, refine.REFINE, 1068, seed, 0)
+//	res, _  := refine.NewCampaign(app, refine.REFINE,
+//	        refine.WithTrials(1068), refine.WithSeed(seed)).Run(ctx)
+//
+// Fault-injection tools are pluggable Injector values resolved through a
+// registry (ToolByName, Registered); the paper's three tools plus the
+// REFINE2 double-bit-flip variant are pre-registered. Campaigns stream
+// results through WithObserver or buffer them with WithRecords, and cancel
+// cleanly through the context.
 //
 // Substrates live in internal packages: the SSA IR and optimizer
 // (internal/ir, internal/opt), the VX64 backend (internal/codegen,
 // internal/mir, internal/vx), the assembler and virtual machine
 // (internal/asm, internal/vm), the REFINE pass and runtime (internal/core),
-// the LLFI and PINFI comparators (internal/llfi, internal/pinfi), the fault
-// model (internal/fault), campaign orchestration (internal/campaign),
-// statistics (internal/stats), and the 14 benchmark kernels
-// (internal/workloads).
+// the LLFI and PINFI comparators (internal/llfi, internal/pinfi), the
+// multi-bit variant (internal/multibit), the fault model (internal/fault),
+// campaign orchestration (internal/campaign), statistics (internal/stats),
+// and the 14 benchmark kernels (internal/workloads).
 package refine
 
 import (
 	"repro/internal/campaign"
 	"repro/internal/fault"
 	"repro/internal/ir"
+	"repro/internal/multibit"
 	"repro/internal/pinfi"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
-// Tool identifies one of the three fault-injection tools.
+// Tool is a pluggable fault-injection tool (the campaign.Injector
+// interface). The built-in tools below are registered singletons; new tools
+// register through campaign.Register and resolve by name with ToolByName.
 type Tool = campaign.Tool
 
-// Tool constants, in the paper's presentation order.
-const (
+// Injector is the pluggable tool interface; implement it and pass the value
+// to campaign.Register to add a fault model without touching the
+// orchestrator (internal/multibit is the worked example).
+type Injector = campaign.Injector
+
+// Built-in tools, in the paper's presentation order, plus the multi-bit
+// extension.
+var (
 	LLFI   = campaign.LLFI
 	REFINE = campaign.REFINE
 	PINFI  = campaign.PINFI
+	// REFINE2 is the double bit-flip REFINE variant: two single-bit faults
+	// at consecutive dynamic target instructions.
+	REFINE2 = multibit.Injector
 )
 
-// Tools lists all three tools.
+// Tools lists the paper's three tools.
 var Tools = campaign.Tools
+
+// Registered returns every registered tool (built-ins and extensions) in
+// registration order.
+func Registered() []Tool { return campaign.RegisteredTools() }
+
+// ToolByName resolves a registered tool by its stable name (e.g. "REFINE",
+// "PINFI", "REFINE2").
+func ToolByName(name string) (Tool, error) { return campaign.ToolByName(name) }
 
 // App is a benchmark program buildable to IR.
 type App = campaign.App
@@ -100,19 +127,57 @@ func Trial(bin *Binary, prof *Profile, seed uint64) TrialResult {
 	return bin.RunTrial(prof, pinfi.DefaultCosts(), seed)
 }
 
+// CampaignSpec is a configured campaign; build one with NewCampaign and
+// execute with Run(ctx).
+type CampaignSpec = campaign.Campaign
+
+// CampaignOption configures a campaign (functional options).
+type CampaignOption = campaign.Option
+
+// Functional options for NewCampaign (see the campaign package for full
+// semantics).
+var (
+	// WithTrials sets the trial count (default: the paper's 1068).
+	WithTrials = campaign.WithTrials
+	// WithSeed sets the base RNG seed (default 1).
+	WithSeed = campaign.WithSeed
+	// WithWorkers sets the parallel trial workers (default GOMAXPROCS).
+	WithWorkers = campaign.WithWorkers
+	// WithOptions sets the build pipeline configuration.
+	WithOptions = campaign.WithBuildOptions
+	// WithCache selects the build/profile cache; nil forces a fresh build.
+	WithCache = campaign.WithCache
+	// WithObserver streams trial results in trial order as the campaign
+	// runs — million-trial campaigns need no Records buffer.
+	WithObserver = campaign.WithObserver
+	// WithRecords buffers every TrialResult in Result.Records.
+	WithRecords = campaign.WithRecords
+)
+
+// NewCampaign specifies a campaign over (app, tool); run it with
+// .Run(ctx). Builds and golden-run profiles are memoized process-wide by
+// default, keyed by the app's name, memory size, tool and build options —
+// repeated campaigns over the same configuration compile and profile once.
+// Apps are identified by name: two Apps sharing a name but building
+// different IR would collide in the cache; use distinct names, or
+// WithCache(nil) to bypass caching.
+func NewCampaign(app App, tool Tool, opts ...CampaignOption) *CampaignSpec {
+	return campaign.New(app, tool, opts...)
+}
+
 // Campaign runs n trials of (app, tool) across workers goroutines
-// (workers ≤ 0 uses GOMAXPROCS) with the default build options. Builds and
-// golden-run profiles are memoized process-wide, keyed by the app's name,
-// memory size, tool and build options — repeated campaigns over the same
-// configuration compile and profile once. Apps are identified by name: two
-// Apps sharing a name but building different IR would collide in the cache;
-// use distinct names, or CampaignFresh to bypass caching.
+// (workers ≤ 0 uses GOMAXPROCS) with the default build options and the
+// process-wide cache, buffering all Records.
+//
+// Deprecated: use NewCampaign(app, tool, opts...).Run(ctx).
 func Campaign(app App, tool Tool, n int, seed uint64, workers int) (*Result, error) {
 	return campaign.Run(app, tool, n, seed, workers, DefaultOptions())
 }
 
 // CampaignWith runs a campaign with explicit build options (ablations).
 // It shares the process-wide build/profile cache (see Campaign).
+//
+// Deprecated: use NewCampaign with WithOptions.
 func CampaignWith(app App, tool Tool, n int, seed uint64, workers int, o Options) (*Result, error) {
 	return campaign.Run(app, tool, n, seed, workers, o)
 }
@@ -120,6 +185,8 @@ func CampaignWith(app App, tool Tool, n int, seed uint64, workers int, o Options
 // CampaignFresh runs a campaign with a from-scratch build and profile,
 // bypassing the process-wide cache — for apps whose Build closures change
 // between runs while keeping the same name.
+//
+// Deprecated: use NewCampaign with WithCache(nil).
 func CampaignFresh(app App, tool Tool, n int, seed uint64, workers int, o Options) (*Result, error) {
 	return campaign.RunCached(nil, app, tool, n, seed, workers, o)
 }
