@@ -16,6 +16,7 @@ package refine_test
 
 import (
 	"testing"
+	"time"
 
 	refine "repro"
 	"repro/internal/campaign"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/llfi"
 	"repro/internal/opt"
 	"repro/internal/pinfi"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -301,6 +303,119 @@ func BenchmarkAblationOptLevel(b *testing.B) {
 		if err == nil {
 			b.ReportMetric(res.P, "p_O0_vs_O2")
 		}
+	}
+}
+
+// BenchmarkSuiteSaturation measures the tentpole of the suite-wide
+// scheduler: a multi-app, multi-tool suite with cold caches, run once on the
+// serial one-campaign-at-a-time path and once with every campaign submitted
+// up front to a shared work-stealing executor. On the serial path the 18
+// single-threaded build+profile steps and each campaign's trial tail leave
+// cores idle; on the scheduled path builds of later campaigns overlap trials
+// of earlier ones. speedup_x is wall-clock serial/scheduled — the target is
+// ≥1.5× with spare cores. Outcomes are bit-identical either way (the
+// determinism suite asserts it; this benchmark only times).
+func BenchmarkSuiteSaturation(b *testing.B) {
+	apps := refine.Apps()[:6]
+	const trials = 40
+	var serial, scheduled time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := experiments.RunSuite(experiments.Config{
+			Apps: apps, Trials: trials, Seed: 1, Cache: campaign.NewCache(),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(start)
+
+		ex := sched.New(0)
+		start = time.Now()
+		if _, err := experiments.RunSuite(experiments.Config{
+			Apps: apps, Trials: trials, Seed: 1, Cache: campaign.NewCache(), Sched: ex,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		scheduled += time.Since(start)
+		ex.Close()
+	}
+	b.ReportMetric(serial.Seconds()/float64(b.N), "serial_s")
+	b.ReportMetric(scheduled.Seconds()/float64(b.N), "sched_s")
+	b.ReportMetric(serial.Seconds()/scheduled.Seconds(), "speedup_x")
+}
+
+// BenchmarkFig5SpeedWarmStart is BenchmarkFig5Speed's warm-start
+// counterpart: every iteration opens a *fresh* cache over a pre-populated
+// disk directory — a new CLI invocation in miniature — so the measured time
+// is a full suite with zero builds and zero golden profiles. Compare against
+// BenchmarkFig5Speed's first-iteration (cold) cost; disk_hits confirms every
+// artifact came from the persistence layer.
+func BenchmarkFig5SpeedWarmStart(b *testing.B) {
+	apps := refine.Apps()
+	dir := b.TempDir()
+	warmup, err := campaign.NewDiskCache(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiments.RunSuite(experiments.Config{
+		Apps: apps, Trials: benchTrials, Seed: 1, Cache: warmup,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache, err := campaign.NewDiskCache(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		suite, err := experiments.RunSuite(experiments.Config{
+			Apps: apps, Trials: benchTrials, Seed: 1, Cache: cache, Sched: sched.Default(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, r := suite.Speedups()
+		b.ReportMetric(l, "LLFI_vs_PINFI")
+		b.ReportMetric(r, "REFINE_vs_PINFI")
+		st := cache.Stats()
+		b.ReportMetric(float64(st.DiskHits), "disk_hits")
+		b.ReportMetric(float64(st.Builds), "builds")
+	}
+}
+
+// BenchmarkTable5ChiSquaredWarmStart: the Table 5 regeneration with a
+// fresh-per-iteration cache over a warm disk directory (see
+// BenchmarkFig5SpeedWarmStart).
+func BenchmarkTable5ChiSquaredWarmStart(b *testing.B) {
+	apps := refine.Apps()[:6]
+	dir := b.TempDir()
+	warmup, err := campaign.NewDiskCache(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiments.RunSuite(experiments.Config{
+		Apps: apps, Trials: 150, Seed: 1, Cache: warmup,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache, err := campaign.NewDiskCache(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		suite, err := experiments.RunSuite(experiments.Config{
+			Apps: apps, Trials: 150, Seed: 1, Cache: cache, Sched: sched.Default(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sig, err := suite.SummaryCounts()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sig["LLFI"]), "LLFI_sig_apps")
+		b.ReportMetric(float64(sig["REFINE"]), "REFINE_sig_apps")
+		b.ReportMetric(float64(cache.Stats().Builds), "builds")
 	}
 }
 

@@ -5,15 +5,27 @@
 // Usage:
 //
 //	fi-campaign [-trials 1068] [-seed 1] [-workers 0] [-apps HPCCG,CG,...]
-//	            [-tools LLFI,REFINE,PINFI,REFINE2] [-instrs all|arithm|mem|stack]
-//	            [-O 2|0] [-quiet]
+//	            [-tools LLFI,REFINE,PINFI,REFINE2,OPCODE] [-instrs all|arithm|mem|stack]
+//	            [-O 2|0] [-sched-workers 0] [-cache-dir DIR] [-quiet]
 //
 // The paper's configuration is the default: 1068 trials (3% margin, 95%
 // confidence), -fi-funcs=* -fi-instrs=all, -O2. 14 apps × 3 tools × 1068 =
 // 44,856 experiments, as in §5.3. -tools selects any subset of the injector
 // registry, including extensions such as the REFINE2 double-bit-flip
-// variant; the statistical tables that need the PINFI baseline are skipped
-// when it is not selected.
+// variant and the OPCODE corruption injectors; the statistical tables that
+// need the PINFI baseline are skipped when it is not selected.
+//
+// All campaigns run on one work-stealing executor by default: every
+// (app, tool) campaign is submitted up front, so builds and profiles of
+// later campaigns overlap the trial tails of earlier ones and cores stay
+// saturated across the whole suite. -sched-workers sizes the pool (0 =
+// GOMAXPROCS); a negative value falls back to the serial one-campaign-at-a-
+// time path. Either way results are bit-identical for a fixed seed.
+//
+// -cache-dir persists built binaries and golden profiles to disk,
+// content-addressed by configuration and IR fingerprint: a second
+// invocation with the same directory skips every build and profiling run
+// (the trailing "cache:" line reports builds vs disk hits).
 package main
 
 import (
@@ -29,18 +41,22 @@ import (
 	"repro/internal/opt"
 	"repro/internal/workloads"
 
-	// Register the multi-bit REFINE variant so -tools REFINE2 resolves.
+	// Register the multi-bit REFINE variant so -tools REFINE2 resolves,
+	// and the opcode-corruption injectors for -tools OPCODE,OPCODE-VALID.
 	_ "repro/internal/multibit"
+	_ "repro/internal/opcodefi"
 )
 
 func main() {
 	trials := flag.Int("trials", 1068, "fault-injection samples per (app, tool)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
-	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); with the shared scheduler active this caps the executor size")
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 14)")
 	toolsFlag := flag.String("tools", "", "comma-separated tool subset from the injector registry\n(default: LLFI,REFINE,PINFI; registered: "+strings.Join(campaign.ToolNames(), ",")+")")
 	instrs := flag.String("instrs", "all", "-fi-instrs class filter: all|arithm|mem|stack")
 	optLevel := flag.Int("O", 2, "optimization level (2 or 0)")
+	schedWorkers := flag.Int("sched-workers", 0, "shared work-stealing executor size (0 = GOMAXPROCS, < 0 = serial per-campaign pools)")
+	cacheDir := flag.String("cache-dir", "", "persist built binaries + profiles under this directory (warm starts skip all builds)")
 	quiet := flag.Bool("quiet", false, "suppress per-campaign progress")
 	flag.Parse()
 
@@ -50,6 +66,11 @@ func main() {
 		Workers: *workers,
 		Build:   campaign.DefaultBuildOptions(),
 	}
+	ex, cache, err := experiments.ResolveExecution(*schedWorkers, *workers, *cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Sched, cfg.Cache = ex, cache
 	classes, err := fault.ParseClasses(*instrs)
 	if err != nil {
 		fatal(err)
@@ -85,9 +106,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("# %d apps x %d tools x %d trials = %d experiments in %v\n\n",
+	fmt.Printf("# %d apps x %d tools x %d trials = %d experiments in %v\n",
 		len(suite.Order), len(suite.Tools), suite.Trials,
 		len(suite.Order)*len(suite.Tools)*suite.Trials, time.Since(start).Round(time.Millisecond))
+	fmt.Println(experiments.CacheStatsLine(cache))
+	fmt.Println()
 
 	fmt.Println(suite.Table6())
 	fmt.Println(suite.Figure4())
@@ -95,10 +118,10 @@ func main() {
 	hasPINFI := false
 	hasLLFI := false
 	for _, t := range suite.Tools {
-		if t == campaign.PINFI {
+		if t.Name() == campaign.PINFI.Name() {
 			hasPINFI = true
 		}
-		if t == campaign.LLFI {
+		if t.Name() == campaign.LLFI.Name() {
 			hasLLFI = true
 		}
 	}
@@ -130,7 +153,7 @@ func main() {
 	fmt.Println()
 	fmt.Print("Campaign time vs PINFI:")
 	for _, t := range suite.Tools {
-		if t == campaign.PINFI {
+		if t.Name() == campaign.PINFI.Name() {
 			continue
 		}
 		fmt.Printf(" %s %.1fx", t.Name(), suite.NormalizedTime(t))

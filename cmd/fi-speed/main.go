@@ -7,10 +7,15 @@
 // Usage:
 //
 //	fi-speed [-trials 200] [-seed 1] [-workers 0] [-apps CSV] [-tools CSV]
-//	         [-cpuprofile out.pprof]
+//	         [-sched-workers 0] [-cache-dir DIR] [-cpuprofile out.pprof]
 //
 // -tools selects injectors from the registry (PINFI is always included — it
-// is the normalization baseline).
+// is the normalization baseline). Campaigns run on one shared work-stealing
+// executor by default (-sched-workers 0 = GOMAXPROCS, < 0 = serial);
+// -cache-dir persists builds and golden profiles so repeated timing runs
+// warm-start from disk. Neither affects the reported cycle counts — the
+// Figure 5 numbers come from the deterministic cycle model, bit-identical
+// for a fixed seed across schedulers and cache states.
 package main
 
 import (
@@ -25,8 +30,10 @@ import (
 	"repro/internal/pinfi"
 	"repro/internal/workloads"
 
-	// Register the multi-bit REFINE variant so -tools REFINE2 resolves.
+	// Register the multi-bit REFINE variant so -tools REFINE2 resolves,
+	// and the opcode-corruption injectors for -tools OPCODE,OPCODE-VALID.
 	_ "repro/internal/multibit"
+	_ "repro/internal/opcodefi"
 )
 
 func main() {
@@ -41,9 +48,11 @@ func main() {
 func run() error {
 	trials := flag.Int("trials", 200, "trials per (app, tool)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
-	workers := flag.Int("workers", 0, "parallel workers")
+	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); with the shared scheduler active this caps the executor size")
 	appsFlag := flag.String("apps", "", "comma-separated app subset")
 	toolsFlag := flag.String("tools", "", "comma-separated tool subset from the injector registry\n(default: LLFI,REFINE,PINFI; registered: "+strings.Join(campaign.ToolNames(), ",")+")")
+	schedWorkers := flag.Int("sched-workers", 0, "shared work-stealing executor size (0 = GOMAXPROCS, < 0 = serial per-campaign pools)")
+	cacheDir := flag.String("cache-dir", "", "persist built binaries + profiles under this directory (warm starts skip all builds)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file")
 	flag.Parse()
 
@@ -65,6 +74,11 @@ func run() error {
 		Workers: *workers,
 		Build:   campaign.DefaultBuildOptions(),
 	}
+	ex, cache, err := experiments.ResolveExecution(*schedWorkers, *workers, *cacheDir)
+	if err != nil {
+		return err
+	}
+	cfg.Sched, cfg.Cache = ex, cache
 	if *appsFlag != "" {
 		for _, name := range strings.Split(*appsFlag, ",") {
 			app, err := workloads.ByName(strings.TrimSpace(name))
@@ -81,7 +95,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			if tool == campaign.PINFI {
+			if tool.Name() == campaign.PINFI.Name() {
 				havePINFI = true
 			}
 			cfg.Tools = append(cfg.Tools, tool)
@@ -95,6 +109,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	fmt.Println(experiments.CacheStatsLine(cache))
+	fmt.Println()
 	fmt.Println(suite.Figure5())
 
 	paper := experiments.PaperFigure5()

@@ -8,9 +8,18 @@
 // conclusions (LLFI significantly different from PINFI on every app; REFINE
 // on none).
 //
+// With -measure it additionally runs a live suite — through the shared
+// work-stealing scheduler and, with -cache-dir, the disk-persistent
+// build/profile cache — and prints the measured Table 5 next to the
+// published verdicts. -sched-workers sizes the executor (0 = GOMAXPROCS,
+// < 0 = serial); repeated invocations with the same -cache-dir skip every
+// build and golden profile.
+//
 // Usage:
 //
 //	fi-stats [-table4] [-table5] [-samplesize] [-margin 0.03]
+//	         [-measure] [-apps CSV] [-trials 1068] [-seed 1]
+//	         [-sched-workers 0] [-cache-dir DIR]
 package main
 
 import (
@@ -18,9 +27,17 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/workloads"
+
+	// Register the extension injectors so measured suites can reference
+	// them, matching fi-campaign's registry.
+	_ "repro/internal/multibit"
+	_ "repro/internal/opcodefi"
 )
 
 func main() {
@@ -28,6 +45,12 @@ func main() {
 	table5 := flag.Bool("table5", true, "print Table 5 chi-squared tests on the published data")
 	sampleSize := flag.Bool("samplesize", true, "print the Leveugle sample-size table")
 	margin := flag.Float64("margin", 0.03, "margin of error for -samplesize")
+	measure := flag.Bool("measure", false, "run a live suite and print the measured Table 5")
+	appsFlag := flag.String("apps", "", "comma-separated app subset for -measure (default: all 14)")
+	trials := flag.Int("trials", 1068, "trials per (app, tool) for -measure")
+	seed := flag.Uint64("seed", 1, "base RNG seed for -measure")
+	schedWorkers := flag.Int("sched-workers", 0, "shared work-stealing executor size for -measure (0 = GOMAXPROCS, < 0 = serial)")
+	cacheDir := flag.String("cache-dir", "", "persist -measure builds + profiles under this directory")
 	flag.Parse()
 
 	paper := experiments.PaperTable6()
@@ -81,4 +104,47 @@ func main() {
 			fmt.Printf("-> %d/%d significantly different\n", sig, len(apps))
 		}
 	}
+
+	if *measure {
+		if err := runMeasured(*appsFlag, *trials, *seed, *schedWorkers, *cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "fi-stats:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runMeasured runs a live suite through the shared scheduler (and the disk
+// cache when dir is set) and prints the measured Table 5.
+func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers int, dir string) error {
+	cfg := experiments.Config{
+		Trials: trials,
+		Seed:   seed,
+		Build:  campaign.DefaultBuildOptions(),
+	}
+	ex, cache, err := experiments.ResolveExecution(schedWorkers, 0, dir)
+	if err != nil {
+		return err
+	}
+	cfg.Sched, cfg.Cache = ex, cache
+	if appsCSV != "" {
+		for _, name := range strings.Split(appsCSV, ",") {
+			app, err := workloads.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			cfg.Apps = append(cfg.Apps, app)
+		}
+	}
+	suite, err := experiments.RunSuite(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nMeasured suite (n=%d per cell):\n", suite.Trials)
+	fmt.Println(experiments.CacheStatsLine(cache))
+	t5, err := suite.Table5()
+	if err != nil {
+		return err
+	}
+	fmt.Println(t5)
+	return nil
 }

@@ -72,6 +72,12 @@ type Binary struct {
 	// AcquireMachine); a 4 MiB address space per trial is the dominant
 	// allocation of a campaign otherwise.
 	pool sync.Pool
+
+	// imgPool recycles private image clones for injectors that mutate the
+	// instruction stream in place (see AcquireImageClone). Living on the
+	// Binary, the clones share its lifetime: discarding a cache releases
+	// them with everything else.
+	imgPool sync.Pool
 }
 
 // BuildBinary compiles the application through the shared pipeline, letting

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/pinfi"
+	"repro/internal/sched"
 )
 
 // Campaign is a fully specified fault-injection campaign: one application,
@@ -26,6 +27,7 @@ type Campaign struct {
 
 	observer    func(i int, tr TrialResult)
 	keepRecords bool
+	exec        *sched.Executor // nil ⇒ private per-campaign worker pool
 }
 
 // Option configures a Campaign (functional options).
@@ -72,6 +74,19 @@ func WithObserver(fn func(i int, tr TrialResult)) Option {
 // memory; aggregate Counts/Cycles are always collected, and WithObserver
 // provides the full stream without buffering.
 func WithRecords() Option { return func(c *Campaign) { c.keepRecords = true } }
+
+// WithExecutor schedules the campaign's build+profile and trials on a shared
+// work-stealing executor instead of a private worker pool. Campaigns on one
+// executor interleave at trial granularity, so a multi-campaign suite keeps
+// every core busy even while individual campaigns build, profile, or drain
+// their trial tail. Results are bit-identical to the pooled path (and to any
+// worker count): the executor only decides where iterations run, and trial i
+// is always seeded by TrialSeed(seed, tool, i). WithWorkers is ignored on
+// this path — parallelism is the executor's.
+//
+// Run must not be called from inside a body already executing on the same
+// executor (it waits on the executor and would hold a worker hostage).
+func WithExecutor(ex *sched.Executor) Option { return func(c *Campaign) { c.exec = ex } }
 
 // PaperTrials is the paper's per-configuration trial count (§5.3: 3% margin,
 // 95% confidence over a large population — the Leveugle et al. sample size;
@@ -149,19 +164,10 @@ func (c *collector) delivered() int {
 // (Result.Trials is shrunk to that prefix) — together with an error wrapping
 // ctx.Err(). The observer never sees a trial outside that prefix.
 func (c *Campaign) Run(ctx context.Context) (*Result, error) {
-	var (
-		bin  *Binary
-		prof *Profile
-		err  error
-	)
-	if c.cache != nil {
-		bin, prof, err = c.cache.BuildAndProfile(c.app, c.tool, c.build, c.costs)
-	} else {
-		bin, err = BuildBinary(c.app, c.tool, c.build)
-		if err == nil {
-			prof, err = bin.RunProfile(c.costs)
-		}
+	if c.exec != nil {
+		return c.runScheduled(ctx)
 	}
+	bin, prof, err := c.prepare()
 	if err != nil {
 		return nil, err
 	}
@@ -177,11 +183,7 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 		workers = c.trials
 	}
 
-	res := &Result{App: c.app.Name, Tool: c.tool, Trials: c.trials, Profile: prof}
-	if c.keepRecords {
-		res.Records = make([]TrialResult, c.trials)
-	}
-	col := &collector{pending: map[int]TrialResult{}, res: res, obs: c.observer, keep: c.keepRecords}
+	res, col := c.newResult(prof)
 
 	var nextIdx atomic.Int64
 	var wg sync.WaitGroup
@@ -208,6 +210,71 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 	}
 	wg.Wait()
 
+	return c.finish(ctx, res, col)
+}
+
+// runScheduled is Run on a shared executor: the build+profile is one
+// scheduled unit (so an idle suite worker can pick it up while other
+// campaigns trial), the trials are a claimable batch. The order-deterministic
+// collector and the partial-prefix cancellation contract are identical to the
+// pooled path.
+func (c *Campaign) runScheduled(ctx context.Context) (*Result, error) {
+	var (
+		bin  *Binary
+		prof *Profile
+		err  error
+	)
+	c.exec.Submit(ctx, 1, func(int) { bin, prof, err = c.prepare() }).Wait()
+	if err != nil {
+		return nil, err
+	}
+	if bin == nil {
+		// Cancelled before the build unit was claimed.
+		return nil, fmt.Errorf("campaign: %s/%s: %w", c.app.Name, c.tool.Name(), ctx.Err())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: %s/%s: %w", c.app.Name, c.tool.Name(), err)
+	}
+
+	res, col := c.newResult(prof)
+	c.exec.Submit(ctx, c.trials, func(i int) {
+		m := bin.AcquireMachine()
+		defer bin.ReleaseMachine(m)
+		col.add(i, bin.runTrialOn(m, prof, c.costs, TrialSeed(c.seed, c.tool, i)))
+	}).Wait()
+
+	return c.finish(ctx, res, col)
+}
+
+// prepare resolves the campaign's binary and profile, through the configured
+// cache when one is set.
+func (c *Campaign) prepare() (*Binary, *Profile, error) {
+	if c.cache != nil {
+		return c.cache.BuildAndProfile(c.app, c.tool, c.build, c.costs)
+	}
+	bin, err := BuildBinary(c.app, c.tool, c.build)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, err := bin.RunProfile(c.costs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bin, prof, nil
+}
+
+// newResult allocates the campaign result and its ordered collector.
+func (c *Campaign) newResult(prof *Profile) (*Result, *collector) {
+	res := &Result{App: c.app.Name, Tool: c.tool, Trials: c.trials, Profile: prof}
+	if c.keepRecords {
+		res.Records = make([]TrialResult, c.trials)
+	}
+	col := &collector{pending: map[int]TrialResult{}, res: res, obs: c.observer, keep: c.keepRecords}
+	return res, col
+}
+
+// finish applies the partial-prefix cancellation contract.
+func (c *Campaign) finish(ctx context.Context, res *Result, col *collector) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		// Partial-safe result: everything up to the first undelivered trial.
 		res.Trials = col.delivered()

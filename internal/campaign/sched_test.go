@@ -1,0 +1,245 @@
+package campaign_test
+
+// Coverage for the suite-wide trial scheduler and the disk-persistent
+// artifact cache: campaigns on a shared work-stealing executor must be
+// bit-identical to the private-pool path across executor sizes and
+// submission patterns; cancellation keeps the partial-prefix contract; and
+// a warm disk cache must skip every build and golden profile while
+// reproducing the cold run bit for bit.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/ir"
+	"repro/internal/sched"
+)
+
+// miniApp2 builds under miniApp's name but with different IR — the
+// disk-cache fingerprint test's "source changed between binary versions"
+// scenario.
+func miniApp2() *ir.Module {
+	m := ir.NewModule("mini")
+	m.DeclareHost(ir.HostDecl{Name: "out_i64", Params: []ir.Type{ir.I64}, Ret: ir.I64})
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	acc := b.NewVar(ir.I64, b.ConstI(0))
+	b.Loop(b.ConstI(0), b.ConstI(64), b.ConstI(1), func(i *ir.Value) {
+		acc.Set(b.Add(acc.Get(), b.Mul(i, i)))
+	})
+	b.Call("out_i64", acc.Get())
+	b.Ret(b.ConstI(0))
+	return m
+}
+
+func runPooled(t *testing.T, workers int, cache *campaign.Cache) *campaign.Result {
+	t.Helper()
+	res, err := campaign.New(testApp, campaign.REFINE,
+		campaign.WithTrials(120), campaign.WithSeed(7), campaign.WithWorkers(workers),
+		campaign.WithCache(cache), campaign.WithRecords(),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func runScheduled(t *testing.T, ex *sched.Executor, cache *campaign.Cache) *campaign.Result {
+	t.Helper()
+	res, err := campaign.New(testApp, campaign.REFINE,
+		campaign.WithTrials(120), campaign.WithSeed(7),
+		campaign.WithExecutor(ex), campaign.WithCache(cache), campaign.WithRecords(),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func equalResults(t *testing.T, label string, a, b *campaign.Result) {
+	t.Helper()
+	if a.Counts != b.Counts || a.Cycles != b.Cycles || a.Trials != b.Trials {
+		t.Fatalf("%s: aggregates differ: %+v/%d/%d vs %+v/%d/%d",
+			label, a.Counts, a.Cycles, a.Trials, b.Counts, b.Cycles, b.Trials)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("%s: record counts differ: %d vs %d", label, len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("%s: trial %d differs:\n%+v\nvs\n%+v", label, i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+// TestScheduledMatchesPooled: the executor path reproduces the private-pool
+// path bit for bit, across executor sizes (1 worker ≡ serial).
+func TestScheduledMatchesPooled(t *testing.T) {
+	cache := campaign.NewCache()
+	pooled := runPooled(t, 4, cache)
+	for _, workers := range []int{1, 8} {
+		ex := sched.New(workers)
+		got := runScheduled(t, ex, cache)
+		ex.Close()
+		equalResults(t, "sched-workers="+string(rune('0'+workers)), pooled, got)
+	}
+}
+
+// TestScheduledConcurrentCampaigns: many campaigns submitted to one executor
+// at once (the suite shape) each reproduce their solo result.
+func TestScheduledConcurrentCampaigns(t *testing.T) {
+	cache := campaign.NewCache()
+	want := map[string]*campaign.Result{}
+	for _, tool := range campaign.Tools {
+		res, err := campaign.New(testApp, tool,
+			campaign.WithTrials(100), campaign.WithSeed(3), campaign.WithWorkers(1),
+			campaign.WithCache(cache), campaign.WithRecords(),
+		).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[tool.Name()] = res
+	}
+	ex := sched.New(4)
+	defer ex.Close()
+	var wg sync.WaitGroup
+	got := make(map[string]*campaign.Result)
+	var mu sync.Mutex
+	for _, tool := range campaign.Tools {
+		wg.Add(1)
+		go func(tool campaign.Tool) {
+			defer wg.Done()
+			res, err := campaign.New(testApp, tool,
+				campaign.WithTrials(100), campaign.WithSeed(3),
+				campaign.WithExecutor(ex), campaign.WithCache(cache), campaign.WithRecords(),
+			).Run(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			got[tool.Name()] = res
+			mu.Unlock()
+		}(tool)
+	}
+	wg.Wait()
+	for name, w := range want {
+		g := got[name]
+		if g == nil {
+			t.Fatalf("%s: no scheduled result", name)
+		}
+		equalResults(t, name+" concurrent-vs-solo", w, g)
+	}
+}
+
+// TestScheduledCancellation: cancelling a scheduled campaign returns the
+// partial-safe prefix — aggregates and records covering a contiguous run of
+// delivered trials, each bit-identical to the full run's.
+func TestScheduledCancellation(t *testing.T) {
+	cache := campaign.NewCache()
+	full := runPooled(t, 1, cache)
+	ex := sched.New(2)
+	defer ex.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen int
+	res, err := campaign.New(testApp, campaign.REFINE,
+		campaign.WithTrials(100000), campaign.WithSeed(7),
+		campaign.WithExecutor(ex), campaign.WithCache(cache), campaign.WithRecords(),
+		campaign.WithObserver(func(i int, tr campaign.TrialResult) {
+			seen++
+			if seen == 25 {
+				cancel()
+			}
+		}),
+	).Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled scheduled campaign returned nil error")
+	}
+	if res == nil {
+		t.Fatal("cancelled scheduled campaign returned nil partial result")
+	}
+	if res.Trials >= 100000 {
+		t.Fatalf("cancellation did not abandon trials: %d completed", res.Trials)
+	}
+	if res.Trials < 25 {
+		t.Fatalf("partial prefix lost deliveries: %d < 25", res.Trials)
+	}
+	if len(res.Records) != res.Trials {
+		t.Fatalf("records (%d) != partial trials (%d)", len(res.Records), res.Trials)
+	}
+	for i := 0; i < min(res.Trials, len(full.Records)); i++ {
+		if res.Records[i] != full.Records[i] {
+			t.Fatalf("partial trial %d differs from full run", i)
+		}
+	}
+}
+
+// TestDiskCacheColdWarm: a second cache over the same directory — a fresh
+// process in miniature — must restore every artifact from disk (zero
+// builds), and the warm campaign must be bit-identical to the cold one.
+func TestDiskCacheColdWarm(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := campaign.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runPooled(t, 4, cold)
+	st := cold.Stats()
+	if st.Builds == 0 {
+		t.Fatalf("cold run built nothing: %+v", st)
+	}
+	if st.DiskHits != 0 {
+		t.Fatalf("cold run hit disk entries: %+v", st)
+	}
+
+	warm, err := campaign.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := runPooled(t, 4, warm)
+	st = warm.Stats()
+	if st.Builds != 0 {
+		t.Fatalf("warm run rebuilt %d artifacts: %+v", st.Builds, st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatalf("warm run never hit the disk layer: %+v", st)
+	}
+	if st.DiskErrors != 0 {
+		t.Fatalf("disk layer errored: %+v", st)
+	}
+	equalResults(t, "cold vs warm disk cache", a, b)
+
+	// And fully uncached agrees too: persistence must not change results.
+	fresh := runPooled(t, 4, nil)
+	equalResults(t, "warm disk cache vs fresh build", b, fresh)
+}
+
+// TestDiskCacheKeysByIR: two apps sharing a name but building different IR
+// must land on different disk entries (the content address includes the IR
+// fingerprint), unlike the in-memory layer which documents the name
+// collision.
+func TestDiskCacheKeysByIR(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := campaign.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c1.BuildAndProfile(testApp, campaign.REFINE, campaign.DefaultBuildOptions(), detCosts()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same name, different IR: must miss the disk entry and build.
+	other := campaign.App{Name: testApp.Name, Build: miniApp2}
+	c2, err := campaign.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c2.BuildAndProfile(other, campaign.REFINE, campaign.DefaultBuildOptions(), detCosts()); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.DiskHits != 0 || st.Builds != 1 {
+		t.Fatalf("changed IR behind the same name must rebuild: %+v", st)
+	}
+}

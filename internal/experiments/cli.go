@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/sched"
+)
+
+// ResolveExecution resolves the fi-* drivers' shared execution flags into a
+// Config-ready executor and cache, so the three drivers cannot drift:
+//
+//   - schedWorkers < 0: serial per-campaign pools (nil executor);
+//     trialWorkers then bounds each campaign's private pool as before.
+//   - schedWorkers > 0: a dedicated executor of that size.
+//   - schedWorkers == 0: the shared process-wide executor — unless
+//     trialWorkers caps parallelism (the pre-scheduler -workers contract:
+//     a user limiting CPU use must stay limited), in which case a
+//     dedicated executor of that size is used instead.
+//
+// cacheDir == "" selects the process-wide in-memory cache; otherwise the
+// disk-persistent cache rooted there.
+func ResolveExecution(schedWorkers, trialWorkers int, cacheDir string) (*sched.Executor, *campaign.Cache, error) {
+	var ex *sched.Executor
+	switch {
+	case schedWorkers > 0:
+		ex = sched.New(schedWorkers)
+	case schedWorkers == 0 && trialWorkers > 0:
+		ex = sched.New(trialWorkers)
+	case schedWorkers == 0:
+		ex = sched.Default()
+	}
+	cache := campaign.DefaultCache()
+	if cacheDir != "" {
+		var err error
+		if cache, err = campaign.NewDiskCache(cacheDir); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ex, cache, nil
+}
+
+// CacheStatsLine renders the drivers' "# cache:" report (the CI sched-cache
+// job greps it to assert cold builds and warm disk hits).
+func CacheStatsLine(c *campaign.Cache) string {
+	st := c.Stats()
+	return fmt.Sprintf("# cache: builds=%d mem-hits=%d disk-hits=%d disk-errors=%d dir=%s",
+		st.Builds, st.MemHits, st.DiskHits, st.DiskErrors, c.Dir())
+}

@@ -11,17 +11,23 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/campaign"
 	"repro/internal/fault"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
 // Suite holds campaign results for a set of applications and tools.
+// Results is keyed by application name, then by stable tool name (not the
+// Tool interface value: injector identity in a suite is the registry name,
+// and name keys keep the maps safe for injector implementations whose
+// dynamic types are not comparable).
 type Suite struct {
 	Trials  int
-	Results map[string]map[campaign.Tool]*campaign.Result
+	Results map[string]map[string]*campaign.Result
 	Order   []string        // application display order
 	Tools   []campaign.Tool // tool display order
 }
@@ -40,14 +46,32 @@ type Config struct {
 	// Cache selects the build/profile cache for the suite's campaigns
 	// (nil ⇒ the process-wide default). Suites regenerating several tables
 	// from the same configuration reuse each binary and golden run instead
-	// of recompiling per campaign.
+	// of recompiling per campaign. A disk-backed cache (campaign.
+	// NewDiskCache) additionally persists artifacts across processes.
 	Cache *campaign.Cache
+	// Sched, if non-nil, runs the whole suite on one shared work-stealing
+	// executor: every (app, tool) campaign is submitted up front, so builds
+	// and profiles of later campaigns overlap the trial tails of earlier
+	// ones and cores stay saturated end to end. Results are bit-identical
+	// to the serial path — campaigns are seeded per trial, and each
+	// campaign's collector delivers in trial order regardless of where
+	// iterations ran.
+	Sched *sched.Executor
 	// Progress, if non-nil, receives one line per completed campaign.
+	// On the scheduled path campaigns finish concurrently, so line order
+	// follows completion, not the app×tool nesting; calls are serialized.
 	Progress func(string)
 }
 
 // RunSuite executes trials×|apps|×|tools| fault-injection experiments.
 func RunSuite(cfg Config) (*Suite, error) {
+	return RunSuiteContext(context.Background(), cfg)
+}
+
+// RunSuiteContext is RunSuite with cancellation: when ctx is cancelled, the
+// suite stops promptly (on the scheduled path, every in-flight campaign is
+// abandoned at its partial prefix) and the error wraps ctx.Err().
+func RunSuiteContext(ctx context.Context, cfg Config) (*Suite, error) {
 	apps := cfg.Apps
 	if apps == nil {
 		apps = workloads.Registry()
@@ -71,41 +95,102 @@ func RunSuite(cfg Config) (*Suite, error) {
 	if cache == nil {
 		cache = campaign.DefaultCache()
 	}
-	s := &Suite{Trials: trials, Results: map[string]map[campaign.Tool]*campaign.Result{},
+	s := &Suite{Trials: trials, Results: map[string]map[string]*campaign.Result{},
 		Tools: append([]campaign.Tool(nil), tools...)}
 	for _, app := range apps {
 		s.Order = append(s.Order, app.Name)
-		s.Results[app.Name] = map[campaign.Tool]*campaign.Result{}
-		for _, tool := range tools {
-			res, err := campaign.New(app, tool,
-				campaign.WithTrials(trials),
-				campaign.WithSeed(cfg.Seed),
-				campaign.WithWorkers(cfg.Workers),
-				campaign.WithBuildOptions(cfg.Build),
-				campaign.WithCache(cache),
-			).Run(context.Background())
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s: %w", app.Name, tool.Name(), err)
-			}
-			s.Results[app.Name][tool] = res
-			if cfg.Progress != nil {
-				c := res.Counts
-				cfg.Progress(fmt.Sprintf("%-8s %-6s crash=%4d soc=%4d benign=%4d (cycles %.2e)",
-					app.Name, tool.Name(), c.Crash, c.SOC, c.Benign, float64(res.Cycles)))
+		s.Results[app.Name] = map[string]*campaign.Result{}
+	}
+	spec := func(app campaign.App, tool campaign.Tool, extra ...campaign.Option) *campaign.Campaign {
+		opts := append([]campaign.Option{
+			campaign.WithTrials(trials),
+			campaign.WithSeed(cfg.Seed),
+			campaign.WithWorkers(cfg.Workers),
+			campaign.WithBuildOptions(cfg.Build),
+			campaign.WithCache(cache),
+		}, extra...)
+		return campaign.New(app, tool, opts...)
+	}
+	progress := func(app campaign.App, tool campaign.Tool, res *campaign.Result) {
+		if cfg.Progress != nil {
+			c := res.Counts
+			cfg.Progress(fmt.Sprintf("%-8s %-6s crash=%4d soc=%4d benign=%4d (cycles %.2e)",
+				app.Name, tool.Name(), c.Crash, c.SOC, c.Benign, float64(res.Cycles)))
+		}
+	}
+
+	if cfg.Sched == nil {
+		// Serial path: one campaign at a time, each with its private worker
+		// pool (the pre-scheduler behavior, kept as the baseline the
+		// saturation benchmark and determinism tests compare against).
+		for _, app := range apps {
+			for _, tool := range tools {
+				res, err := spec(app, tool).Run(ctx)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s/%s: %w", app.Name, tool.Name(), err)
+				}
+				s.Results[app.Name][tool.Name()] = res
+				progress(app, tool, res)
 			}
 		}
+		return s, nil
+	}
+
+	// Scheduled path: submit every campaign up front. Each campaign goroutine
+	// is a thin client that enqueues its build+profile unit and trial batch
+	// on the shared executor and waits; the executor's workers do all the
+	// actual compute, so |apps|×|tools| concurrent campaigns cost |workers|
+	// cores, not |apps|×|tools| pools.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for _, app := range apps {
+		for _, tool := range tools {
+			wg.Add(1)
+			go func(app campaign.App, tool campaign.Tool) {
+				defer wg.Done()
+				res, err := spec(app, tool, campaign.WithExecutor(cfg.Sched)).Run(runCtx)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiments: %s/%s: %w", app.Name, tool.Name(), err)
+						cancel() // abandon the rest of the suite
+					}
+					return
+				}
+				s.Results[app.Name][tool.Name()] = res
+				progress(app, tool, res)
+			}(app, tool)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return s, nil
 }
 
-// has reports whether the suite campaigned with the tool.
+// has reports whether the suite campaigned with the tool. Tools compare by
+// stable Name(), not interface identity: a name-equal injector resolved
+// through a different path still matches, and injector implementations with
+// uncomparable dynamic types cannot panic here.
 func (s *Suite) has(tool campaign.Tool) bool {
 	for _, t := range s.Tools {
-		if t == tool {
+		if t.Name() == tool.Name() {
 			return true
 		}
 	}
 	return false
+}
+
+// result looks up a campaign result by app and tool name (see has).
+func (s *Suite) result(app string, tool campaign.Tool) *campaign.Result {
+	return s.Results[app][tool.Name()]
 }
 
 // comparisonTools returns the suite's tools other than PINFI, for the
@@ -113,7 +198,7 @@ func (s *Suite) has(tool campaign.Tool) bool {
 func (s *Suite) comparisonTools() []campaign.Tool {
 	var out []campaign.Tool
 	for _, t := range s.Tools {
-		if t != campaign.PINFI {
+		if t.Name() != campaign.PINFI.Name() {
 			out = append(out, t)
 		}
 	}
@@ -127,7 +212,7 @@ func (s *Suite) Table6() string {
 	fmt.Fprintf(&b, "%-10s %-8s %8s %8s %8s\n", "App", "Tool", "Crash", "SOC", "Benign")
 	for _, app := range s.Order {
 		for _, tool := range s.Tools {
-			c := s.Results[app][tool].Counts
+			c := s.result(app, tool).Counts
 			fmt.Fprintf(&b, "%-10s %-8s %8d %8d %8d\n", app, tool.Name(), c.Crash, c.SOC, c.Benign)
 		}
 	}
@@ -142,7 +227,7 @@ func (s *Suite) Figure4() string {
 	fmt.Fprintf(&b, "%-10s %-8s %22s %22s %22s\n", "App", "Tool", "Crash%", "SOC%", "Benign%")
 	for _, app := range s.Order {
 		for _, tool := range s.Tools {
-			c := s.Results[app][tool].Counts
+			c := s.result(app, tool).Counts
 			n := c.Total()
 			cell := func(k int) string {
 				lo, hi := stats.WilsonCI(k, n, stats.Z95)
@@ -168,8 +253,8 @@ func (s *Suite) ChiSquared(cmp campaign.Tool) ([]Comparison, error) {
 	}
 	var out []Comparison
 	for _, app := range s.Order {
-		base := s.Results[app][campaign.PINFI].Counts
-		c := s.Results[app][cmp].Counts
+		base := s.result(app, campaign.PINFI).Counts
+		c := s.result(app, cmp).Counts
 		tr, err := stats.CompareCounts(app, "PINFI", cmp.Name(),
 			[3]int64{int64(base.Crash), int64(base.SOC), int64(base.Benign)},
 			[3]int64{int64(c.Crash), int64(c.SOC), int64(c.Benign)})
@@ -210,8 +295,8 @@ func (s *Suite) Table4(app string) string {
 		return "Table 4: skipped (requires LLFI and PINFI in the suite)\n"
 	}
 	var b strings.Builder
-	l := s.Results[app][campaign.LLFI].Counts
-	p := s.Results[app][campaign.PINFI].Counts
+	l := s.result(app, campaign.LLFI).Counts
+	p := s.result(app, campaign.PINFI).Counts
 	fmt.Fprintf(&b, "Table 4: contingency table, LLFI vs PINFI (%s)\n", app)
 	fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s\n", "Tool", "Crash", "SOC", "Benign", "Total")
 	fmt.Fprintf(&b, "%-8s %8d %8d %8d %8d\n", "LLFI", l.Crash, l.SOC, l.Benign, l.Total())
@@ -239,11 +324,11 @@ func (s *Suite) Figure5() string {
 	tot := make([]int64, len(cmps))
 	var totP int64
 	for _, app := range s.Order {
-		p := s.Results[app][campaign.PINFI].Cycles
+		p := s.result(app, campaign.PINFI).Cycles
 		totP += p
 		fmt.Fprintf(&b, "%-10s", app)
 		for i, t := range cmps {
-			c := s.Results[app][t].Cycles
+			c := s.result(app, t).Cycles
 			tot[i] += c
 			fmt.Fprintf(&b, " %8.1f", float64(c)/float64(p))
 		}
@@ -266,8 +351,8 @@ func (s *Suite) NormalizedTime(tool campaign.Tool) float64 {
 	}
 	var tot, totP int64
 	for _, app := range s.Order {
-		tot += s.Results[app][tool].Cycles
-		totP += s.Results[app][campaign.PINFI].Cycles
+		tot += s.result(app, tool).Cycles
+		totP += s.result(app, campaign.PINFI).Cycles
 	}
 	return float64(tot) / float64(totP)
 }

@@ -120,7 +120,7 @@ func TestExplicitO0SurvivesDefaulting(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s.Results[app.Name][campaign.PINFI]
+		return s.Results[app.Name][campaign.PINFI.Name()]
 	}
 	o0 := run(campaign.BuildOptions{Opt: opt.O0}) // Classes deliberately unset
 	def := run(campaign.BuildOptions{})

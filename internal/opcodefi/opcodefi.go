@@ -1,0 +1,86 @@
+// Package opcodefi registers OPCODE and OPCODE-VALID, opcode-corruption
+// injectors built on pinfi.OpcodeTrial (paper §4.5: true opcode corruption,
+// which the published REFINE lists as future work). Like PINFI the injectors
+// need no static instrumentation; unlike PINFI's transient register flips,
+// the fault is a persistent bit flip in the target instruction's opcode
+// byte, so the trial must mutate the loaded image in place.
+//
+// That mutation used to be the one documented hazard of the build/profile
+// cache ("opcode-corruption experiments must not run on a shared cached
+// Binary"). The injectors remove it by never touching the shared image:
+// each trial swaps the pooled machine onto a private image clone
+// (Binary.AcquireImageClone — copy-on-first-acquire, pooled on the Binary
+// so clones share its lifetime; OpcodeTrial restores the opcode before
+// returning, so a pooled clone is always pristine). Cached binaries, pooled
+// machines and concurrent workers all compose with opcode corruption
+// exactly as with every other injector.
+package opcodefi
+
+import (
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/mir"
+	"repro/internal/pinfi"
+	"repro/internal/vm"
+)
+
+// Name is the registry name of the binary-level-semantics injector
+// (bit flips may produce invalid encodings, which trap like a corrupt text
+// page).
+const Name = "OPCODE"
+
+// ValidName is the registry name of the compiler-emission-semantics variant
+// (redraw until the flipped opcode is valid — the published REFINE
+// restriction, §4.5).
+const ValidName = "OPCODE-VALID"
+
+// Injector is the registered OPCODE injector.
+var Injector campaign.Tool = &injector{
+	ToolName: campaign.ToolName(Name), mode: pinfi.OpcodeAny,
+}
+
+// ValidInjector is the registered OPCODE-VALID injector.
+var ValidInjector campaign.Tool = &injector{
+	ToolName: campaign.ToolName(ValidName), mode: pinfi.OpcodeValidOnly,
+}
+
+func init() {
+	campaign.Register(Injector)
+	campaign.Register(ValidInjector)
+}
+
+type injector struct {
+	campaign.ToolName
+	mode pinfi.OpcodeMode
+}
+
+// InstrumentIR: a binary-level injector leaves the IR untouched.
+func (*injector) InstrumentIR(*ir.Module, fault.Config) int { return 0 }
+
+// InstrumentMachine: no static instrumentation either — the population is
+// the plain binary's dynamic instruction stream, like PINFI's.
+func (*injector) InstrumentMachine(*mir.Prog, fault.Config) (int, error) { return 0, nil }
+
+// Profile is PINFI's profiling step: count dynamic target instructions over
+// a golden run under the PIN-style cost model.
+func (*injector) Profile(m *vm.Machine, cfg fault.Config, costs pinfi.CostModel) (int64, []uint64) {
+	return pinfi.Profile(m, cfg, costs)
+}
+
+// Trial swaps the pooled machine onto a private image clone (pooled on the
+// Binary, so the clones share its lifetime), runs one opcode-corruption
+// experiment, and restores the shared image. The machine keeps its host
+// bindings across the swap: the clone shares the original's host-symbol
+// table, so every HostIdx resolves identically. OpcodeTrial restores the
+// flipped opcode before returning, so released clones are always pristine.
+func (j *injector) Trial(m *vm.Machine, b *campaign.Binary, prof *campaign.Profile, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+	priv := b.AcquireImageClone()
+	base := m.Img
+	m.Img = priv
+	m.Budget = prof.Budget // OpcodeTrial resets, keeping the budget
+	rec := pinfi.OpcodeTrial(m, b.Cfg, costs, target, j.mode, rng)
+	m.Img = base
+	b.ReleaseImageClone(priv)
+	return rec
+}

@@ -128,9 +128,16 @@ func hoistLoop(f *ir.Func, dom *ir.DomTree, header, latch *ir.Block) bool {
 	}
 
 	// Move invariant values, preserving their relative order, to just before
-	// the entry block's terminator.
+	// the entry block's terminator. Collect in f.Blocks order, not by
+	// ranging over the body set: map iteration order would let two
+	// argument-independent hoisted values swap between processes, and the
+	// whole system promises bit-identical builds (campaign results, disk
+	// cache fingerprints) for identical source.
 	var hoisted []*ir.Value
-	for b := range body {
+	for _, b := range f.Blocks {
+		if !body[b] {
+			continue
+		}
 		kept := b.Values[:0]
 		for _, v := range b.Values {
 			if invariant[v] {

@@ -1,0 +1,230 @@
+// Package sched implements the process-wide trial executor: one
+// work-stealing worker pool that treats every unit of work of every campaign
+// — a build+profile, a single fault-injection trial — as an iteration to
+// claim. Campaigns submit batches (jobs) and wait on handles; workers drain
+// their current job for locality and steal iterations from the oldest
+// runnable job when it runs dry, so cores stay saturated across a whole
+// suite even when an individual campaign has fewer runnable trials than
+// there are workers, and builds of later campaigns overlap the trial tail of
+// earlier ones.
+//
+// Determinism is preserved by construction: the executor decides only
+// *where and when* an iteration runs, never *what* it computes — iteration i
+// of a batch always receives index i, and campaign results are keyed by
+// per-trial seeds, so a suite executed serially, concurrently, or on one
+// worker produces bit-identical results (the campaign determinism suite
+// asserts exactly that).
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Executor is a fixed-size worker pool over claimable iteration batches.
+// Create with New, share freely across campaigns and goroutines, and Close
+// when done (the process-wide Default executor is never closed).
+type Executor struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*job // jobs with unclaimed iterations, submission (FIFO) order
+	closed  bool
+	wg      sync.WaitGroup
+	workers int
+}
+
+// job is one submitted batch: n iterations of body, claimed one index at a
+// time under the executor lock.
+type job struct {
+	e    *Executor
+	ctx  context.Context
+	body func(int)
+
+	n         int // total iterations
+	next      int // next unclaimed index
+	inflight  int // claimed but not yet finished
+	cancelled bool
+	completed bool
+	done      chan struct{}
+}
+
+// Handle tracks a submitted batch.
+type Handle struct{ j *job }
+
+// New creates an executor with the given number of workers (<= 0 means
+// GOMAXPROCS).
+func New(workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Executor{workers: workers}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+var (
+	defaultOnce sync.Once
+	defaultExec *Executor
+)
+
+// Default returns the process-wide executor (GOMAXPROCS workers), created on
+// first use. The fi-* drivers and experiments.RunSuite share it so every
+// campaign of a process draws from one pool.
+func Default() *Executor {
+	defaultOnce.Do(func() { defaultExec = New(0) })
+	return defaultExec
+}
+
+// Workers reports the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Submit enqueues n iterations of body. Iteration i receives index i; the
+// executor guarantees each index is claimed exactly once, in increasing
+// order, but makes no promise about which worker runs it or how iterations
+// interleave with other jobs. If ctx is cancelled, unclaimed iterations are
+// abandoned (the claimed prefix still completes) — Handle.Wait reports
+// whether the batch ran in full.
+//
+// Job bodies must not call Handle.Wait on jobs submitted to the same
+// executor: a worker blocked in Wait is a worker lost, and with enough of
+// them the pool deadlocks. Campaigns submit and wait from their own
+// goroutines, never from inside a body.
+func (e *Executor) Submit(ctx context.Context, n int, body func(i int)) *Handle {
+	j := &job{e: e, ctx: ctx, body: body, n: n, done: make(chan struct{})}
+	if n <= 0 {
+		j.completed = true
+		close(j.done)
+		return &Handle{j}
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		panic("sched: Submit on closed Executor")
+	}
+	e.queue = append(e.queue, j)
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				j.cancel()
+			case <-j.done:
+			}
+		}()
+	}
+	return &Handle{j}
+}
+
+// Wait blocks until the batch settles: every iteration ran, or the context
+// was cancelled and the in-flight iterations drained. It reports whether all
+// n iterations completed.
+func (h *Handle) Wait() bool {
+	<-h.j.done
+	e := h.j.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !h.j.cancelled && h.j.next >= h.j.n
+}
+
+// claim hands out the next unclaimed index. Caller holds e.mu.
+func (j *job) claim() (int, bool) {
+	if j.cancelled || j.next >= j.n {
+		return 0, false
+	}
+	// A cancelled context stops the hand-out even before the watcher
+	// goroutine fires, so prompt cancellation never races a slow scheduler.
+	if j.ctx != nil && j.ctx.Err() != nil {
+		j.cancelled = true
+		j.settleLocked()
+		return 0, false
+	}
+	i := j.next
+	j.next++
+	j.inflight++
+	return i, true
+}
+
+// settleLocked closes done if nothing is running and nothing more will.
+// Caller holds e.mu.
+func (j *job) settleLocked() {
+	if j.inflight == 0 && (j.cancelled || j.next >= j.n) && !j.completed {
+		j.completed = true
+		close(j.done)
+	}
+}
+
+// cancel abandons the job's unclaimed iterations.
+func (j *job) cancel() {
+	j.e.mu.Lock()
+	defer j.e.mu.Unlock()
+	if !j.completed && j.next < j.n {
+		j.cancelled = true
+		j.settleLocked()
+	}
+}
+
+// finishIter retires one claimed iteration.
+func (e *Executor) finishIter(j *job) {
+	e.mu.Lock()
+	j.inflight--
+	j.settleLocked()
+	e.mu.Unlock()
+}
+
+// worker is the steal loop: drain the current job while it has unclaimed
+// iterations (locality — a campaign worker keeps its pooled machine warm),
+// otherwise steal from the oldest queued job, compacting exhausted jobs out
+// of the queue in passing; sleep only when no job anywhere has work.
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	var cur *job
+	for {
+		var j *job
+		var idx int
+		e.mu.Lock()
+		for {
+			if cur != nil {
+				if i, ok := cur.claim(); ok {
+					j, idx = cur, i
+					break
+				}
+				cur = nil
+			}
+			for j == nil && len(e.queue) > 0 {
+				if i, ok := e.queue[0].claim(); ok {
+					j, idx = e.queue[0], i
+				} else {
+					e.queue = e.queue[1:]
+				}
+			}
+			if j != nil {
+				break
+			}
+			if e.closed {
+				e.mu.Unlock()
+				return
+			}
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+		cur = j
+		j.body(idx)
+		e.finishIter(j)
+	}
+}
+
+// Close drains the pool: workers finish the iterations already claimable and
+// exit. Submitting after Close panics. The Default executor is never closed.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	e.wg.Wait()
+}

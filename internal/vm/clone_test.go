@@ -1,0 +1,41 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/vx"
+)
+
+// TestCloneIsolatesMutation: opcode mutation + Repredecode on a clone must
+// leave the original image's instruction stream and predecoded state
+// untouched, and the clone must rebuild its own indexes.
+func TestCloneIsolatesMutation(t *testing.T) {
+	img := &Image{
+		Instrs: []Inst{
+			{Op: vx.MOVQ, AKind: OpReg, AReg: vx.R0, BKind: OpImm, Imm: 7},
+			{Op: vx.HALT},
+		},
+		Funcs:   []FuncInfo{{Name: "main", Entry: 0, End: 2}},
+		MemSize: DefaultMemSize,
+	}
+	img.ensure()
+	origOp := img.Instrs[0].Op
+	origKind := img.code[0].kind
+
+	cl := img.Clone()
+	cl.Instrs[0].Op = vx.HALT
+	cl.Repredecode(0)
+
+	if img.Instrs[0].Op != origOp {
+		t.Fatalf("original instruction mutated: %v", img.Instrs[0].Op)
+	}
+	if img.code[0].kind != origKind {
+		t.Fatalf("original predecode state mutated: %v", img.code[0].kind)
+	}
+	if cl.Instrs[0].Op != vx.HALT {
+		t.Fatalf("clone lost its mutation")
+	}
+	if f := cl.FuncOf(0); f == nil || f.Name != "main" {
+		t.Fatalf("clone function index broken: %+v", f)
+	}
+}

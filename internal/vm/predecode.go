@@ -193,6 +193,28 @@ func (img *Image) fuse(pc int32) {
 	img.code[pc].cost2 = uint8(vx.JCC.CycleCost())
 }
 
+// Clone returns a private copy of the image for injectors that mutate the
+// instruction stream in place (opcode corruption): the instruction slice is
+// deep-copied and the predecoded state left unbuilt, so Repredecode on the
+// clone never touches the original and the clone regains the full
+// share-nothing mutation license Repredecode's contract demands. Read-only
+// structure — function table, host symbol list, init data, global layout —
+// is shared with the original; neither mutation nor predecoding writes it.
+func (img *Image) Clone() *Image {
+	return &Image{
+		Instrs:      append([]Inst(nil), img.Instrs...),
+		Funcs:       img.Funcs,
+		EntryPC:     img.EntryPC,
+		HostFns:     img.HostFns,
+		InitData:    img.InitData,
+		GlobalBase:  img.GlobalBase,
+		GlobalEnd:   img.GlobalEnd,
+		MemSize:     img.MemSize,
+		GlobalAddrs: img.GlobalAddrs,
+		NumSites:    img.NumSites,
+	}
+}
+
 // Repredecode refreshes the predecoded state of pc after an in-place
 // mutation of Instrs[pc] (the opcode-corruption ablation rewrites opcodes
 // mid-run). The neighboring slot pc-1 is re-fused as well, since its fused

@@ -1,0 +1,65 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/vx"
+)
+
+// TestScrambleTableMatchesReference pins the precomputed scramble table to
+// the original per-call loop: clobbering through the table must leave the
+// register file bit-identical to re-deriving every skip condition and
+// garbage value on the fly. The campaign determinism suite then extends the
+// guarantee end to end (host-call-heavy campaigns stay bit-identical across
+// worker counts and cache states).
+func TestScrambleTableMatchesReference(t *testing.T) {
+	var m Machine
+	for i := range m.Regs {
+		m.Regs[i] = 0xA5A5_0000 | uint64(i) // recognizable pre-state
+	}
+	m.scramble()
+
+	var ref Machine
+	for i := range ref.Regs {
+		ref.Regs[i] = 0xA5A5_0000 | uint64(i)
+	}
+	// The pre-table implementation, spelled out.
+	for _, r := range vx.CallerSavedGPR {
+		if r == vx.R0 {
+			continue
+		}
+		ref.Regs[r] = 0xD15EA5ED0000_0000 | uint64(r)
+	}
+	for _, r := range vx.CallerSavedFPR {
+		if r == vx.F0 {
+			continue
+		}
+		ref.Regs[r] = 0x7FF8_DEAD_0000_0000 | uint64(r)
+	}
+	ref.Regs[vx.RFLAGS] = vx.FlagS
+
+	if m.Regs != ref.Regs {
+		for i := range m.Regs {
+			if m.Regs[i] != ref.Regs[i] {
+				t.Errorf("reg %d: table %#x, reference %#x", i, m.Regs[i], ref.Regs[i])
+			}
+		}
+	}
+	// The table must cover every caller-saved register except the returns.
+	want := len(vx.CallerSavedGPR) + len(vx.CallerSavedFPR) - 2
+	if len(scrambleTab) != want {
+		t.Errorf("scramble table has %d entries, want %d", len(scrambleTab), want)
+	}
+}
+
+// TestScrambleExceptResultsPreservesReturns: the host-call wrapper restores
+// R0/F0 after the table walk.
+func TestScrambleExceptResultsPreservesReturns(t *testing.T) {
+	var m Machine
+	m.Regs[vx.R0] = 0x1234
+	m.Regs[vx.F0] = 0x5678
+	m.scrambleExceptResults()
+	if m.Regs[vx.R0] != 0x1234 || m.Regs[vx.F0] != 0x5678 {
+		t.Fatalf("return registers clobbered: R0=%#x F0=%#x", m.Regs[vx.R0], m.Regs[vx.F0])
+	}
+}

@@ -460,21 +460,42 @@ func (m *Machine) setFlagsZS(v uint64) {
 	m.Regs[vx.RFLAGS] = f
 }
 
-// scramble models C-ABI clobbering of caller-saved registers by native
-// library code. Deterministic garbage values surface register-allocation bugs
-// in differential tests without breaking reproducibility.
-func (m *Machine) scramble() {
+// scrambleEntry is one precomputed register clobber of the host-call
+// scramble sequence.
+type scrambleEntry struct {
+	reg vx.Reg
+	val uint64
+}
+
+// scrambleTab is the host-call clobber pattern, precomputed once at package
+// init: every caller-saved register except the return registers, paired with
+// its deterministic garbage value. The hot path then runs a branch-free
+// table walk instead of re-deriving the skip conditions and bit patterns on
+// every host call. TestScrambleTableMatchesReference pins the table to the
+// spelled-out per-call loop bit for bit.
+var scrambleTab = func() []scrambleEntry {
+	var tab []scrambleEntry
 	for _, r := range vx.CallerSavedGPR {
 		if r == vx.R0 {
 			continue // return value register, written by the host fn
 		}
-		m.Regs[r] = 0xD15EA5ED0000_0000 | uint64(r)
+		tab = append(tab, scrambleEntry{r, 0xD15EA5ED0000_0000 | uint64(r)})
 	}
 	for _, r := range vx.CallerSavedFPR {
 		if r == vx.F0 {
 			continue
 		}
-		m.Regs[r] = 0x7FF8_DEAD_0000_0000 | uint64(r) // quiet-NaN pattern
+		tab = append(tab, scrambleEntry{r, 0x7FF8_DEAD_0000_0000 | uint64(r)}) // quiet-NaN pattern
+	}
+	return tab
+}()
+
+// scramble models C-ABI clobbering of caller-saved registers by native
+// library code. Deterministic garbage values surface register-allocation bugs
+// in differential tests without breaking reproducibility.
+func (m *Machine) scramble() {
+	for _, s := range scrambleTab {
+		m.Regs[s.reg] = s.val
 	}
 	m.Regs[vx.RFLAGS] = vx.FlagS
 }

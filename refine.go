@@ -32,7 +32,9 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/multibit"
+	"repro/internal/opcodefi"
 	"repro/internal/pinfi"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -56,6 +58,14 @@ var (
 	// REFINE2 is the double bit-flip REFINE variant: two single-bit faults
 	// at consecutive dynamic target instructions.
 	REFINE2 = multibit.Injector
+	// OPCODE is the opcode-corruption injector (§4.5 "future work"
+	// semantics): a persistent bit flip in the target instruction's opcode
+	// byte, invalid encodings allowed. Trials mutate private image clones,
+	// so OPCODE campaigns share cached binaries like every other tool.
+	OPCODE = opcodefi.Injector
+	// OPCODEVALID is OPCODE restricted to valid opcodes — the published
+	// REFINE's compiler-emission restriction.
+	OPCODEVALID = opcodefi.ValidInjector
 )
 
 // Tools lists the paper's three tools.
@@ -152,7 +162,42 @@ var (
 	WithObserver = campaign.WithObserver
 	// WithRecords buffers every TrialResult in Result.Records.
 	WithRecords = campaign.WithRecords
+	// WithExecutor schedules the campaign on a shared work-stealing
+	// executor (see NewExecutor/SharedExecutor) instead of a private pool;
+	// concurrent campaigns interleave at trial granularity with
+	// bit-identical results.
+	WithExecutor = campaign.WithExecutor
 )
+
+// Executor is the process-wide work-stealing trial executor: one pool that
+// treats every build, profile and trial of every campaign as a claimable
+// unit of work, keeping cores saturated across a whole suite.
+type Executor = sched.Executor
+
+// NewExecutor creates an executor with the given worker count (<= 0 means
+// GOMAXPROCS). Close it when done.
+func NewExecutor(workers int) *Executor { return sched.New(workers) }
+
+// SharedExecutor returns the process-wide executor used by the fi-* drivers
+// (GOMAXPROCS workers, never closed).
+func SharedExecutor() *Executor { return sched.Default() }
+
+// Cache memoizes builds and golden profiles; see NewBuildCache and
+// NewDiskCache.
+type Cache = campaign.Cache
+
+// CacheStats are a cache's hit/build counters.
+type CacheStats = campaign.CacheStats
+
+// NewBuildCache returns an empty in-memory build/profile cache (campaigns
+// use the process-wide default unless WithCache overrides it).
+func NewBuildCache() *Cache { return campaign.NewCache() }
+
+// NewDiskCache returns a build/profile cache persisted under dir: entries
+// are content-addressed by configuration and IR fingerprint, so a later
+// process warm-starts past every build and golden profile. Stats() reports
+// builds vs memory vs disk hits.
+func NewDiskCache(dir string) (*Cache, error) { return campaign.NewDiskCache(dir) }
 
 // NewCampaign specifies a campaign over (app, tool); run it with
 // .Run(ctx). Builds and golden-run profiles are memoized process-wide by
