@@ -441,6 +441,70 @@ func BenchmarkVMThroughput(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instr/s")
 }
 
+// BenchmarkVMThroughputHooked reports hooked emulator speed — the cost of
+// profiling runs and the pre-detach prefix of binary-level trials. Three
+// variants: the inline counting hook on the hooked fast loop (the
+// production profiling path), a closure ExecHook on the hooked fast loop
+// (tracers, custom observers), and the closure hook single-stepped through
+// the reference decoder (the pre-overhaul path, kept as the baseline the
+// speed gate compares against).
+func BenchmarkVMThroughputHooked(b *testing.B) {
+	app, err := refine.AppByName("FT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, err := refine.Build(app, refine.PINFI, refine.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	costs := pinfi.DefaultCosts()
+	cfg := refine.DefaultOptions().FI
+	run := func(b *testing.B, prep func(m *vm.Machine), stepped bool) {
+		m := bin.NewMachine()
+		b.ResetTimer()
+		var instrs int64
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			prep(m)
+			if stepped {
+				m.RunStepped()
+			} else {
+				m.Run()
+			}
+			instrs += m.InstrCount
+		}
+		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instr/s")
+	}
+	b.Run("counted", func(b *testing.B) {
+		tm := bin.TargetMap()
+		run(b, func(m *vm.Machine) {
+			m.Count = &vm.CountHook{Targets: tm, PerInstr: costs.PerInstr, Arm: -1}
+		}, false)
+	})
+	b.Run("closure", func(b *testing.B) {
+		run(b, func(m *vm.Machine) {
+			var targets int64
+			m.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) {
+				mm.Cycles += costs.PerInstr
+				if cfg.TargetInst(mm.Img, in) {
+					targets++
+				}
+			}
+		}, false)
+	})
+	b.Run("stepped-baseline", func(b *testing.B) {
+		run(b, func(m *vm.Machine) {
+			var targets int64
+			m.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) {
+				mm.Cycles += costs.PerInstr
+				if cfg.TargetInst(mm.Img, in) {
+					targets++
+				}
+			}
+		}, true)
+	})
+}
+
 // BenchmarkCompile reports end-to-end compilation speed for the whole
 // registry (IR build + O2 + backend + assembly).
 func BenchmarkCompile(b *testing.B) {

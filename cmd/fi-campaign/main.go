@@ -56,6 +56,7 @@ func main() {
 	instrs := flag.String("instrs", "all", "-fi-instrs class filter: all|arithm|mem|stack")
 	optLevel := flag.Int("O", 2, "optimization level (2 or 0)")
 	schedWorkers := flag.Int("sched-workers", 0, "shared work-stealing executor size (0 = GOMAXPROCS, < 0 = serial per-campaign pools)")
+	chunk := flag.Int("chunk", 0, "trial indexes claimed per executor lock acquisition (0 = adaptive); results are identical across chunk sizes")
 	cacheDir := flag.String("cache-dir", "", "persist built binaries + profiles under this directory (warm starts skip all builds)")
 	quiet := flag.Bool("quiet", false, "suppress per-campaign progress")
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 		Trials:  *trials,
 		Seed:    *seed,
 		Workers: *workers,
+		Chunk:   *chunk,
 		Build:   campaign.DefaultBuildOptions(),
 	}
 	ex, cache, err := experiments.ResolveExecution(*schedWorkers, *workers, *cacheDir)
@@ -110,6 +112,7 @@ func main() {
 		len(suite.Order), len(suite.Tools), suite.Trials,
 		len(suite.Order)*len(suite.Tools)*suite.Trials, time.Since(start).Round(time.Millisecond))
 	fmt.Println(experiments.CacheStatsLine(cache))
+	fmt.Println(experiments.ExecutionLine(cfg.Sched, cfg.Chunk))
 	fmt.Println()
 
 	fmt.Println(suite.Table6())

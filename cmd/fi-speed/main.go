@@ -52,6 +52,7 @@ func run() error {
 	appsFlag := flag.String("apps", "", "comma-separated app subset")
 	toolsFlag := flag.String("tools", "", "comma-separated tool subset from the injector registry\n(default: LLFI,REFINE,PINFI; registered: "+strings.Join(campaign.ToolNames(), ",")+")")
 	schedWorkers := flag.Int("sched-workers", 0, "shared work-stealing executor size (0 = GOMAXPROCS, < 0 = serial per-campaign pools)")
+	chunk := flag.Int("chunk", 0, "trial indexes claimed per executor lock acquisition (0 = adaptive); results are identical across chunk sizes")
 	cacheDir := flag.String("cache-dir", "", "persist built binaries + profiles under this directory (warm starts skip all builds)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file")
 	flag.Parse()
@@ -72,6 +73,7 @@ func run() error {
 		Trials:  *trials,
 		Seed:    *seed,
 		Workers: *workers,
+		Chunk:   *chunk,
 		Build:   campaign.DefaultBuildOptions(),
 	}
 	ex, cache, err := experiments.ResolveExecution(*schedWorkers, *workers, *cacheDir)
@@ -110,6 +112,7 @@ func run() error {
 		return err
 	}
 	fmt.Println(experiments.CacheStatsLine(cache))
+	fmt.Println(experiments.ExecutionLine(cfg.Sched, cfg.Chunk))
 	fmt.Println()
 	fmt.Println(suite.Figure5())
 

@@ -50,6 +50,7 @@ func main() {
 	trials := flag.Int("trials", 1068, "trials per (app, tool) for -measure")
 	seed := flag.Uint64("seed", 1, "base RNG seed for -measure")
 	schedWorkers := flag.Int("sched-workers", 0, "shared work-stealing executor size for -measure (0 = GOMAXPROCS, < 0 = serial)")
+	chunk := flag.Int("chunk", 0, "trial indexes claimed per executor lock acquisition for -measure (0 = adaptive)")
 	cacheDir := flag.String("cache-dir", "", "persist -measure builds + profiles under this directory")
 	flag.Parse()
 
@@ -106,7 +107,7 @@ func main() {
 	}
 
 	if *measure {
-		if err := runMeasured(*appsFlag, *trials, *seed, *schedWorkers, *cacheDir); err != nil {
+		if err := runMeasured(*appsFlag, *trials, *seed, *schedWorkers, *chunk, *cacheDir); err != nil {
 			fmt.Fprintln(os.Stderr, "fi-stats:", err)
 			os.Exit(1)
 		}
@@ -115,10 +116,11 @@ func main() {
 
 // runMeasured runs a live suite through the shared scheduler (and the disk
 // cache when dir is set) and prints the measured Table 5.
-func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers int, dir string) error {
+func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk int, dir string) error {
 	cfg := experiments.Config{
 		Trials: trials,
 		Seed:   seed,
+		Chunk:  chunk,
 		Build:  campaign.DefaultBuildOptions(),
 	}
 	ex, cache, err := experiments.ResolveExecution(schedWorkers, 0, dir)
@@ -141,6 +143,7 @@ func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers int, dir 
 	}
 	fmt.Printf("\nMeasured suite (n=%d per cell):\n", suite.Trials)
 	fmt.Println(experiments.CacheStatsLine(cache))
+	fmt.Println(experiments.ExecutionLine(cfg.Sched, cfg.Chunk))
 	t5, err := suite.Table5()
 	if err != nil {
 		return err

@@ -106,5 +106,7 @@ func (pinfiInjector) Profile(m *vm.Machine, cfg fault.Config, costs pinfi.CostMo
 
 func (pinfiInjector) Trial(m *vm.Machine, b *Binary, prof *Profile, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
 	m.Budget = prof.Budget
-	return pinfi.Trial(m, b.Cfg, costs, target, rng) // Trial resets, keeping the budget
+	// TrialMapped resets, keeping the budget; the cached bitmap keeps the
+	// hooked prefix on the closure-free counting fast path.
+	return pinfi.TrialMapped(m, b.TargetMap(), costs, target, rng)
 }

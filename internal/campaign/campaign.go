@@ -78,6 +78,21 @@ type Binary struct {
 	// Binary, the clones share its lifetime: discarding a cache releases
 	// them with everything else.
 	imgPool sync.Pool
+
+	// targetOnce/targets lazily cache the per-PC injection-population
+	// bitmap (see TargetMap); trials share one read-only copy instead of
+	// re-deriving the population per run.
+	targetOnce sync.Once
+	targets    []bool
+}
+
+// TargetMap returns the binary's per-PC injection-population bitmap
+// (pinfi.TargetMap over Img and Cfg) — the representation the VM's hooked
+// fast loop counts without closure indirection. It is computed once per
+// binary and immutable afterwards, so concurrent trial workers share it.
+func (b *Binary) TargetMap() []bool {
+	b.targetOnce.Do(func() { b.targets = pinfi.TargetMap(b.Img, b.Cfg) })
+	return b.targets
 }
 
 // BuildBinary compiles the application through the shared pipeline, letting

@@ -28,6 +28,7 @@ type Campaign struct {
 	observer    func(i int, tr TrialResult)
 	keepRecords bool
 	exec        *sched.Executor // nil ⇒ private per-campaign worker pool
+	chunk       int             // trial indexes claimed per executor lock (0 ⇒ adaptive)
 }
 
 // Option configures a Campaign (functional options).
@@ -87,6 +88,14 @@ func WithRecords() Option { return func(c *Campaign) { c.keepRecords = true } }
 // Run must not be called from inside a body already executing on the same
 // executor (it waits on the executor and would hold a worker hostage).
 func WithExecutor(ex *sched.Executor) Option { return func(c *Campaign) { c.exec = ex } }
+
+// WithChunk sets how many trial indexes a scheduled campaign's workers claim
+// per executor lock acquisition (default 0: adaptive — 1 for small batches,
+// growing with the trial count, capped at sched.MaxChunk). Chunking only
+// changes lock traffic, never results: trial i is always seeded by
+// TrialSeed(seed, tool, i), and the determinism suite asserts chunk sizes
+// 1, 4 and 64 produce bit-identical campaigns. Ignored without WithExecutor.
+func WithChunk(k int) Option { return func(c *Campaign) { c.chunk = k } }
 
 // PaperTrials is the paper's per-configuration trial count (§5.3: 3% margin,
 // 95% confidence over a large population — the Leveugle et al. sample size;
@@ -237,7 +246,7 @@ func (c *Campaign) runScheduled(ctx context.Context) (*Result, error) {
 	}
 
 	res, col := c.newResult(prof)
-	c.exec.Submit(ctx, c.trials, func(i int) {
+	c.exec.SubmitChunk(ctx, c.trials, c.chunk, func(i int) {
 		m := bin.AcquireMachine()
 		defer bin.ReleaseMachine(m)
 		col.add(i, bin.runTrialOn(m, prof, c.costs, TrialSeed(c.seed, c.tool, i)))

@@ -9,6 +9,7 @@ package campaign_test
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -241,5 +242,63 @@ func TestDiskCacheKeysByIR(t *testing.T) {
 	}
 	if st := c2.Stats(); st.DiskHits != 0 || st.Builds != 1 {
 		t.Fatalf("changed IR behind the same name must rebuild: %+v", st)
+	}
+}
+
+// TestChunkSizesBitIdentical: chunked trial claiming — 1, 4 and 64 indexes
+// per executor lock acquisition, plus the adaptive default — produces
+// bit-identical campaign results, and serial (pooled, single worker) agrees
+// with every scheduled variant. Chunking decides only where iterations run.
+func TestChunkSizesBitIdentical(t *testing.T) {
+	cache := campaign.NewCache()
+	serial := runPooled(t, 1, cache)
+	for _, chunk := range []int{0, 1, 4, 64} {
+		ex := sched.New(4)
+		res, err := campaign.New(testApp, campaign.REFINE,
+			campaign.WithTrials(120), campaign.WithSeed(7),
+			campaign.WithExecutor(ex), campaign.WithChunk(chunk),
+			campaign.WithCache(cache), campaign.WithRecords(),
+		).Run(context.Background())
+		ex.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalResults(t, fmt.Sprintf("chunk=%d vs serial", chunk), serial, res)
+	}
+}
+
+// TestChunkedCancellationPrefix: the partial-prefix cancellation contract
+// holds for every chunk size — the delivered prefix of a cancelled chunked
+// campaign is bit-identical to the full run's prefix.
+func TestChunkedCancellationPrefix(t *testing.T) {
+	cache := campaign.NewCache()
+	full := runPooled(t, 1, cache)
+	for _, chunk := range []int{1, 4, 64} {
+		ex := sched.New(2)
+		ctx, cancel := context.WithCancel(context.Background())
+		var seen int
+		res, err := campaign.New(testApp, campaign.REFINE,
+			campaign.WithTrials(100000), campaign.WithSeed(7),
+			campaign.WithExecutor(ex), campaign.WithChunk(chunk),
+			campaign.WithCache(cache), campaign.WithRecords(),
+			campaign.WithObserver(func(i int, tr campaign.TrialResult) {
+				seen++
+				if seen == 25 {
+					cancel()
+				}
+			}),
+		).Run(ctx)
+		ex.Close()
+		if err == nil {
+			t.Fatalf("chunk=%d: cancelled campaign returned nil error", chunk)
+		}
+		if res.Trials >= 100000 || res.Trials < 25 {
+			t.Fatalf("chunk=%d: bad partial prefix %d", chunk, res.Trials)
+		}
+		for i := 0; i < min(res.Trials, len(full.Records)); i++ {
+			if res.Records[i] != full.Records[i] {
+				t.Fatalf("chunk=%d: partial trial %d differs from full run", chunk, i)
+			}
+		}
 	}
 }

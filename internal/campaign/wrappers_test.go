@@ -1,0 +1,82 @@
+package campaign_test
+
+// Equivalence coverage for the deprecated positional entry points: Run and
+// RunCached are documented as thin wrappers over the v2 runner, and their
+// results must be bit-identical to the spelled-out campaign.New(...).Run(ctx)
+// call — and to the same campaign executed on the shared process-wide
+// executor. Any drift here would silently fork the experimental record
+// between old and new call sites.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/sched"
+)
+
+// TestDeprecatedRunMatchesV2 pins campaign.Run to its documented expansion
+// and to the shared-default-executor path.
+func TestDeprecatedRunMatchesV2(t *testing.T) {
+	opts := campaign.DefaultBuildOptions()
+
+	wrapped, err := campaign.Run(testApp, campaign.REFINE, 120, 7, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v2, err := campaign.New(testApp, campaign.REFINE,
+		campaign.WithTrials(120), campaign.WithSeed(7), campaign.WithWorkers(2),
+		campaign.WithBuildOptions(opts), campaign.WithRecords(),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "deprecated Run vs New().Run", wrapped, v2)
+
+	scheduled, err := campaign.New(testApp, campaign.REFINE,
+		campaign.WithTrials(120), campaign.WithSeed(7),
+		campaign.WithBuildOptions(opts), campaign.WithRecords(),
+		campaign.WithExecutor(sched.Default()),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "deprecated Run vs shared default executor", wrapped, scheduled)
+}
+
+// TestDeprecatedRunCachedMatchesV2 pins RunCached — both with an explicit
+// cache and with nil (fresh build) — to the v2 WithCache expansion.
+func TestDeprecatedRunCachedMatchesV2(t *testing.T) {
+	cache := campaign.NewCache()
+
+	wrapped, err := campaign.RunCached(cache, testApp, campaign.PINFI, 100, 11, 2, campaign.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := campaign.New(testApp, campaign.PINFI,
+		campaign.WithTrials(100), campaign.WithSeed(11), campaign.WithWorkers(2),
+		campaign.WithCache(cache), campaign.WithRecords(),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "deprecated RunCached vs New().Run", wrapped, v2)
+
+	// nil cache forces a fresh build+profile on both paths; results must
+	// still agree with the cached ones (the determinism contract).
+	fresh, err := campaign.RunCached(nil, testApp, campaign.PINFI, 100, 11, 2, campaign.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "RunCached(nil) vs RunCached(cache)", wrapped, fresh)
+
+	v2fresh, err := campaign.New(testApp, campaign.PINFI,
+		campaign.WithTrials(100), campaign.WithSeed(11), campaign.WithWorkers(2),
+		campaign.WithCache(nil), campaign.WithRecords(),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "RunCached(nil) vs WithCache(nil)", fresh, v2fresh)
+}

@@ -15,6 +15,20 @@ import (
 // the dominant runtime overhead of REFINE (the basic-block approach saves
 // the full C-ABI spill/reload dance an IR-level call requires).
 
+// SiteMap returns the per-PC bitmap of the image's REFINE injection sites —
+// the application instructions the backend pass assigned a SiteID. Each
+// execution of a marked instruction drives exactly one selInstr call, so a
+// vm.CountHook over this map counts the same dynamic target population
+// ProfileLib counts through the control runtime, without executing the
+// instrumentation's host calls: a cheap PC-indexed census the hooked fast
+// loop services inline. The cross-layer test suite pins the two counts to
+// each other on real workloads.
+func SiteMap(img *vm.Image) []bool {
+	return vm.TargetMap(img, func(in *vm.Inst) bool {
+		return in.SiteID != 0 && !in.Instrumented
+	})
+}
+
 // ProfileLib counts dynamic target instructions and never triggers
 // (Figure 3a). Its destructor-equivalent is reading Count after the run.
 type ProfileLib struct {

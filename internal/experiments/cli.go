@@ -47,3 +47,18 @@ func CacheStatsLine(c *campaign.Cache) string {
 	return fmt.Sprintf("# cache: builds=%d mem-hits=%d disk-hits=%d disk-errors=%d dir=%s",
 		st.Builds, st.MemHits, st.DiskHits, st.DiskErrors, c.Dir())
 }
+
+// ExecutionLine renders the drivers' "# exec:" report: the resolved
+// execution substrate (shared executor size or serial pools) and the trial
+// claim-chunk policy, so a run's scheduling configuration is recorded next
+// to its tables.
+func ExecutionLine(ex *sched.Executor, chunk int) string {
+	if ex == nil {
+		return "# exec: serial per-campaign pools"
+	}
+	ck := "adaptive"
+	if chunk > 0 {
+		ck = fmt.Sprint(chunk)
+	}
+	return fmt.Sprintf("# exec: sched-workers=%d chunk=%s", ex.Workers(), ck)
+}

@@ -57,6 +57,11 @@ type Config struct {
 	// campaign's collector delivers in trial order regardless of where
 	// iterations ran.
 	Sched *sched.Executor
+	// Chunk sets how many trial indexes a scheduled campaign's workers
+	// claim per executor lock acquisition (0 = adaptive, growing with the
+	// trial count up to sched.MaxChunk). Results are bit-identical across
+	// chunk sizes; only lock traffic changes. Ignored without Sched.
+	Chunk int
 	// Progress, if non-nil, receives one line per completed campaign.
 	// On the scheduled path campaigns finish concurrently, so line order
 	// follows completion, not the app×tool nesting; calls are serialized.
@@ -153,7 +158,7 @@ func RunSuiteContext(ctx context.Context, cfg Config) (*Suite, error) {
 			wg.Add(1)
 			go func(app campaign.App, tool campaign.Tool) {
 				defer wg.Done()
-				res, err := spec(app, tool, campaign.WithExecutor(cfg.Sched)).Run(runCtx)
+				res, err := spec(app, tool, campaign.WithExecutor(cfg.Sched), campaign.WithChunk(cfg.Chunk)).Run(runCtx)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {

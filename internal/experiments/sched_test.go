@@ -8,6 +8,7 @@ package experiments_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/campaign"
@@ -166,5 +167,33 @@ func TestHasComparesByName(t *testing.T) {
 	}
 	if s.Figure5() == "Figure 5: skipped (requires the PINFI baseline in the suite)\n" {
 		t.Fatal("Figure5 skipped despite a name-equal PINFI baseline")
+	}
+}
+
+// TestSuiteChunkSizes: Config.Chunk — the drivers' -chunk plumbing — never
+// changes suite results: chunk 1, 64 and the adaptive default reproduce the
+// serial suite bit for bit.
+func TestSuiteChunkSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-app suites are too heavy for -short")
+	}
+	cfg := schedConfig(t)
+	cfg.Cache = campaign.NewCache()
+	serial, err := experiments.RunSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{0, 1, 64} {
+		ex := sched.New(4)
+		scfg := schedConfig(t)
+		scfg.Cache = campaign.NewCache()
+		scfg.Sched = ex
+		scfg.Chunk = chunk
+		got, err := experiments.RunSuite(scfg)
+		ex.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalSuites(t, fmt.Sprintf("serial vs chunk=%d", chunk), serial, got)
 	}
 }

@@ -115,6 +115,24 @@ func posIn(b *ir.Block, v *ir.Value) int {
 	panic("llfi: value not in block")
 }
 
+// SiteMap returns the per-PC bitmap of the image's LLFI instrumentation
+// call sites — the CALLQ instructions into the injectFault runtime. Each
+// execution of a marked call drives exactly one runtime invocation, so a
+// vm.CountHook over this map counts the same dynamic instrumented
+// population ProfileLib counts from inside the host functions, without
+// paying their modeled call costs: a cheap PC-indexed census the hooked
+// fast loop services inline (and a cross-layer check that instrumentation,
+// code generation and the runtime agree on the population).
+func SiteMap(img *vm.Image) []bool {
+	isFault := map[string]bool{
+		HostFaultI64: true, HostFaultF64: true, HostFaultI1: true, HostFaultPtr: true,
+	}
+	return vm.TargetMap(img, func(in *vm.Inst) bool {
+		return in.Op == vx.CALLQ && in.HostIdx >= 0 &&
+			int(in.HostIdx) < len(img.HostFns) && isFault[img.HostFns[in.HostIdx]]
+	})
+}
+
 // injectFaultCycles is the modeled per-call cost of LLFI's injectFault
 // runtime. Unlike REFINE's hand-written counting stub or PIN's inlined
 // analysis code, LLFI's runtime is a general C++ routine: it consults the

@@ -78,8 +78,11 @@ func (j *injector) Trial(m *vm.Machine, b *campaign.Binary, prof *campaign.Profi
 	priv := b.AcquireImageClone()
 	base := m.Img
 	m.Img = priv
-	m.Budget = prof.Budget // OpcodeTrial resets, keeping the budget
-	rec := pinfi.OpcodeTrial(m, b.Cfg, costs, target, j.mode, rng)
+	m.Budget = prof.Budget // OpcodeTrialMapped resets, keeping the budget
+	// The shared bitmap indexes the clone identically (same instruction
+	// layout), and the count hook detaches at the corruption point, before
+	// the clone's stream diverges from it.
+	rec := pinfi.OpcodeTrialMapped(m, b.TargetMap(), costs, target, j.mode, rng)
 	m.Img = base
 	b.ReleaseImageClone(priv)
 	return rec

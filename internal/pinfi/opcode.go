@@ -40,21 +40,26 @@ const (
 // flipped for the remainder of the run. The image is restored before the
 // function returns, so trials are independent.
 func OpcodeTrial(m *vm.Machine, cfg fault.Config, costs CostModel, target int64, mode OpcodeMode, rng *fault.RNG) fault.Record {
+	return OpcodeTrialMapped(m, TargetMap(m.Img, cfg), costs, target, mode, rng)
+}
+
+// OpcodeTrialMapped is OpcodeTrial over a precomputed target bitmap: the
+// pre-corruption prefix counts through an inline vm.CountHook on the hooked
+// fast loop, and the Fire callback corrupts the opcode, repredecodes the
+// slot, and detaches. The bitmap is consulted only while the hook is
+// attached, so it never observes the corrupted instruction stream.
+func OpcodeTrialMapped(m *vm.Machine, targets []bool, costs CostModel, target int64, mode OpcodeMode, rng *fault.RNG) fault.Record {
 	budget := m.Budget
 	m.Reset()
 	m.Budget = budget
 	m.Cycles += costs.JITPerStaticInstr * int64(len(m.Img.Instrs))
 	var rec fault.Record
-	var count int64
 	var corruptedPC int32 = -1
 	var savedOp vx.Op
 
-	m.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) {
-		mm.Cycles += costs.PerInstr
-		if !cfg.TargetInst(mm.Img, in) {
-			return
-		}
-		if count == target {
+	m.Count = &vm.CountHook{
+		Targets: targets, PerInstr: costs.PerInstr, Arm: target,
+		Fire: func(mm *vm.Machine, pc int32, in *vm.Inst) {
 			old := in.Op
 			bit := uint(rng.Intn(8))
 			flipped := vx.Op(uint8(old) ^ uint8(1<<bit))
@@ -68,13 +73,12 @@ func OpcodeTrial(m *vm.Machine, cfg fault.Config, costs CostModel, target int64,
 			savedOp = old
 			mm.Img.Instrs[pc].Op = flipped
 			mm.Img.Repredecode(pc)
-			rec = fault.Record{DynIdx: count, PC: pc, Bit: bit, Op: old.String() + "->" + flipped.String()}
-			mm.Hook = nil
-		}
-		count++
+			rec = fault.Record{DynIdx: target, PC: pc, Bit: bit, Op: old.String() + "->" + flipped.String()}
+			mm.Count = nil
+		},
 	}
 	m.Run()
-	m.Hook = nil
+	m.Count = nil
 	if corruptedPC >= 0 {
 		m.Img.Instrs[corruptedPC].Op = savedOp
 		m.Img.Repredecode(corruptedPC)

@@ -39,57 +39,74 @@ func DefaultCosts() CostModel {
 	return CostModel{PerInstr: 55, JITPerStaticInstr: 60}
 }
 
+// TargetMap precomputes the per-PC bitmap of the injection population under
+// the configuration — the representation the VM's hooked fast loop services
+// without closure indirection (vm.CountHook). The population predicate is
+// purely static per instruction (class, output registers, owning function),
+// so the bitmap is exact; campaigns cache it per binary
+// (campaign.Binary.TargetMap) instead of recomputing per trial.
+func TargetMap(img *vm.Image, cfg fault.Config) []bool {
+	return vm.TargetMap(img, func(in *vm.Inst) bool { return cfg.TargetInst(img, in) })
+}
+
 // Profile runs the program once with counting instrumentation attached for
 // the whole run (as PINFI's profiling tool does), returning the number of
 // dynamic target instructions, the golden output, and the dynamic
 // instruction count used for the 10× timeout budget.
 func Profile(m *vm.Machine, cfg fault.Config, costs CostModel) (targets int64, golden []uint64) {
-	m.Reset()
-	m.Cycles += costs.JITPerStaticInstr * int64(len(m.Img.Instrs))
-	m.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) {
-		mm.Cycles += costs.PerInstr
-		if cfg.TargetInst(mm.Img, in) {
-			targets++
-		}
-	}
-	m.Run()
-	m.Hook = nil
-	golden = append([]uint64(nil), m.Output...)
-	return targets, golden
+	return ProfileMapped(m, TargetMap(m.Img, cfg), costs)
 }
 
-// Trial runs one fault-injection experiment: the hook counts target
+// ProfileMapped is Profile over a precomputed target bitmap. The counting
+// runs as an inline vm.CountHook on the hooked fast dispatch loop — the
+// whole-run instrumentation PINFI's profiling tool attaches no longer costs
+// a reference-decoder single-step per instruction.
+func ProfileMapped(m *vm.Machine, targets []bool, costs CostModel) (int64, []uint64) {
+	m.Reset()
+	m.Cycles += costs.JITPerStaticInstr * int64(len(m.Img.Instrs))
+	ch := &vm.CountHook{Targets: targets, PerInstr: costs.PerInstr, Arm: -1}
+	m.Count = ch
+	m.Run()
+	m.Count = nil
+	return ch.N, append([]uint64(nil), m.Output...)
+}
+
+// Trial runs one fault-injection experiment: the counting hook counts target
 // instructions, flips one uniformly drawn bit of one uniformly drawn output
 // register of the target-index-th dynamic target instruction, then detaches.
 // The machine is left halted for outcome classification. Trial resets the
 // machine but re-applies the caller-set instruction budget (Reset clears it,
 // by the machine-reuse hygiene contract).
 func Trial(m *vm.Machine, cfg fault.Config, costs CostModel, target int64, rng *fault.RNG) fault.Record {
+	return TrialMapped(m, TargetMap(m.Img, cfg), costs, target, rng)
+}
+
+// TrialMapped is Trial over a precomputed target bitmap. The pre-injection
+// prefix — the dominant hooked execution of a campaign — runs as an inline
+// vm.CountHook; only the single injection point pays a closure call (Fire),
+// which flips the bits and detaches (the paper's §5.2 optimization), letting
+// the rest of the run execute on the hook-free fast loop.
+func TrialMapped(m *vm.Machine, targets []bool, costs CostModel, target int64, rng *fault.RNG) fault.Record {
 	budget := m.Budget
 	m.Reset()
 	m.Budget = budget
 	m.Cycles += costs.JITPerStaticInstr * int64(len(m.Img.Instrs))
 	var rec fault.Record
-	var count int64
-	m.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) {
-		mm.Cycles += costs.PerInstr
-		if !cfg.TargetInst(mm.Img, in) {
-			return
-		}
-		if count == target {
+	m.Count = &vm.CountHook{
+		Targets: targets, PerInstr: costs.PerInstr, Arm: target,
+		Fire: func(mm *vm.Machine, pc int32, in *vm.Inst) {
 			outs := in.Outs[:in.NOut]
 			op, bit := fault.PickOperandAndBit(rng, outs)
 			mm.FlipBit(outs[op], bit)
 			rec = fault.Record{
-				DynIdx: count, PC: pc, Reg: outs[op], Bit: bit, Op: in.Op.String(),
+				DynIdx: target, PC: pc, Reg: outs[op], Bit: bit, Op: in.Op.String(),
 			}
 			// The paper's optimization: remove instrumentation and detach
 			// once the single fault is injected.
-			mm.Hook = nil
-		}
-		count++
+			mm.Count = nil
+		},
 	}
 	m.Run()
-	m.Hook = nil
+	m.Count = nil
 	return rec
 }

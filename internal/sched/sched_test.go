@@ -150,3 +150,104 @@ func TestDefaultIsShared(t *testing.T) {
 		t.Fatal("Default has no workers")
 	}
 }
+
+// TestChunkedEveryIndexExactlyOnce: explicit chunk sizes hand out each index
+// exactly once, in increasing claim order, across worker counts — chunking
+// changes lock traffic, never coverage.
+func TestChunkedEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		for _, chunk := range []int{1, 4, 64, 1000} {
+			e := sched.New(workers)
+			const n = 997 // prime: the tail chunk is always ragged
+			var hits [n]atomic.Int32
+			h := e.SubmitChunk(context.Background(), n, chunk, func(i int) { hits[i].Add(1) })
+			if !h.Wait() {
+				t.Fatalf("workers=%d chunk=%d: batch did not complete", workers, chunk)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d chunk=%d: index %d ran %d times", workers, chunk, i, got)
+				}
+			}
+			e.Close()
+		}
+	}
+}
+
+// TestChunkedRunsConsecutively: the indexes of one claim run back to back on
+// one worker in increasing order (locality — a campaign worker walks its
+// chunk with its pooled machine warm).
+func TestChunkedRunsConsecutively(t *testing.T) {
+	e := sched.New(1) // single worker: the full order is one worker's order
+	defer e.Close()
+	const n, chunk = 64, 8
+	var order []int
+	h := e.SubmitChunk(context.Background(), n, chunk, func(i int) { order = append(order, i) })
+	if !h.Wait() {
+		t.Fatal("batch did not complete")
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("position %d ran index %d; single-worker chunked order must be 0..n-1", i, got)
+		}
+	}
+}
+
+// TestChunkedCancellationClaimedPrefix: cancellation abandons unclaimed
+// chunks only; every index of every handed-out chunk still runs, and the
+// ran set is a prefix (no holes) of 0..n.
+func TestChunkedCancellationClaimedPrefix(t *testing.T) {
+	for _, chunk := range []int{1, 4, 64} {
+		e := sched.New(4)
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 100_000
+		var ran [n]atomic.Int32
+		var count atomic.Int32
+		h := e.SubmitChunk(ctx, n, chunk, func(i int) {
+			ran[i].Add(1)
+			if count.Add(1) == 37 {
+				cancel()
+			}
+		})
+		if h.Wait() {
+			t.Fatalf("chunk=%d: cancelled batch reported complete", chunk)
+		}
+		// The ran set must be exactly [0, maxRan]: claimed chunks complete,
+		// nothing beyond the last claimed chunk runs, no holes inside.
+		last := -1
+		for i := 0; i < n; i++ {
+			if ran[i].Load() > 1 {
+				t.Fatalf("chunk=%d: index %d ran twice", chunk, i)
+			}
+			if ran[i].Load() == 1 {
+				if i != last+1 {
+					t.Fatalf("chunk=%d: hole in claimed prefix before %d", chunk, i)
+				}
+				last = i
+			}
+		}
+		if last+1 >= n {
+			t.Fatalf("chunk=%d: cancellation abandoned nothing", chunk)
+		}
+		if last+1 < 37 {
+			t.Fatalf("chunk=%d: claimed prefix lost (ran %d)", chunk, last+1)
+		}
+		e.Close()
+	}
+}
+
+// TestAdaptiveChunkBounds: Submit's adaptive chunking stays within
+// [1, MaxChunk] and never walls off more than the batch.
+func TestAdaptiveChunkBounds(t *testing.T) {
+	e := sched.New(4)
+	defer e.Close()
+	for _, n := range []int{1, 3, 64, 1068, 1 << 20} {
+		var hits atomic.Int64
+		if !e.Submit(context.Background(), n, func(int) { hits.Add(1) }).Wait() {
+			t.Fatalf("n=%d: batch did not complete", n)
+		}
+		if int(hits.Load()) != n {
+			t.Fatalf("n=%d: ran %d iterations", n, hits.Load())
+		}
+	}
+}

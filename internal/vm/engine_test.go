@@ -84,12 +84,15 @@ func bindGolden(m *vm.Machine, tool campaign.Tool) {
 	}
 }
 
-// refRun executes the machine entirely through the Step reference path by
-// keeping a no-op hook attached (a nil-effect hook costs no cycles, so the
-// accounting is identical to an unhooked stepping loop).
+// refRun executes the machine entirely through the Step reference path
+// (attaching a hook no longer forces it — hooked runs dispatch through the
+// hooked fast loop — so the differential baseline uses RunStepped). The
+// no-op hook is kept attached so hook-servicing transitions exercise the
+// same observer code; it costs no cycles, so the accounting is identical to
+// an unhooked stepping loop.
 func refRun(m *vm.Machine) {
 	m.Hook = func(*vm.Machine, int32, *vm.Inst) {}
-	m.Run()
+	m.RunStepped()
 	m.Hook = nil
 }
 

@@ -1,0 +1,497 @@
+package vm_test
+
+// Differential tests for hooked fast execution: with observers attached —
+// an ExecHook closure, the inline CountHook, or both — the hooked fast loop
+// (predecoded uop dispatch + inline observer epilogue) must be
+// observationally identical to the Step reference path: same traps, cycles,
+// InstrCount at every host-call boundary, identical observer call
+// sequences, and identical behavior across every budget/hook transition a
+// host call or an observer can trigger mid-run. The suite sweeps all 14
+// workloads × 3 tool pipelines (a subset under -short, which the CI race
+// job runs).
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/llfi"
+	"repro/internal/pinfi"
+	"repro/internal/vm"
+	"repro/internal/vx"
+	"repro/internal/workloads"
+)
+
+// obsHash folds one hook observation into a running FNV-1a hash: the pc,
+// the instruction count and cycle total at observation time, and the opcode.
+// Equal hashes over equal call counts pin the full observation sequence
+// without buffering millions of entries.
+func obsHash(h uint64, pc int32, instrs, cycles int64, op vx.Op) uint64 {
+	const prime = 1099511628211
+	for _, v := range [4]uint64{uint64(uint32(pc)), uint64(instrs), uint64(cycles), uint64(op)} {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xFF
+			h *= prime
+		}
+	}
+	return h
+}
+
+// hashingHook returns an ExecHook recording the observation sequence.
+func hashingHook() (vm.ExecHook, *uint64, *int64) {
+	h := uint64(14695981039346656037)
+	n := int64(0)
+	return func(m *vm.Machine, pc int32, in *vm.Inst) {
+		h = obsHash(h, pc, m.InstrCount, m.Cycles, in.Op)
+		n++
+	}, &h, &n
+}
+
+func diffApps(t *testing.T) []string {
+	if testing.Short() {
+		return []string{"HPCCG", "CG", "DC"}
+	}
+	return workloads.Names()
+}
+
+// TestHookedFastMatchesStepAllApps drives a closure-hooked golden run of
+// every workload under every tool pipeline through the hooked fast loop and
+// the Step reference, and demands bit-identical final state plus identical
+// hook observation sequences (pc, InstrCount, Cycles, opcode at every
+// committed instruction — fused pairs must be observed unfused).
+func TestHookedFastMatchesStepAllApps(t *testing.T) {
+	for _, name := range diffApps(t) {
+		for _, tool := range campaign.Tools {
+			bin := buildBin(t, name, tool)
+
+			run := func(stepped bool) (machineState, uint64, int64) {
+				m := bin.NewMachine()
+				bindGolden(m, tool)
+				hook, h, n := hashingHook()
+				m.Hook = hook
+				if stepped {
+					m.RunStepped()
+				} else {
+					m.Run()
+				}
+				return snapshot(m), *h, *n
+			}
+
+			fs, fh, fn := run(false)
+			rs, rh, rn := run(true)
+			if !equalStates(fs, rs) {
+				t.Errorf("%s/%s: hooked fast loop diverged from Step:\nfast: %+v\nref:  %+v",
+					name, tool, fs, rs)
+			}
+			if fn != rn || fh != rh {
+				t.Errorf("%s/%s: hook observation sequence diverged: fast %d calls hash %#x, ref %d calls hash %#x",
+					name, tool, fn, fh, rn, rh)
+			}
+			if fn != fs.InstrCount {
+				t.Errorf("%s/%s: hook observed %d calls for %d instructions", name, tool, fn, fs.InstrCount)
+			}
+		}
+	}
+}
+
+// TestCountHookMatchesClosureHook pins the inline CountHook to the legacy
+// closure formulation of PINFI's whole-run counting instrumentation: same
+// population count, same cycle surcharges, same final state — on both the
+// hooked fast loop and the Step reference.
+func TestCountHookMatchesClosureHook(t *testing.T) {
+	for _, name := range diffApps(t) {
+		bin := buildBin(t, name, campaign.PINFI)
+		costs := pinfi.DefaultCosts()
+		cfg := bin.Cfg
+
+		// Legacy closure counting on the Step reference path.
+		m := bin.NewMachine()
+		m.Cycles += costs.JITPerStaticInstr * int64(len(m.Img.Instrs))
+		var closureTargets int64
+		m.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) {
+			mm.Cycles += costs.PerInstr
+			if cfg.TargetInst(mm.Img, in) {
+				closureTargets++
+			}
+		}
+		m.RunStepped()
+		ref := snapshot(m)
+
+		// Inline CountHook on the hooked fast loop (the production path).
+		fastM := bin.NewMachine()
+		targets, golden := pinfi.ProfileMapped(fastM, bin.TargetMap(), costs)
+		fast := snapshot(fastM)
+
+		if !equalStates(fast, ref) {
+			t.Errorf("%s: CountHook profile diverged from closure reference:\nfast: %+v\nref:  %+v", name, fast, ref)
+		}
+		if targets != closureTargets {
+			t.Errorf("%s: CountHook counted %d targets, closure counted %d", name, targets, closureTargets)
+		}
+		if len(golden) != len(ref.Output) {
+			t.Errorf("%s: golden output length %d vs %d", name, len(golden), len(ref.Output))
+		}
+	}
+}
+
+// TestHookedTrialPrefixMatchesStep sweeps PINFI trials — hooked counting
+// prefix, injection, detach, hook-free tail — across a spread of dynamic
+// targets, comparing the production path against a stepped reference built
+// from the legacy closure hook. Records (PC, register, bit) must match too:
+// the injection point may not shift by a single dynamic instruction.
+func TestHookedTrialPrefixMatchesStep(t *testing.T) {
+	apps := []string{"HPCCG", "FT"}
+	if testing.Short() {
+		apps = apps[:1]
+	}
+	for _, name := range apps {
+		bin := buildBin(t, name, campaign.PINFI)
+		prof, err := bin.RunProfile(pinfi.DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := pinfi.DefaultCosts()
+		cfg := bin.Cfg
+		for i := 0; i < 16; i++ {
+			target := (prof.Targets * int64(i)) / 16
+
+			fastM := bin.NewMachine()
+			fastM.Budget = prof.Budget
+			fastRec := pinfi.TrialMapped(fastM, bin.TargetMap(), costs, target, fault.NewRNG(uint64(i)*1237))
+			fast := snapshot(fastM)
+
+			// Stepped reference: the pre-CountHook closure formulation.
+			refM := bin.NewMachine()
+			refM.Budget = prof.Budget
+			refM.Cycles += costs.JITPerStaticInstr * int64(len(refM.Img.Instrs))
+			rng := fault.NewRNG(uint64(i) * 1237)
+			var refRec fault.Record
+			var count int64
+			refM.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) {
+				mm.Cycles += costs.PerInstr
+				if !cfg.TargetInst(mm.Img, in) {
+					return
+				}
+				if count == target {
+					outs := in.Outs[:in.NOut]
+					op, bit := fault.PickOperandAndBit(rng, outs)
+					mm.FlipBit(outs[op], bit)
+					refRec = fault.Record{DynIdx: count, PC: pc, Reg: outs[op], Bit: bit, Op: in.Op.String()}
+					mm.Hook = nil
+				}
+				count++
+			}
+			refM.RunStepped()
+			ref := snapshot(refM)
+
+			if !equalStates(fast, ref) {
+				t.Errorf("%s target %d: trial diverged:\nfast: %+v\nref:  %+v", name, target, fast, ref)
+			}
+			if fastRec != refRec {
+				t.Errorf("%s target %d: fault record diverged: fast %+v ref %+v", name, target, fastRec, refRec)
+			}
+		}
+	}
+}
+
+// TestSiteMapsMatchHostCallCounts cross-checks the PC-indexed site maps the
+// profile libraries expose against their host-call-counted populations: a
+// CountHook over core.SiteMap / llfi.SiteMap must count exactly what the
+// control runtime's selInstr / injectFault invocations count. This pins the
+// whole chain — instrumentation pass, code generation, runtime protocol,
+// count-hook servicing — across layers.
+func TestSiteMapsMatchHostCallCounts(t *testing.T) {
+	for _, name := range diffApps(t) {
+		for _, tc := range []struct {
+			tool    campaign.Tool
+			siteMap func(*vm.Image) []bool
+		}{
+			{campaign.REFINE, core.SiteMap},
+			{campaign.LLFI, llfi.SiteMap},
+		} {
+			bin := buildBin(t, name, tc.tool)
+
+			hostM := bin.NewMachine()
+			var hostCount int64
+			switch tc.tool {
+			case campaign.REFINE:
+				lib := &core.ProfileLib{}
+				lib.Bind(hostM)
+				hostM.Run()
+				hostCount = lib.Count
+			case campaign.LLFI:
+				lib := &llfi.ProfileLib{}
+				lib.Bind(hostM)
+				hostM.Run()
+				hostCount = lib.Count
+			}
+
+			hookM := bin.NewMachine()
+			bindGolden(hookM, tc.tool)
+			ch := &vm.CountHook{Targets: tc.siteMap(bin.Img), Arm: -1}
+			hookM.Count = ch
+			hookM.Run()
+
+			if ch.N != hostCount {
+				t.Errorf("%s/%s: count hook over SiteMap counted %d, host-call runtime counted %d",
+					name, tc.tool, ch.N, hostCount)
+			}
+		}
+	}
+}
+
+// hostToggleProg builds a program with a host call (out_i64) partway
+// through real computation, so a test host implementation can flip
+// budget/hook/count state mid-run with plain instructions on both sides of
+// the transition for the loops to chew on.
+func hostToggleProg(t *testing.T) *vm.Image {
+	return mustAssemble(t, buildFactorial())
+}
+
+// transitionScenario mutates machine state from inside the out_i64 host
+// function and/or an attached observer.
+type transitionScenario struct {
+	name string
+	prep func(m *vm.Machine) // install host fn and initial observers
+}
+
+// budgetHookScenarios is the satellite sweep of the budget/hook transition
+// seams: every way a host call or observer can flip Budget, Hook or Count
+// mid-run. Each scenario runs on the production Run (fast loops + hooked
+// loop) and on RunStepped; final states must be bit-identical.
+func budgetHookScenarios() []transitionScenario {
+	noop := func(*vm.Machine, int32, *vm.Inst) {}
+	return []transitionScenario{
+		{"host-shrinks-budget", func(m *vm.Machine) {
+			m.Budget = 1 << 40
+			m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+				mm.Regs[vx.R0] = 0
+				mm.Budget = mm.InstrCount + 5 // five instructions from now: timeout
+			}})
+		}},
+		{"host-exhausts-budget-exactly", func(m *vm.Machine) {
+			m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+				mm.Regs[vx.R0] = 0
+				mm.Budget = mm.InstrCount // already spent: next instruction traps
+			}})
+		}},
+		{"host-lifts-budget", func(m *vm.Machine) {
+			m.Budget = 30 // would trap before the run completes
+			m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+				mm.Regs[vx.R0] = 0
+				mm.Budget = 0
+			}})
+		}},
+		{"host-attaches-hook-that-shrinks-budget", func(m *vm.Machine) {
+			m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+				mm.Regs[vx.R0] = 0
+				mm.Hook = func(hm *vm.Machine, pc int32, in *vm.Inst) {
+					if hm.InstrCount%3 == 0 {
+						hm.Budget = hm.InstrCount + 7
+					}
+				}
+			}})
+		}},
+		{"host-attaches-hook-that-detaches", func(m *vm.Machine) {
+			m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+				mm.Regs[vx.R0] = 0
+				seen := 0
+				mm.Hook = func(hm *vm.Machine, pc int32, in *vm.Inst) {
+					seen++
+					if seen == 3 {
+						hm.Hook = nil // hooked → fast transition mid-run
+					}
+				}
+			}})
+		}},
+		{"hook-attached-host-swaps-budget", func(m *vm.Machine) {
+			m.Hook = noop
+			m.Budget = 1 << 40
+			m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+				mm.Regs[vx.R0] = 0
+				mm.Budget = mm.InstrCount + 4
+			}})
+		}},
+		{"host-attaches-counthook", func(m *vm.Machine) {
+			m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+				mm.Regs[vx.R0] = 0
+				if mm.Count == nil {
+					tm := make([]bool, len(mm.Img.Instrs))
+					for i := range tm {
+						tm[i] = i%2 == 0
+					}
+					mm.Count = &vm.CountHook{Targets: tm, PerInstr: 3, Arm: -1}
+				}
+			}})
+		}},
+		{"counthook-fire-attaches-exechook", func(m *vm.Machine) {
+			tm := make([]bool, len(m.Img.Instrs))
+			for i := range tm {
+				tm[i] = true
+			}
+			m.Count = &vm.CountHook{Targets: tm, PerInstr: 2, Arm: 9,
+				Fire: func(fm *vm.Machine, pc int32, in *vm.Inst) {
+					fm.Count = nil
+					fm.Hook = func(hm *vm.Machine, pc int32, in *vm.Inst) { hm.Cycles++ }
+				}}
+			m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+				mm.Regs[vx.R0] = 0
+			}})
+		}},
+		{"counthook-fire-halts", func(m *vm.Machine) {
+			tm := make([]bool, len(m.Img.Instrs))
+			for i := range tm {
+				tm[i] = true
+			}
+			m.Count = &vm.CountHook{Targets: tm, PerInstr: 1, Arm: 25,
+				Fire: func(fm *vm.Machine, pc int32, in *vm.Inst) {
+					fm.Halted = true
+					fm.ExitCode = 77
+				}}
+			m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+				mm.Regs[vx.R0] = 0
+			}})
+		}},
+		{"counthook-fire-shrinks-budget", func(m *vm.Machine) {
+			tm := make([]bool, len(m.Img.Instrs))
+			for i := range tm {
+				tm[i] = true
+			}
+			m.Count = &vm.CountHook{Targets: tm, PerInstr: 1, Arm: 12,
+				Fire: func(fm *vm.Machine, pc int32, in *vm.Inst) {
+					fm.Budget = fm.InstrCount + 3
+					fm.Count = nil
+				}}
+			m.BindHost(vm.HostFn{Name: "out_i64", Fn: func(mm *vm.Machine) {
+				mm.Regs[vx.R0] = 0
+			}})
+		}},
+	}
+}
+
+// TestBudgetHookTransitionsMatchStep is the satellite regression sweep: for
+// every budget/hook transition scenario, the production Run (which crosses
+// runFast ↔ runHooked at each transition) must finish in a state
+// bit-identical to the pure Step reference.
+func TestBudgetHookTransitionsMatchStep(t *testing.T) {
+	img := hostToggleProg(t)
+	for _, sc := range budgetHookScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			run := func(stepped bool) machineState {
+				m := vm.New(img)
+				sc.prep(m)
+				if stepped {
+					m.RunStepped()
+				} else {
+					m.Run()
+				}
+				return snapshot(m)
+			}
+			fast := run(false)
+			ref := run(true)
+			if !equalStates(fast, ref) {
+				t.Errorf("scenario %s diverged:\nfast: %+v\nref:  %+v", sc.name, fast, ref)
+			}
+		})
+	}
+}
+
+// TestCountHookBudgetArithmetic pins the InstrCount a budget trap lands on:
+// the hooked loop checks the budget exactly like Step (before executing, on
+// the committed count), so a budget of k halts with InstrCount == k on both
+// paths — including when a count hook is charging per-instruction cycles.
+func TestCountHookBudgetArithmetic(t *testing.T) {
+	img := hostToggleProg(t)
+	for _, budget := range []int64{1, 2, 7, 31} {
+		run := func(stepped bool) machineState {
+			m := vm.New(img)
+			bindOut(m)
+			m.Budget = budget
+			tm := make([]bool, len(img.Instrs))
+			m.Count = &vm.CountHook{Targets: tm, PerInstr: 5, Arm: -1}
+			if stepped {
+				m.RunStepped()
+			} else {
+				m.Run()
+			}
+			return snapshot(m)
+		}
+		fast := run(false)
+		ref := run(true)
+		if !equalStates(fast, ref) {
+			t.Errorf("budget %d diverged:\nfast: %+v\nref:  %+v", budget, fast, ref)
+		}
+		if fast.Trap != vm.TrapTimeout || fast.InstrCount != budget {
+			t.Errorf("budget %d: trap=%v InstrCount=%d, want timeout at exactly the budget",
+				budget, fast.Trap, fast.InstrCount)
+		}
+	}
+}
+
+// TestResetClearsCountHook extends the machine-reuse hygiene contract to
+// the new observer: a pooled machine must not leak a count hook.
+func TestResetClearsCountHook(t *testing.T) {
+	img := hostToggleProg(t)
+	m := vm.New(img)
+	m.Count = &vm.CountHook{Targets: make([]bool, len(img.Instrs))}
+	m.Reset()
+	if m.Count != nil {
+		t.Fatal("Reset left CountHook attached")
+	}
+}
+
+// TestHookedFastSpeedGate is the CI bench-smoke gate: a counting-hooked
+// profile run on the hooked fast loop must be at least 2× faster than the
+// pre-overhaul production path — the closure counting hook single-stepped
+// through the reference decoder. The measured speedup is larger (~3×); 2×
+// leaves headroom for noisy shared runners.
+func TestHookedFastSpeedGate(t *testing.T) {
+	if os.Getenv("HOOKED_SPEED_GATE") == "" {
+		t.Skip("wall-clock gate: set HOOKED_SPEED_GATE=1 to run (the dedicated CI step does); skipped by default so loaded machines can't flake the plain suite")
+	}
+	bin := buildBin(t, "HPCCG", campaign.PINFI)
+	costs := pinfi.DefaultCosts()
+	cfg := bin.Cfg
+	tm := bin.TargetMap()
+
+	measure := func(stepped bool) time.Duration {
+		best := time.Duration(1 << 62)
+		for rep := 0; rep < 3; rep++ {
+			m := bin.NewMachine()
+			if stepped {
+				// The legacy hooked path: closure hook, Step decoder.
+				var targets int64
+				m.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) {
+					mm.Cycles += costs.PerInstr
+					if cfg.TargetInst(mm.Img, in) {
+						targets++
+					}
+				}
+			} else {
+				m.Count = &vm.CountHook{Targets: tm, PerInstr: costs.PerInstr, Arm: -1}
+			}
+			start := time.Now()
+			if stepped {
+				m.RunStepped()
+			} else {
+				m.Run()
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	fast := measure(false)
+	ref := measure(true)
+	if ratio := float64(ref) / float64(fast); ratio < 2.0 {
+		t.Errorf("hooked profile path only %.2fx over the single-stepped baseline (stepped %v, fast %v); want >= 2x",
+			ratio, ref, fast)
+	} else {
+		t.Logf("hooked profile path %.2fx over the single-stepped baseline (stepped %v, fast %v)", ratio, ref, fast)
+	}
+}

@@ -9,19 +9,20 @@ import (
 // Run executes until halt, trap, or budget exhaustion. It returns the trap
 // kind (TrapNone for a normal halt).
 //
-// Run alternates between two loop variants: while an ExecHook is attached it
-// single-steps through the reference path (Step), which invokes the hook
-// after every instruction; while no hook is attached it executes the
-// predecoded fast loop, which hoists the halt/bounds/hook checks out of the
-// per-instruction path. The PINFI comparator detaches its hook mid-run
-// (§5.2), so a typical PINFI trial starts hooked and finishes fast.
+// Run alternates between two predecoded loop variants at observer
+// attach/detach boundaries: while an ExecHook or CountHook is attached it
+// executes the hooked fast loop (runHooked), which dispatches uops and
+// services the observers inline after every instruction; with no observer it
+// executes the hook-free fast loop (runFast), which additionally hoists the
+// budget check into a countdown and takes fused superinstructions. The
+// PINFI comparator detaches its observer mid-run (§5.2), so a typical PINFI
+// trial starts hooked and finishes on the hook-free loop. Step remains the
+// reference path both loops are differentially pinned to (RunStepped).
 func (m *Machine) Run() TrapKind {
 	m.Img.ensure()
 	for !m.Halted {
-		if m.Hook != nil {
-			for !m.Halted && m.Hook != nil {
-				m.Step()
-			}
+		if m.observed() {
+			m.runHooked()
 		} else {
 			m.runFast()
 		}
@@ -368,14 +369,15 @@ func (m *Machine) runFast() {
 				m.scrambleExceptResults()
 			}
 			// Host code runs arbitrary Go: it may halt the machine, attach an
-			// ExecHook (Step fires a freshly attached hook for the attaching
-			// instruction, so do the same before handing over to the stepping
-			// loop), or change the budget (refresh the countdown either way).
+			// observer (Step services a freshly attached hook or count hook
+			// for the attaching instruction, so do the same before handing
+			// over to the hooked loop), or change the budget (refresh the
+			// countdown either way).
 			if m.Halted {
 				return
 			}
-			if m.Hook != nil {
-				m.Hook(m, pc, &img.Instrs[pc])
+			if m.observed() {
+				m.postExec(pc, &img.Instrs[pc])
 				return
 			}
 			left = int64(math.MaxInt64)
@@ -392,7 +394,7 @@ func (m *Machine) runFast() {
 
 		default: // uGeneric: full decode through the reference switch.
 			m.execOp(pc, &img.Instrs[pc])
-			if m.Halted || m.Hook != nil {
+			if m.Halted || m.observed() {
 				return
 			}
 			left = int64(math.MaxInt64)

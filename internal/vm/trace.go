@@ -12,6 +12,11 @@ import (
 // triage in tests use it to reconstruct how a corrupted execution reached
 // its trap — the kind of failure forensics a debugger-based injector gets
 // for free and compiled-in instrumentation has to earn.
+//
+// The tracer rides ExecHook, which the VM services on the hooked fast
+// dispatch loop: attaching a tracer no longer silently forces the
+// single-stepped reference path, and a traced run reports the identical
+// InstrCount/Cycles an untraced one does (trace_test.go asserts it).
 type Tracer struct {
 	ring []TraceEntry
 	next int

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/vm"
 	"repro/internal/vx"
 )
@@ -64,5 +65,56 @@ func TestTracerShortRun(t *testing.T) {
 	entries := tr.Entries()
 	if int64(len(entries)) != m.InstrCount {
 		t.Fatalf("partial ring returned %d entries for %d instructions", len(entries), m.InstrCount)
+	}
+}
+
+// TestTracedRunMatchesUntraced pins the tracer's zero-interference
+// contract on the hooked fast loop: tracing rides ExecHook, which now
+// dispatches over predecoded uops instead of forcing the single-stepped
+// reference path, and a traced run must report the identical
+// InstrCount/Cycles/output/trap an untraced run does.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	bin := buildBin(t, "CG", campaign.PINFI)
+
+	plain := bin.NewMachine()
+	plain.Run()
+
+	traced := bin.NewMachine()
+	tr := &vm.Tracer{}
+	tr.Attach(traced, 32)
+	traced.Run()
+
+	if plain.InstrCount != traced.InstrCount || plain.Cycles != traced.Cycles {
+		t.Errorf("traced run diverged: instrs %d vs %d, cycles %d vs %d",
+			traced.InstrCount, plain.InstrCount, traced.Cycles, plain.Cycles)
+	}
+	if plain.Trap != traced.Trap || plain.ExitCode != traced.ExitCode {
+		t.Errorf("traced run diverged: trap %v/%d vs %v/%d",
+			traced.Trap, traced.ExitCode, plain.Trap, plain.ExitCode)
+	}
+	if ps, ts := snapshot(plain), snapshot(traced); !equalStates(ps, ts) {
+		t.Errorf("traced run final state diverged:\ntraced: %+v\nplain:  %+v", ts, ps)
+	}
+	entries := tr.Entries()
+	if len(entries) != 32 {
+		t.Fatalf("tracer buffered %d entries, want 32", len(entries))
+	}
+	if last := entries[len(entries)-1]; last.Seq != traced.InstrCount {
+		t.Errorf("last trace Seq = %d, want final InstrCount %d", last.Seq, traced.InstrCount)
+	}
+
+	// Tracing a hooked (counting) run must chain, not perturb: identical
+	// accounting with and without the tracer on top of a CountHook.
+	counted := bin.NewMachine()
+	counted.Count = &vm.CountHook{Targets: bin.TargetMap(), PerInstr: 7, Arm: -1}
+	counted.Run()
+
+	both := bin.NewMachine()
+	both.Count = &vm.CountHook{Targets: bin.TargetMap(), PerInstr: 7, Arm: -1}
+	(&vm.Tracer{}).Attach(both, 16)
+	both.Run()
+
+	if cs, bs := snapshot(counted), snapshot(both); !equalStates(cs, bs) {
+		t.Errorf("tracer over count hook diverged:\nboth:    %+v\ncounted: %+v", bs, cs)
 	}
 }

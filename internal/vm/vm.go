@@ -221,7 +221,12 @@ type Machine struct {
 	// SOC classification uses exactly this stream.
 	Output []uint64
 
-	Hook  ExecHook
+	Hook ExecHook
+	// Count is the inline counting observer serviced by the hooked fast
+	// loop without closure indirection (see CountHook in hooked.go). When
+	// both observers are attached, Count runs before Hook.
+	Count *CountHook
+
 	hosts []HostFn
 
 	// dirty is a bitmap of memory pages (dirtyPageSize bytes each) written
@@ -247,9 +252,10 @@ func New(img *Image) *Machine {
 }
 
 // Reset re-initializes registers, memory and accounting for a fresh run. It
-// also clears the instruction Budget and detaches any ExecHook, so a pooled
-// machine cannot leak the previous trial's timeout or instrumentation into
-// the next run. Only pages dirtied since the previous Reset are cleared.
+// also clears the instruction Budget and detaches any ExecHook and
+// CountHook, so a pooled machine cannot leak the previous trial's timeout
+// or instrumentation into the next run. Only pages dirtied since the
+// previous Reset are cleared.
 func (m *Machine) Reset() {
 	img := m.Img
 	if m.Mem == nil || int64(len(m.Mem)) != img.MemSize {
@@ -285,6 +291,7 @@ func (m *Machine) Reset() {
 	m.Budget = 0
 	m.Cycles = 0
 	m.Hook = nil
+	m.Count = nil
 	m.Output = m.Output[:0]
 	// Stack: push the exit sentinel so that RET from the entry function halts.
 	m.Regs[vx.SP] = uint64(img.MemSize)
@@ -529,9 +536,7 @@ func (m *Machine) Step() {
 	m.Cycles += in.Op.CycleCost()
 	m.PC = pc + 1 // default fallthrough; control flow overrides below
 	m.execOp(pc, in)
-	if m.Hook != nil && !m.Halted {
-		m.Hook(m, pc, in)
-	}
+	m.postExec(pc, in)
 }
 
 // execOp applies the architectural effects of one instruction. The caller

@@ -162,6 +162,10 @@ var (
 	WithObserver = campaign.WithObserver
 	// WithRecords buffers every TrialResult in Result.Records.
 	WithRecords = campaign.WithRecords
+	// WithChunk sets how many trial indexes a scheduled campaign claims
+	// per executor lock acquisition (0 = adaptive); results are
+	// bit-identical across chunk sizes.
+	WithChunk = campaign.WithChunk
 	// WithExecutor schedules the campaign on a shared work-stealing
 	// executor (see NewExecutor/SharedExecutor) instead of a private pool;
 	// concurrent campaigns interleave at trial granularity with
