@@ -15,6 +15,7 @@
 package refine_test
 
 import (
+	"os"
 	"testing"
 	"time"
 
@@ -304,6 +305,50 @@ func BenchmarkAblationOptLevel(b *testing.B) {
 			b.ReportMetric(res.P, "p_O0_vs_O2")
 		}
 	}
+}
+
+// TestMain lets this benchmark binary serve as its own shard worker: the
+// sharded suite benches re-exec it with the worker marker set.
+func TestMain(m *testing.M) {
+	refine.MaybeShardWorker()
+	os.Exit(m.Run())
+}
+
+// BenchmarkSuiteSharded times the same cold suite as BenchmarkSuiteSaturation
+// in-process vs fanned out across worker OS processes sharing one disk cache
+// dir. Like the saturation bench, the win needs spare cores — worker
+// processes multiply usable parallelism only past GOMAXPROCS of headroom —
+// but the numbers document the fan-out overhead (process spawn, gob framing,
+// merge) either way.
+func BenchmarkSuiteSharded(b *testing.B) {
+	apps := refine.Apps()[:6]
+	const trials = 40
+	var inproc, sharded time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := experiments.RunSuite(experiments.Config{
+			Apps: apps, Trials: trials, Seed: 1, Cache: campaign.NewCache(),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		inproc += time.Since(start)
+
+		dir := b.TempDir()
+		cache, err := campaign.NewDiskCache(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start = time.Now()
+		if _, err := experiments.RunSuite(experiments.Config{
+			Apps: apps, Trials: trials, Seed: 1, Cache: cache, Shards: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		sharded += time.Since(start)
+	}
+	b.ReportMetric(inproc.Seconds()/float64(b.N), "inproc_s")
+	b.ReportMetric(sharded.Seconds()/float64(b.N), "sharded_s")
+	b.ReportMetric(inproc.Seconds()/sharded.Seconds(), "speedup_x")
 }
 
 // BenchmarkSuiteSaturation measures the tentpole of the suite-wide

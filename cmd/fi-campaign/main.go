@@ -6,7 +6,7 @@
 //
 //	fi-campaign [-trials 1068] [-seed 1] [-workers 0] [-apps HPCCG,CG,...]
 //	            [-tools LLFI,REFINE,PINFI,REFINE2,OPCODE] [-instrs all|arithm|mem|stack]
-//	            [-O 2|0] [-sched-workers 0] [-cache-dir DIR] [-quiet]
+//	            [-O 2|0] [-sched-workers 0] [-shards 0] [-cache-dir DIR] [-quiet]
 //
 // The paper's configuration is the default: 1068 trials (3% margin, 95%
 // confidence), -fi-funcs=* -fi-instrs=all, -O2. 14 apps × 3 tools × 1068 =
@@ -26,6 +26,14 @@
 // content-addressed by configuration and IR fingerprint: a second
 // invocation with the same directory skips every build and profiling run
 // (the trailing "cache:" line reports builds vs disk hits).
+//
+// -shards N fans every campaign out across N worker OS processes — this
+// binary re-exec'd with -shard-worker semantics (a gob job stream on stdin,
+// (index, TrialResult) frames on stdout) — scaling past GOMAXPROCS the way
+// the paper's cluster campaigns do (§A.4). Results are bit-identical to an
+// in-process run for any shard count; combine with -cache-dir so only the
+// first worker per app×tool builds and warm reruns build nothing (the
+// "# shard-cache:" line reports the cross-process totals).
 package main
 
 import (
@@ -39,6 +47,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/opt"
+	"repro/internal/shard"
 	"repro/internal/workloads"
 
 	// Register the multi-bit REFINE variant so -tools REFINE2 resolves,
@@ -48,6 +57,7 @@ import (
 )
 
 func main() {
+	shard.MaybeWorker() // re-exec'd shard workers never reach flag parsing
 	trials := flag.Int("trials", 1068, "fault-injection samples per (app, tool)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); with the shared scheduler active this caps the executor size")
@@ -57,9 +67,17 @@ func main() {
 	optLevel := flag.Int("O", 2, "optimization level (2 or 0)")
 	schedWorkers := flag.Int("sched-workers", 0, "shared work-stealing executor size (0 = GOMAXPROCS, < 0 = serial per-campaign pools)")
 	chunk := flag.Int("chunk", 0, "trial indexes claimed per executor lock acquisition (0 = adaptive); results are identical across chunk sizes")
+	shards := flag.Int("shards", 0, "fan campaigns across N worker OS processes (this binary re-exec'd); results are bit-identical to in-process runs, and -cache-dir is shared so only the first worker per app x tool builds (0 = in-process)")
+	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker: gob job assignments on stdin, trial frames on stdout (what -shards re-execs; normally set via the environment)")
 	cacheDir := flag.String("cache-dir", "", "persist built binaries + profiles under this directory (warm starts skip all builds)")
 	quiet := flag.Bool("quiet", false, "suppress per-campaign progress")
 	flag.Parse()
+	if *shardWorker {
+		if err := shard.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := experiments.Config{
 		Trials:  *trials,
@@ -68,11 +86,23 @@ func main() {
 		Chunk:   *chunk,
 		Build:   campaign.DefaultBuildOptions(),
 	}
-	ex, cache, err := experiments.ResolveExecution(*schedWorkers, *workers, *cacheDir)
+	schedSize := *schedWorkers
+	if *shards > 0 {
+		schedSize = -1 // trials run in the workers; no in-process executor
+	}
+	ex, cache, err := experiments.ResolveExecution(schedSize, *workers, *cacheDir)
 	if err != nil {
 		fatal(err)
 	}
 	cfg.Sched, cfg.Cache = ex, cache
+	var pool *shard.Pool
+	if *shards > 0 {
+		if pool, err = shard.NewPool(*shards); err != nil {
+			fatal(err)
+		}
+		defer pool.Close()
+		cfg.Pool = pool
+	}
 	classes, err := fault.ParseClasses(*instrs)
 	if err != nil {
 		fatal(err)
@@ -112,7 +142,12 @@ func main() {
 		len(suite.Order), len(suite.Tools), suite.Trials,
 		len(suite.Order)*len(suite.Tools)*suite.Trials, time.Since(start).Round(time.Millisecond))
 	fmt.Println(experiments.CacheStatsLine(cache))
-	fmt.Println(experiments.ExecutionLine(cfg.Sched, cfg.Chunk))
+	if pool != nil {
+		pool.Close() // drain the workers' final cache counters first
+		fmt.Println(experiments.ShardLines(pool))
+	} else {
+		fmt.Println(experiments.ExecutionLine(cfg.Sched, cfg.Chunk))
+	}
 	fmt.Println()
 
 	fmt.Println(suite.Table6())

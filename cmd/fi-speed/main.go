@@ -7,15 +7,17 @@
 // Usage:
 //
 //	fi-speed [-trials 200] [-seed 1] [-workers 0] [-apps CSV] [-tools CSV]
-//	         [-sched-workers 0] [-cache-dir DIR] [-cpuprofile out.pprof]
+//	         [-sched-workers 0] [-shards 0] [-cache-dir DIR] [-cpuprofile out.pprof]
 //
 // -tools selects injectors from the registry (PINFI is always included — it
 // is the normalization baseline). Campaigns run on one shared work-stealing
 // executor by default (-sched-workers 0 = GOMAXPROCS, < 0 = serial);
-// -cache-dir persists builds and golden profiles so repeated timing runs
-// warm-start from disk. Neither affects the reported cycle counts — the
-// Figure 5 numbers come from the deterministic cycle model, bit-identical
-// for a fixed seed across schedulers and cache states.
+// -shards N instead fans them across N re-exec'd worker processes sharing
+// the -cache-dir; -cache-dir persists builds and golden profiles so
+// repeated timing runs warm-start from disk. None of these affect the
+// reported cycle counts — the Figure 5 numbers come from the deterministic
+// cycle model, bit-identical for a fixed seed across schedulers, shard
+// counts and cache states.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/pinfi"
+	"repro/internal/shard"
 	"repro/internal/workloads"
 
 	// Register the multi-bit REFINE variant so -tools REFINE2 resolves,
@@ -37,6 +40,7 @@ import (
 )
 
 func main() {
+	shard.MaybeWorker() // re-exec'd shard workers never reach flag parsing
 	// All errors return through run so the deferred profile stop/flush runs
 	// before exit — a partial profile of a failed suite is still useful.
 	if err := run(); err != nil {
@@ -53,9 +57,14 @@ func run() error {
 	toolsFlag := flag.String("tools", "", "comma-separated tool subset from the injector registry\n(default: LLFI,REFINE,PINFI; registered: "+strings.Join(campaign.ToolNames(), ",")+")")
 	schedWorkers := flag.Int("sched-workers", 0, "shared work-stealing executor size (0 = GOMAXPROCS, < 0 = serial per-campaign pools)")
 	chunk := flag.Int("chunk", 0, "trial indexes claimed per executor lock acquisition (0 = adaptive); results are identical across chunk sizes")
+	shards := flag.Int("shards", 0, "fan campaigns across N worker OS processes (this binary re-exec'd); results are bit-identical to in-process runs (0 = in-process)")
+	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker: gob job assignments on stdin, trial frames on stdout (what -shards re-execs; normally set via the environment)")
 	cacheDir := flag.String("cache-dir", "", "persist built binaries + profiles under this directory (warm starts skip all builds)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file")
 	flag.Parse()
+	if *shardWorker {
+		return shard.WorkerMain(os.Stdin, os.Stdout)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -76,11 +85,23 @@ func run() error {
 		Chunk:   *chunk,
 		Build:   campaign.DefaultBuildOptions(),
 	}
-	ex, cache, err := experiments.ResolveExecution(*schedWorkers, *workers, *cacheDir)
+	schedSize := *schedWorkers
+	if *shards > 0 {
+		schedSize = -1 // trials run in the workers; no in-process executor
+	}
+	ex, cache, err := experiments.ResolveExecution(schedSize, *workers, *cacheDir)
 	if err != nil {
 		return err
 	}
 	cfg.Sched, cfg.Cache = ex, cache
+	var pool *shard.Pool
+	if *shards > 0 {
+		if pool, err = shard.NewPool(*shards); err != nil {
+			return err
+		}
+		defer pool.Close()
+		cfg.Pool = pool
+	}
 	if *appsFlag != "" {
 		for _, name := range strings.Split(*appsFlag, ",") {
 			app, err := workloads.ByName(strings.TrimSpace(name))
@@ -112,7 +133,12 @@ func run() error {
 		return err
 	}
 	fmt.Println(experiments.CacheStatsLine(cache))
-	fmt.Println(experiments.ExecutionLine(cfg.Sched, cfg.Chunk))
+	if pool != nil {
+		pool.Close() // drain the workers' final cache counters first
+		fmt.Println(experiments.ShardLines(pool))
+	} else {
+		fmt.Println(experiments.ExecutionLine(cfg.Sched, cfg.Chunk))
+	}
 	fmt.Println()
 	fmt.Println(suite.Figure5())
 

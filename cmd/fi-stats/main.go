@@ -12,14 +12,16 @@
 // work-stealing scheduler and, with -cache-dir, the disk-persistent
 // build/profile cache — and prints the measured Table 5 next to the
 // published verdicts. -sched-workers sizes the executor (0 = GOMAXPROCS,
-// < 0 = serial); repeated invocations with the same -cache-dir skip every
-// build and golden profile.
+// < 0 = serial); -shards N instead fans the campaigns across N re-exec'd
+// worker processes sharing the -cache-dir; repeated invocations with the
+// same -cache-dir skip every build and golden profile. Measured verdicts
+// are bit-identical across all execution modes.
 //
 // Usage:
 //
 //	fi-stats [-table4] [-table5] [-samplesize] [-margin 0.03]
 //	         [-measure] [-apps CSV] [-trials 1068] [-seed 1]
-//	         [-sched-workers 0] [-cache-dir DIR]
+//	         [-sched-workers 0] [-shards 0] [-cache-dir DIR]
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 
@@ -41,6 +44,7 @@ import (
 )
 
 func main() {
+	shard.MaybeWorker() // re-exec'd shard workers never reach flag parsing
 	table4 := flag.Bool("table4", true, "print the Table 4 contingency example")
 	table5 := flag.Bool("table5", true, "print Table 5 chi-squared tests on the published data")
 	sampleSize := flag.Bool("samplesize", true, "print the Leveugle sample-size table")
@@ -51,8 +55,17 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base RNG seed for -measure")
 	schedWorkers := flag.Int("sched-workers", 0, "shared work-stealing executor size for -measure (0 = GOMAXPROCS, < 0 = serial)")
 	chunk := flag.Int("chunk", 0, "trial indexes claimed per executor lock acquisition for -measure (0 = adaptive)")
+	shards := flag.Int("shards", 0, "fan -measure campaigns across N worker OS processes (this binary re-exec'd); verdicts are bit-identical to in-process runs (0 = in-process)")
+	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker: gob job assignments on stdin, trial frames on stdout (what -shards re-execs; normally set via the environment)")
 	cacheDir := flag.String("cache-dir", "", "persist -measure builds + profiles under this directory")
 	flag.Parse()
+	if *shardWorker {
+		if err := shard.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "fi-stats:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	paper := experiments.PaperTable6()
 	var apps []string
@@ -107,7 +120,7 @@ func main() {
 	}
 
 	if *measure {
-		if err := runMeasured(*appsFlag, *trials, *seed, *schedWorkers, *chunk, *cacheDir); err != nil {
+		if err := runMeasured(*appsFlag, *trials, *seed, *schedWorkers, *chunk, *shards, *cacheDir); err != nil {
 			fmt.Fprintln(os.Stderr, "fi-stats:", err)
 			os.Exit(1)
 		}
@@ -116,18 +129,29 @@ func main() {
 
 // runMeasured runs a live suite through the shared scheduler (and the disk
 // cache when dir is set) and prints the measured Table 5.
-func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk int, dir string) error {
+func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk, shards int, dir string) error {
 	cfg := experiments.Config{
 		Trials: trials,
 		Seed:   seed,
 		Chunk:  chunk,
 		Build:  campaign.DefaultBuildOptions(),
 	}
+	if shards > 0 {
+		schedWorkers = -1 // trials run in the workers; no in-process executor
+	}
 	ex, cache, err := experiments.ResolveExecution(schedWorkers, 0, dir)
 	if err != nil {
 		return err
 	}
 	cfg.Sched, cfg.Cache = ex, cache
+	var pool *shard.Pool
+	if shards > 0 {
+		if pool, err = shard.NewPool(shards); err != nil {
+			return err
+		}
+		defer pool.Close()
+		cfg.Pool = pool
+	}
 	if appsCSV != "" {
 		for _, name := range strings.Split(appsCSV, ",") {
 			app, err := workloads.ByName(strings.TrimSpace(name))
@@ -143,7 +167,12 @@ func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk in
 	}
 	fmt.Printf("\nMeasured suite (n=%d per cell):\n", suite.Trials)
 	fmt.Println(experiments.CacheStatsLine(cache))
-	fmt.Println(experiments.ExecutionLine(cfg.Sched, cfg.Chunk))
+	if pool != nil {
+		pool.Close() // drain the workers' final cache counters first
+		fmt.Println(experiments.ShardLines(pool))
+	} else {
+		fmt.Println(experiments.ExecutionLine(cfg.Sched, cfg.Chunk))
+	}
 	t5, err := suite.Table5()
 	if err != nil {
 		return err

@@ -1,0 +1,80 @@
+package campaign_test
+
+// WithTrialRange is the process-sharding substrate: ranged campaigns covering
+// [0, n) must reproduce the full campaign's stream exactly, trial for trial.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+func TestTrialRangeUnionMatchesFull(t *testing.T) {
+	const n = 60
+	ctx := context.Background()
+	full, err := campaign.New(testApp, campaign.REFINE,
+		campaign.WithTrials(n), campaign.WithSeed(3), campaign.WithRecords(),
+		campaign.WithCache(nil)).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := campaign.NewCache()
+	var merged [n]campaign.TrialResult
+	seen := make([]bool, n)
+	total := 0
+	var cycles int64
+	for _, r := range [][2]int{{0, 17}, {17, 40}, {40, 60}} {
+		res, err := campaign.New(testApp, campaign.REFINE,
+			campaign.WithTrials(n), campaign.WithSeed(3), campaign.WithRecords(),
+			campaign.WithTrialRange(r[0], r[1]),
+			campaign.WithCache(cache),
+			campaign.WithObserver(func(i int, tr campaign.TrialResult) {
+				if i < r[0] || i >= r[1] {
+					t.Errorf("range [%d,%d): observer saw absolute index %d", r[0], r[1], i)
+				}
+				if seen[i] {
+					t.Errorf("index %d observed twice", i)
+				}
+				seen[i] = true
+				merged[i] = tr
+			})).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trials != r[1]-r[0] {
+			t.Fatalf("range [%d,%d): Trials = %d, want %d", r[0], r[1], res.Trials, r[1]-r[0])
+		}
+		if len(res.Records) != r[1]-r[0] {
+			t.Fatalf("range [%d,%d): %d records, want %d", r[0], r[1], len(res.Records), r[1]-r[0])
+		}
+		for k, rec := range res.Records {
+			if rec != merged[r[0]+k] {
+				t.Fatalf("range [%d,%d): Records[%d] disagrees with observer stream", r[0], r[1], k)
+			}
+		}
+		total += res.Counts.Total()
+		cycles += res.Cycles
+	}
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			t.Fatalf("index %d never delivered", i)
+		}
+		if merged[i] != full.Records[i] {
+			t.Fatalf("trial %d: ranged result %+v != full campaign %+v", i, merged[i], full.Records[i])
+		}
+	}
+	if total != full.Counts.Total() || cycles != full.Cycles {
+		t.Fatalf("ranged union totals (%d trials, %d cycles) != full campaign (%d, %d)",
+			total, cycles, full.Counts.Total(), full.Cycles)
+	}
+}
+
+func TestTrialRangeInvalid(t *testing.T) {
+	_, err := campaign.New(testApp, campaign.REFINE,
+		campaign.WithTrials(10), campaign.WithTrialRange(12, 10), campaign.WithCache(nil)).Run(context.Background())
+	if err == nil {
+		t.Fatal("invalid trial range must error")
+	}
+}

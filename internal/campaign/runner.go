@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +12,14 @@ import (
 	"repro/internal/sched"
 )
 
+// ErrBuildUnclaimed reports that a scheduled campaign's build+profile unit
+// settled without ever being claimed by an executor worker. The usual cause
+// is context cancellation — then Run wraps ctx.Err() instead — so this
+// sentinel surfaces only when the unit was abandoned while ctx.Err() is nil
+// (e.g. a context whose Done channel fires before Err reports non-nil).
+// Match with errors.Is.
+var ErrBuildUnclaimed = errors.New("build+profile unit abandoned unclaimed")
+
 // Campaign is a fully specified fault-injection campaign: one application,
 // one injector, and the run configuration collected from functional options.
 // Construct with New and execute with Run; the zero value is not usable.
@@ -18,7 +27,8 @@ type Campaign struct {
 	app  App
 	tool Tool
 
-	trials  int
+	trials  int // one past the last trial index (== trial count when lo is 0)
+	lo      int // first trial index (WithTrialRange; 0 ⇒ full campaign)
 	seed    uint64
 	workers int
 	build   BuildOptions
@@ -29,14 +39,16 @@ type Campaign struct {
 	keepRecords bool
 	exec        *sched.Executor // nil ⇒ private per-campaign worker pool
 	chunk       int             // trial indexes claimed per executor lock (0 ⇒ adaptive)
+	shards      int             // worker processes (WithShards; 0 ⇒ in-process)
 }
 
 // Option configures a Campaign (functional options).
 type Option func(*Campaign)
 
 // WithTrials sets the number of fault-injection trials (default:
-// PaperTrials, the paper's n=1068).
-func WithTrials(n int) Option { return func(c *Campaign) { c.trials = n } }
+// PaperTrials, the paper's n=1068), covering the full index range [0, n) —
+// it resets any earlier WithTrialRange.
+func WithTrials(n int) Option { return func(c *Campaign) { c.lo, c.trials = 0, n } }
 
 // WithSeed sets the base RNG seed; trial i uses TrialSeed(seed, tool, i)
 // (default: 1).
@@ -97,6 +109,49 @@ func WithExecutor(ex *sched.Executor) Option { return func(c *Campaign) { c.exec
 // 1, 4 and 64 produce bit-identical campaigns. Ignored without WithExecutor.
 func WithChunk(k int) Option { return func(c *Campaign) { c.chunk = k } }
 
+// WithTrialRange restricts the campaign to trial indexes [lo, hi) of the
+// full trial space. Trial i keeps its absolute seed TrialSeed(seed, tool, i)
+// and the observer still receives absolute indexes, so a set of ranged
+// campaigns covering [0, n) reproduces the unranged campaign's stream
+// exactly — this is the substrate the process-sharding workers run on.
+// Result aggregates (Counts, Cycles, Records) cover only the range.
+// WithTrials after WithTrialRange resets to the full [0, n) range.
+func WithTrialRange(lo, hi int) Option {
+	return func(c *Campaign) { c.lo, c.trials = lo, hi }
+}
+
+// WithShards runs the campaign across n worker OS processes instead of in
+// this one: the binary re-execs itself (see internal/shard), workers claim
+// trial index ranges dynamically, stream (index, TrialResult) frames back,
+// and the coordinator merges them through the same order-deterministic
+// collector — Counts, Cycles, Records and the observer stream are
+// bit-identical to an in-process run for any shard count. Requires the
+// shard engine to be linked in (import repro/internal/shard, the refine
+// facade, or any fi-* driver) and a registry application (workers resolve
+// the app by name). WithWorkers caps each worker process's trial
+// parallelism (default: GOMAXPROCS split across the workers);
+// WithExecutor/WithChunk do not apply — workers run their private pooled
+// path.
+func WithShards(n int) Option { return func(c *Campaign) { c.shards = n } }
+
+// shardRunner is installed by internal/shard's init; campaign cannot import
+// it (shard depends on campaign and the workload registry).
+var shardRunner func(ctx context.Context, c *Campaign) (*Result, error)
+
+// RegisterShardRunner installs the process-sharding engine behind WithShards.
+// Called from internal/shard's init; campaigns configured with WithShards
+// fail with an explanatory error until some import links the engine in.
+func RegisterShardRunner(fn func(ctx context.Context, c *Campaign) (*Result, error)) {
+	shardRunner = fn
+}
+
+// Shards reports the WithShards configuration (0 ⇒ in-process).
+func (c *Campaign) Shards() int { return c.shards }
+
+// TrialRange reports the campaign's [lo, hi) trial index range
+// (0, WithTrials for a full campaign).
+func (c *Campaign) TrialRange() (lo, hi int) { return c.lo, c.trials }
+
 // PaperTrials is the paper's per-configuration trial count (§5.3: 3% margin,
 // 95% confidence over a large population — the Leveugle et al. sample size;
 // stats.SampleSize(1<<40, 0.03, stats.Z95) computes the same value).
@@ -121,45 +176,78 @@ func New(app App, tool Tool, opts ...Option) *Campaign {
 
 // collector delivers trial results in trial order: workers insert completed
 // trials under the lock, and whoever completes the next-in-sequence trial
-// flushes the contiguous run — aggregating counts, appending records, and
-// invoking the observer — so aggregation order, record order and the
-// observer stream are all deterministic regardless of scheduling.
+// becomes the deliverer, flushing the contiguous run — aggregating counts,
+// appending records, and invoking the observer — so aggregation order,
+// record order and the observer stream are all deterministic regardless of
+// scheduling.
+//
+// Delivery happens OUTSIDE the collector mutex: the deliverer extracts the
+// contiguous run under the lock, drops the lock, applies it, and loops in
+// case more trials queued up meanwhile. The delivering flag keeps delivery
+// single-threaded (and therefore in order), while a re-entrant observer —
+// one that cancels the context and inspects delivered(), or enqueues
+// follow-up work that lands back in this collector — no longer self-
+// deadlocks on the mutex it is already holding.
 type collector struct {
-	mu      sync.Mutex
-	pending map[int]TrialResult
-	next    int // lowest trial index not yet delivered
-	res     *Result
-	obs     func(int, TrialResult)
-	keep    bool
+	mu         sync.Mutex
+	pending    map[int]TrialResult
+	next       int  // lowest trial index not yet extracted for delivery
+	delivering bool // a deliverer is flushing outside the lock
+	flushed    atomic.Int64
+	res        *Result
+	base       int // first trial index (WithTrialRange lo)
+	obs        func(int, TrialResult)
+	keep       bool
 }
 
 func (c *collector) add(i int, tr TrialResult) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.pending[i] = tr
+	if c.delivering {
+		// The current deliverer will pick this up before it retires.
+		c.mu.Unlock()
+		return
+	}
+	c.delivering = true
 	for {
-		r, ok := c.pending[c.next]
-		if !ok {
+		start := c.next
+		var run []TrialResult
+		for {
+			r, ok := c.pending[c.next]
+			if !ok {
+				break
+			}
+			delete(c.pending, c.next)
+			run = append(run, r)
+			c.next++
+		}
+		if len(run) == 0 {
+			c.delivering = false
+			c.mu.Unlock()
 			return
 		}
-		delete(c.pending, c.next)
-		if c.keep {
-			c.res.Records[c.next] = r
+		c.mu.Unlock()
+		for k, r := range run {
+			idx := start + k
+			if c.keep {
+				c.res.Records[idx-c.base] = r
+			}
+			c.res.Counts.Add(r.Outcome)
+			c.res.Cycles += r.Cycles
+			if c.obs != nil {
+				c.obs(idx, r)
+			}
+			c.flushed.Store(int64(idx - c.base + 1))
 		}
-		c.res.Counts.Add(r.Outcome)
-		c.res.Cycles += r.Cycles
-		if c.obs != nil {
-			c.obs(c.next, r)
-		}
-		c.next++
+		c.mu.Lock()
 	}
 }
 
-// delivered returns the length of the contiguous delivered prefix.
+// delivered returns the length of the contiguous delivered prefix: the
+// number of trials whose counts, record and observer call have all been
+// applied. Safe to call from anywhere, including from inside an observer.
 func (c *collector) delivered() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.next
+	return int(c.flushed.Load())
 }
 
 // Run executes the campaign: build and profile (through the configured
@@ -173,6 +261,17 @@ func (c *collector) delivered() int {
 // (Result.Trials is shrunk to that prefix) — together with an error wrapping
 // ctx.Err(). The observer never sees a trial outside that prefix.
 func (c *Campaign) Run(ctx context.Context) (*Result, error) {
+	if c.lo < 0 || c.lo > c.trials {
+		return nil, fmt.Errorf("campaign: %s/%s: invalid trial range [%d, %d)",
+			c.app.Name, c.tool.Name(), c.lo, c.trials)
+	}
+	if c.shards > 0 {
+		if shardRunner == nil {
+			return nil, fmt.Errorf("campaign: %s/%s: WithShards(%d) needs the shard engine linked in (import repro/internal/shard or the refine facade)",
+				c.app.Name, c.tool.Name(), c.shards)
+		}
+		return shardRunner(ctx, c)
+	}
 	if c.exec != nil {
 		return c.runScheduled(ctx)
 	}
@@ -188,8 +287,8 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > c.trials {
-		workers = c.trials
+	if workers > c.trials-c.lo {
+		workers = c.trials - c.lo
 	}
 
 	res, col := c.newResult(prof)
@@ -209,7 +308,7 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 					return
 				default:
 				}
-				i := int(nextIdx.Add(1)) - 1
+				i := c.lo + int(nextIdx.Add(1)) - 1
 				if i >= c.trials {
 					return
 				}
@@ -238,18 +337,25 @@ func (c *Campaign) runScheduled(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	if bin == nil {
-		// Cancelled before the build unit was claimed.
-		return nil, fmt.Errorf("campaign: %s/%s: %w", c.app.Name, c.tool.Name(), ctx.Err())
+		// Abandoned before the build unit was claimed — almost always a
+		// cancelled context, but never wrap ctx.Err() blindly: a nil cause
+		// would format as %!w(<nil>) and break errors.Is matching.
+		cause := ctx.Err()
+		if cause == nil {
+			cause = ErrBuildUnclaimed
+		}
+		return nil, fmt.Errorf("campaign: %s/%s: %w", c.app.Name, c.tool.Name(), cause)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign: %s/%s: %w", c.app.Name, c.tool.Name(), err)
 	}
 
 	res, col := c.newResult(prof)
-	c.exec.SubmitChunk(ctx, c.trials, c.chunk, func(i int) {
+	c.exec.SubmitChunk(ctx, c.trials-c.lo, c.chunk, func(i int) {
+		idx := c.lo + i
 		m := bin.AcquireMachine()
 		defer bin.ReleaseMachine(m)
-		col.add(i, bin.runTrialOn(m, prof, c.costs, TrialSeed(c.seed, c.tool, i)))
+		col.add(idx, bin.runTrialOn(m, prof, c.costs, TrialSeed(c.seed, c.tool, idx)))
 	}).Wait()
 
 	return c.finish(ctx, res, col)
@@ -274,11 +380,12 @@ func (c *Campaign) prepare() (*Binary, *Profile, error) {
 
 // newResult allocates the campaign result and its ordered collector.
 func (c *Campaign) newResult(prof *Profile) (*Result, *collector) {
-	res := &Result{App: c.app.Name, Tool: c.tool, Trials: c.trials, Profile: prof}
+	res := &Result{App: c.app.Name, Tool: c.tool, Trials: c.trials - c.lo, Profile: prof}
 	if c.keepRecords {
-		res.Records = make([]TrialResult, c.trials)
+		res.Records = make([]TrialResult, c.trials-c.lo)
 	}
-	col := &collector{pending: map[int]TrialResult{}, res: res, obs: c.observer, keep: c.keepRecords}
+	col := &collector{pending: map[int]TrialResult{}, next: c.lo, base: c.lo,
+		res: res, obs: c.observer, keep: c.keepRecords}
 	return res, col
 }
 
@@ -291,7 +398,7 @@ func (c *Campaign) finish(ctx context.Context, res *Result, col *collector) (*Re
 			res.Records = res.Records[:res.Trials]
 		}
 		return res, fmt.Errorf("campaign: %s/%s: cancelled after %d/%d trials: %w",
-			c.app.Name, c.tool.Name(), res.Trials, c.trials, err)
+			c.app.Name, c.tool.Name(), res.Trials, c.trials-c.lo, err)
 	}
 	return res, nil
 }

@@ -1,0 +1,60 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// TestCollectorReentrantObserver pins the observer-delivery seam: the
+// collector must invoke the user observer OUTSIDE its mutex, so a re-entrant
+// observer — one that inspects delivered() (as a cancelling observer checking
+// its partial prefix does) or enqueues follow-up work that lands back in the
+// same collector — cannot self-deadlock. Pre-fix, collector.add held c.mu
+// across the observer call and both re-entrant paths deadlocked.
+func TestCollectorReentrantObserver(t *testing.T) {
+	res := &Result{Trials: 4}
+	col := &collector{pending: map[int]TrialResult{}, res: res}
+	var order []int
+	col.obs = func(i int, tr TrialResult) {
+		order = append(order, i)
+		// Re-entrant inspection: pre-fix this blocked on the mutex the
+		// delivering goroutine already holds.
+		if got := col.delivered(); got != i {
+			t.Errorf("observer(%d): delivered() = %d, want %d (trials fully applied before this one)", i, got, i)
+		}
+		if i == 0 {
+			// Re-entrant enqueue landing back in this collector: the current
+			// deliverer must pick it up instead of deadlocking.
+			col.add(3, TrialResult{Outcome: fault.Benign})
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		col.add(1, TrialResult{Outcome: fault.Benign})
+		col.add(0, TrialResult{Outcome: fault.Benign})
+		col.add(2, TrialResult{Outcome: fault.Benign})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("collector deadlocked delivering with a re-entrant observer")
+	}
+	want := []int{0, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("observer saw %v, want %v", order, want)
+	}
+	for k := range want {
+		if order[k] != want[k] {
+			t.Fatalf("observer saw %v, want %v (delivery must stay serialized and in order)", order, want)
+		}
+	}
+	if got := col.delivered(); got != 4 {
+		t.Fatalf("delivered() = %d, want 4", got)
+	}
+	if res.Counts.Benign != 4 {
+		t.Fatalf("Counts.Benign = %d, want 4", res.Counts.Benign)
+	}
+}

@@ -1,0 +1,145 @@
+package campaign
+
+// Process-sharding seams: the gob-encodable campaign Spec shipped to worker
+// processes and the Merger that reassembles worker trial streams through the
+// same order-deterministic collector the in-process paths use. The engine
+// that spawns workers and speaks the wire protocol lives in internal/shard
+// (it depends on this package and the workload registry, so campaign only
+// defines the data contract and the RegisterShardRunner hook).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/pinfi"
+)
+
+// Spec is the wire description of a campaign for process sharding:
+// everything a worker process needs to reconstruct the campaign with
+// campaign.New and run assigned trial ranges through the ordinary Run
+// machinery. Applications travel by registry name (workloads.ByName) and
+// tools by injector-registry name, so the spec is plain data — gob-encodable
+// across the coordinator/worker pipe.
+type Spec struct {
+	App      string          // workload registry name
+	Tool     string          // injector registry name
+	Trials   int             // one past the last trial index of the campaign
+	Lo       int             // first trial index (WithTrialRange)
+	Seed     uint64          // base seed; trial i uses TrialSeed(Seed, tool, i)
+	Build    BuildOptions    // optimization level, -fi-funcs, -fi-instrs
+	Costs    pinfi.CostModel // PIN-style dynamic-instrumentation cost model
+	CacheDir string          // shared disk cache ("" ⇒ worker-private memory cache)
+	Workers  int             // in-worker trial parallelism (0 ⇒ GOMAXPROCS)
+}
+
+// Spec derives the campaign's wire description. The campaign must use a
+// registry application — workers re-resolve the app by name, so a synthetic
+// App whose builder only exists in this process cannot shard.
+func (c *Campaign) Spec() Spec {
+	dir := ""
+	if c.cache != nil {
+		dir = c.cache.Dir()
+	}
+	return Spec{
+		App:      c.app.Name,
+		Tool:     c.tool.Name(),
+		Trials:   c.trials,
+		Lo:       c.lo,
+		Seed:     c.seed,
+		Build:    c.build,
+		Costs:    c.costs,
+		CacheDir: dir,
+		Workers:  c.workers,
+	}
+}
+
+// NewFromSpec reconstructs a worker-side campaign for trial range [lo, hi)
+// of the spec'd campaign. The app is resolved by the caller (the shard
+// worker resolves it through the workload registry, which campaign cannot
+// import); the tool resolves through the injector registry. The observer
+// receives absolute trial indexes — the frames the worker ships back.
+func NewFromSpec(s Spec, app App, lo, hi int, cache *Cache, obs func(int, TrialResult)) (*Campaign, error) {
+	if app.Name != s.App {
+		return nil, fmt.Errorf("campaign: spec app %q resolved to %q", s.App, app.Name)
+	}
+	tool, err := ToolByName(s.Tool)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: spec: %w", err)
+	}
+	if lo < s.Lo || hi > s.Trials || lo > hi {
+		return nil, fmt.Errorf("campaign: spec range [%d, %d) outside campaign range [%d, %d)", lo, hi, s.Lo, s.Trials)
+	}
+	return New(app, tool,
+		WithTrialRange(lo, hi),
+		WithSeed(s.Seed),
+		WithBuildOptions(s.Build),
+		WithCostModel(s.Costs),
+		WithWorkers(s.Workers),
+		WithCache(cache),
+		WithObserver(obs),
+	), nil
+}
+
+// Merger reassembles a sharded campaign's result from worker (index,
+// TrialResult) frames. Frames may arrive in any order and — after a dead
+// worker's range is reassigned — more than once per index; the merger drops
+// duplicates (trial i is a pure function of its seed, so the first receipt
+// is authoritative) and feeds the campaign's order-deterministic collector,
+// which aggregates counts, buffers records and streams the observer exactly
+// as an in-process run would. The zero value is not usable; construct with
+// Campaign.NewMerger.
+type Merger struct {
+	c   *Campaign
+	res *Result
+	col *collector
+
+	mu   sync.Mutex
+	seen []bool
+	dups int
+}
+
+// NewMerger returns a Merger for the campaign's trial range.
+func (c *Campaign) NewMerger() *Merger {
+	res, col := c.newResult(nil)
+	return &Merger{c: c, res: res, col: col, seen: make([]bool, c.trials-c.lo)}
+}
+
+// SetProfile attaches the profile shipped by the first worker to build the
+// campaign's artifacts. Builds are byte-stable across processes, so every
+// worker derives the identical profile; first receipt wins.
+func (m *Merger) SetProfile(p *Profile) {
+	m.mu.Lock()
+	if m.res.Profile == nil {
+		m.res.Profile = p
+	}
+	m.mu.Unlock()
+}
+
+// Add folds trial i's result in, reporting whether the frame was new
+// (out-of-range and duplicate frames are dropped).
+func (m *Merger) Add(i int, tr TrialResult) bool {
+	m.mu.Lock()
+	lo, hi := m.c.lo, m.c.trials
+	if i < lo || i >= hi || m.seen[i-lo] {
+		m.dups++
+		m.mu.Unlock()
+		return false
+	}
+	m.seen[i-lo] = true
+	m.mu.Unlock()
+	m.col.add(i, tr)
+	return true
+}
+
+// Delivered reports the contiguous delivered prefix length — the trials
+// whose aggregates, record and observer call have all been applied.
+func (m *Merger) Delivered() int { return m.col.delivered() }
+
+// Finish applies the partial-prefix cancellation contract and returns the
+// merged result, exactly as the in-process paths do: on a cancelled context
+// the result covers the contiguous delivered prefix and the error wraps
+// ctx.Err().
+func (m *Merger) Finish(ctx context.Context) (*Result, error) {
+	return m.c.finish(ctx, m.res, m.col)
+}

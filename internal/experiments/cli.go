@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/sched"
+	"repro/internal/shard"
 )
 
 // ResolveExecution resolves the fi-* drivers' shared execution flags into a
@@ -61,4 +62,15 @@ func ExecutionLine(ex *sched.Executor, chunk int) string {
 		ck = fmt.Sprint(chunk)
 	}
 	return fmt.Sprintf("# exec: sched-workers=%d chunk=%s", ex.Workers(), ck)
+}
+
+// ShardLines renders the drivers' sharded-run report: the pool size and the
+// workers' aggregated cross-process cache counters (each worker piggybacks
+// its cumulative counters on every range ack and on exit, so after
+// Pool.Close this is the suite-wide total — the shard-smoke CI job asserts
+// warm builds=0 on it).
+func ShardLines(p *shard.Pool) string {
+	st := p.Stats()
+	return fmt.Sprintf("# shard: workers=%d\n# shard-cache: builds=%d mem-hits=%d disk-hits=%d disk-errors=%d",
+		p.Workers(), st.Builds, st.MemHits, st.DiskHits, st.DiskErrors)
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/fault"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -62,6 +63,20 @@ type Config struct {
 	// trial count up to sched.MaxChunk). Results are bit-identical across
 	// chunk sizes; only lock traffic changes. Ignored without Sched.
 	Chunk int
+	// Shards fans every campaign of the suite across this many worker OS
+	// processes (this binary re-exec'd; see internal/shard) instead of
+	// running trials in-process. Workers share the suite cache's disk
+	// directory when it has one, so only the first process per app×tool
+	// builds. Results stay bit-identical to the in-process paths — the
+	// shard coordinator merges worker streams through the same
+	// order-deterministic collector. Workers caps each worker's trial
+	// parallelism; Sched and Chunk configure only in-process execution and
+	// are unused on the sharded path. 0 ⇒ in-process.
+	Shards int
+	// Pool supplies a live shard worker pool to run the suite on (its
+	// cache counters stay readable by the caller afterwards); nil with
+	// Shards > 0 spawns a pool for the duration of the suite.
+	Pool *shard.Pool
 	// Progress, if non-nil, receives one line per completed campaign.
 	// On the scheduled path campaigns finish concurrently, so line order
 	// follows completion, not the app×tool nesting; calls are serialized.
@@ -122,6 +137,32 @@ func RunSuiteContext(ctx context.Context, cfg Config) (*Suite, error) {
 			cfg.Progress(fmt.Sprintf("%-8s %-6s crash=%4d soc=%4d benign=%4d (cycles %.2e)",
 				app.Name, tool.Name(), c.Crash, c.SOC, c.Benign, float64(res.Cycles)))
 		}
+	}
+
+	if cfg.Shards > 0 || cfg.Pool != nil {
+		// Sharded path: one campaign at a time, each fanned out over the
+		// worker processes (all workers cooperate on every campaign, so the
+		// pool stays saturated; workers keep their in-memory caches across
+		// campaigns, and a disk-backed suite cache is shared by directory).
+		pool := cfg.Pool
+		if pool == nil {
+			var err error
+			if pool, err = shard.NewPool(cfg.Shards); err != nil {
+				return nil, fmt.Errorf("experiments: %w", err)
+			}
+			defer pool.Close()
+		}
+		for _, app := range apps {
+			for _, tool := range tools {
+				res, err := pool.Run(ctx, spec(app, tool))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s/%s: %w", app.Name, tool.Name(), err)
+				}
+				s.Results[app.Name][tool.Name()] = res
+				progress(app, tool, res)
+			}
+		}
+		return s, nil
 	}
 
 	if cfg.Sched == nil {

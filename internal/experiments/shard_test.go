@@ -1,0 +1,123 @@
+package experiments_test
+
+// Suite-level sharding coverage: a suite fanned out across worker OS
+// processes (Config.Shards / Config.Pool) must reproduce the serial
+// in-process suite bit for bit — outcome counts, cycles, and the rendered
+// tables — and a pool must be reusable across the suite's campaigns.
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+	"repro/internal/shard"
+	"repro/internal/workloads"
+)
+
+func TestMain(m *testing.M) {
+	shard.MaybeWorker() // this test binary is re-exec'd as the shard worker
+	os.Exit(m.Run())
+}
+
+func TestSuiteShardedMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	var apps []campaign.App
+	for _, name := range []string{"EP", "CG"} {
+		a, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, a)
+	}
+	base := experiments.Config{
+		Apps:   apps,
+		Tools:  []campaign.Tool{campaign.REFINE, campaign.PINFI},
+		Trials: 24,
+		Seed:   7,
+	}
+
+	serialCfg := base
+	serialCfg.Cache = campaign.NewCache()
+	serial, err := experiments.RunSuite(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shardCfg := base
+	shardCfg.Cache = campaign.NewCache()
+	shardCfg.Shards = 2
+	sharded, err := experiments.RunSuiteContext(context.Background(), shardCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, app := range serial.Order {
+		for _, tool := range serial.Tools {
+			s := serial.Results[app][tool.Name()]
+			h := sharded.Results[app][tool.Name()]
+			if h == nil {
+				t.Fatalf("%s/%s: missing sharded result", app, tool.Name())
+			}
+			if s.Counts != h.Counts || s.Cycles != h.Cycles {
+				t.Fatalf("%s/%s: sharded %+v/%d != serial %+v/%d",
+					app, tool.Name(), h.Counts, h.Cycles, s.Counts, s.Cycles)
+			}
+		}
+	}
+	if st, ht := serial.Table6(), sharded.Table6(); st != ht {
+		t.Fatalf("sharded Table 6 differs from serial:\n%s\nvs\n%s", ht, st)
+	}
+	s5, err := serial.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h5, err := sharded.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s5 != h5 {
+		t.Fatalf("sharded Table 5 differs from serial:\n%s\nvs\n%s", h5, s5)
+	}
+}
+
+// TestSuitePoolReuse: one live pool serves every campaign of a suite and
+// stays usable for the caller's stats afterwards.
+func TestSuitePoolReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	app, err := workloads.ByName("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cache, err := campaign.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := shard.NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	cfg := experiments.Config{
+		Apps:   []campaign.App{app},
+		Tools:  []campaign.Tool{campaign.REFINE, campaign.PINFI},
+		Trials: 16,
+		Seed:   3,
+		Cache:  cache,
+		Pool:   pool,
+	}
+	if _, err := experiments.RunSuite(cfg); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	st := pool.Stats()
+	if st.Builds == 0 {
+		t.Fatalf("cold sharded suite reported no worker builds: %+v", st)
+	}
+}

@@ -45,6 +45,7 @@ type job struct {
 	chunk     int // indexes handed out per claim (>= 1)
 	next      int // next unclaimed index
 	inflight  int // claimed but not yet finished
+	ran       int // iterations whose body has returned
 	cancelled bool
 	completed bool
 	done      chan struct{}
@@ -143,12 +144,17 @@ func (e *Executor) SubmitChunk(ctx context.Context, n, chunk int, body func(i in
 // Wait blocks until the batch settles: every iteration ran, or the context
 // was cancelled and the in-flight iterations drained. It reports whether all
 // n iterations completed.
+//
+// The verdict is structural — it counts the iterations whose bodies actually
+// returned — never the cancellation flag. A context cancellation that races
+// the final iteration's completion therefore cannot make a fully-run batch
+// report as cancelled (the flag only gates further claims).
 func (h *Handle) Wait() bool {
 	<-h.j.done
 	e := h.j.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return !h.j.cancelled && h.j.next >= h.j.n
+	return h.j.ran >= h.j.n
 }
 
 // MaxChunk bounds the adaptive claim-chunk size: one claim never walls off
@@ -202,7 +208,11 @@ func (j *job) settleLocked() {
 	}
 }
 
-// cancel abandons the job's unclaimed iterations.
+// cancel abandons the job's unclaimed iterations. It is a no-op once every
+// index is claimed — and in particular once every index is claimed and
+// finished — so a cancellation racing the final iteration's completion never
+// marks a fully-run batch cancelled (Wait's verdict is additionally
+// structural, see Handle.Wait).
 func (j *job) cancel() {
 	j.e.mu.Lock()
 	defer j.e.mu.Unlock()
@@ -216,6 +226,7 @@ func (j *job) cancel() {
 func (e *Executor) finishIters(j *job, cnt int) {
 	e.mu.Lock()
 	j.inflight -= cnt
+	j.ran += cnt
 	j.settleLocked()
 	e.mu.Unlock()
 }

@@ -1,0 +1,493 @@
+// Package shard fans campaigns out across OS processes: a coordinator
+// re-execs this same binary as workers (marked by the FI_SHARD_WORKER
+// environment variable and driven over stdio), partitions a campaign's
+// trial index space into claimable ranges, and merges the workers' trial
+// streams back through the campaign collector.
+//
+// Guarantees, in the same contract language as internal/sched:
+//
+//   - Determinism: the coordinator only decides where a trial runs, never
+//     what it computes — trial i is always seeded TrialSeed(seed, tool, i),
+//     frames are merged through the order-deterministic collector, and
+//     Counts, Cycles, Records and the observer stream are bit-identical to
+//     an in-process run for any shard count (the determinism suite asserts
+//     shards ∈ {1, 2, 4} ≡ unsharded).
+//
+//   - Cache sharing: workers given the same cache directory share one
+//     content-addressed disk cache; the first process to build an app×tool
+//     persists it via atomic rename, the rest restore from disk, and a warm
+//     directory yields builds=0 across every worker process.
+//
+//   - Cancellation: cancelling the Run context stops assignment; claimed
+//     ranges drain (their trials finish shipping), so the delivered set
+//     stays a contiguous prefix and Run returns the partial result exactly
+//     as the in-process runner does. A worker that dies mid-range (SIGTERM,
+//     crash) has its claimed range reassigned to a live worker — duplicate
+//     frames from the dead worker's partial delivery are dropped by the
+//     merger — so the prefix stays contiguous and complete.
+//
+// Campaigns opt in with campaign.WithShards(n) (this package registers the
+// engine hook at init), suites with experiments.Config.Shards, and the fi-*
+// drivers with -shards.
+package shard
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/workloads"
+)
+
+func init() {
+	campaign.RegisterShardRunner(func(ctx context.Context, c *campaign.Campaign) (*campaign.Result, error) {
+		p, err := NewPool(c.Shards())
+		if err != nil {
+			return nil, err
+		}
+		defer p.Close()
+		return p.Run(ctx, c)
+	})
+}
+
+// Pool is a set of live worker processes campaigns fan out over. Create
+// with NewPool, run any number of campaigns through Run (one at a time; a
+// suite reuses the pool so workers keep their warm in-memory caches), and
+// Close to drain and reap the workers.
+type Pool struct {
+	runMu sync.Mutex // serializes Run: one campaign owns the workers at a time
+
+	mu      sync.Mutex
+	workers []*proc
+	nextCID int
+	run     *runState // active campaign (nil between runs)
+	closed  bool
+}
+
+// proc is one worker process and its coordinator-side bookkeeping.
+type proc struct {
+	cmd        *exec.Cmd
+	in         io.WriteCloser
+	enc        *gob.Encoder
+	dead       bool
+	cur        *rangeReq    // outstanding assignment (nil ⇒ idle)
+	knows      map[int]bool // campaign ids introduced on this worker
+	last       campaign.CacheStats
+	readerDone chan struct{}
+}
+
+// runState tracks one campaign's fan-out.
+type runState struct {
+	cid       int
+	ctx       context.Context
+	spec      campaign.Spec
+	merger    *campaign.Merger
+	pending   []rangeReq // unclaimed ranges, ascending Lo
+	total     int        // ranges overall
+	done      int        // ranges acked
+	cancelled bool       // stop assigning (ctx cancel or fatal error)
+	err       error
+	settled   bool
+	finished  chan struct{}
+}
+
+// NewPool spawns n worker processes (n < 1 ⇒ 1) by re-executing this
+// binary with the worker marker set. Workers idle until Run assigns ranges
+// and survive across campaigns until Close.
+func NewPool(n int) (*Pool, error) {
+	if n < 1 {
+		n = 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("shard: executable: %w", err)
+	}
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), workerEnv+"=1")
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		if err := cmd.Start(); err != nil {
+			p.Close()
+			return nil, fmt.Errorf("shard: spawn worker: %w", err)
+		}
+		w := &proc{cmd: cmd, in: stdin, enc: gob.NewEncoder(stdin),
+			knows: map[int]bool{}, readerDone: make(chan struct{})}
+		p.workers = append(p.workers, w)
+		go p.reader(w, stdout)
+	}
+	return p, nil
+}
+
+// Workers reports the pool size (including workers that have since died).
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Pids returns the worker process ids, for diagnostics and the
+// kill-a-worker reassignment tests.
+func (p *Pool) Pids() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pids := make([]int, 0, len(p.workers))
+	for _, w := range p.workers {
+		pids = append(pids, w.cmd.Process.Pid)
+	}
+	return pids
+}
+
+// Stats sums the workers' last-reported cache counters — each worker
+// piggybacks its cumulative counters on every range ack and on exit, so
+// after a run (or Close) this is the cross-process total the drivers print
+// and the warm-start tests assert builds == 0 on.
+func (p *Pool) Stats() campaign.CacheStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s campaign.CacheStats
+	for _, w := range p.workers {
+		s.MemHits += w.last.MemHits
+		s.DiskHits += w.last.DiskHits
+		s.Builds += w.last.Builds
+		s.DiskErrors += w.last.DiskErrors
+	}
+	return s
+}
+
+// Close drains the pool: worker stdins close, workers ship their final
+// counters and exit, and their processes are reaped. Waits for an active
+// Run to settle first.
+func (p *Pool) Close() {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	ws := append([]*proc(nil), p.workers...)
+	p.mu.Unlock()
+	for _, w := range ws {
+		w.in.Close()
+	}
+	for _, w := range ws {
+		<-w.readerDone // all stdout consumed (cmd.Wait requires it)
+		w.cmd.Wait()
+	}
+}
+
+// MaxRange caps the claimable range size: one assignment never walls off
+// more than this many trials from rebalancing and reassignment.
+const MaxRange = 256
+
+// rangeSpan picks the claimable range size for total trials over n workers:
+// roughly four claims per worker amortize the assignment round-trips while
+// keeping reassignment granularity, mirroring sched's adaptive chunk.
+func rangeSpan(total, n int) int {
+	k := total / (n * 4)
+	if k < 1 {
+		return 1
+	}
+	if k > MaxRange {
+		return MaxRange
+	}
+	return k
+}
+
+// partition splits [lo, hi) into consecutive spans.
+func partition(cid, lo, hi, span int) []rangeReq {
+	var out []rangeReq
+	for at := lo; at < hi; at += span {
+		end := at + span
+		if end > hi {
+			end = hi
+		}
+		out = append(out, rangeReq{CID: cid, Lo: at, Hi: end})
+	}
+	return out
+}
+
+// Run fans the campaign out over the pool's workers and blocks until it
+// settles, returning the merged result. The campaign must target a registry
+// application (workers re-resolve it by name) and a registered tool. See
+// the package comment for the determinism, cache-sharing and cancellation
+// contracts; they are asserted by the determinism suite. One edge diverges
+// from in-process runs: Result.Profile comes from the workers, so a partial
+// result whose every contributing worker died before finishing its first
+// range can carry a nil Profile.
+func (p *Pool) Run(ctx context.Context, c *campaign.Campaign) (*campaign.Result, error) {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+
+	spec := c.Spec()
+	if _, err := workloads.ByName(spec.App); err != nil {
+		return nil, fmt.Errorf("shard: %w (sharded campaigns need workload-registry apps)", err)
+	}
+	if _, err := campaign.ToolByName(spec.Tool); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	lo, hi := c.TrialRange()
+	if lo < 0 || lo > hi {
+		return nil, fmt.Errorf("shard: %s/%s: invalid trial range [%d, %d)", spec.App, spec.Tool, lo, hi)
+	}
+	if ctx != nil {
+		// Promptly honor an already-cancelled context before assigning any
+		// work, matching the in-process runner's pre-trial ctx check.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("campaign: %s/%s: %w", spec.App, spec.Tool, err)
+		}
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("shard: Run on closed Pool")
+	}
+	live := 0
+	for _, w := range p.workers {
+		if !w.dead {
+			live++
+		}
+	}
+	if live == 0 {
+		p.mu.Unlock()
+		return nil, errors.New("shard: no live workers")
+	}
+	if spec.Workers <= 0 {
+		// Split this machine's parallelism across the worker processes
+		// instead of oversubscribing it n times.
+		if spec.Workers = runtime.GOMAXPROCS(0) / live; spec.Workers < 1 {
+			spec.Workers = 1
+		}
+	}
+	cid := p.nextCID
+	p.nextCID++
+	run := &runState{
+		cid:      cid,
+		ctx:      ctx,
+		spec:     spec,
+		merger:   c.NewMerger(),
+		pending:  partition(cid, lo, hi, rangeSpan(hi-lo, live)),
+		finished: make(chan struct{}),
+	}
+	run.total = len(run.pending)
+	p.run = run
+	p.assignLocked()
+	p.settleLocked() // zero-trial campaigns settle immediately
+	p.mu.Unlock()
+
+	stopWatch := make(chan struct{})
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				p.mu.Lock()
+				if p.run == run && !run.settled {
+					// Stop assigning; claimed ranges drain, the delivered
+					// prefix stays contiguous.
+					run.cancelled = true
+					p.settleLocked()
+				}
+				p.mu.Unlock()
+			case <-stopWatch:
+			}
+		}()
+	}
+	<-run.finished
+	close(stopWatch)
+
+	if run.err != nil {
+		return nil, fmt.Errorf("shard: %s/%s: %w", spec.App, spec.Tool, run.err)
+	}
+	return run.merger.Finish(ctx)
+}
+
+// assignLocked hands pending ranges to idle live workers, introducing the
+// campaign spec on a worker's first contact. Caller holds p.mu. A worker
+// holds at most one outstanding range, so these small control messages can
+// never back up the stdin pipe (the worker is parked in Decode when we
+// write).
+func (p *Pool) assignLocked() {
+	run := p.run
+	if run == nil || run.cancelled || run.err != nil {
+		return
+	}
+	// A cancelled context stops the hand-out even before the watcher
+	// goroutine fires — mirroring sched's claim() guard — so prompt
+	// cancellation never races a slow assignment loop.
+	if run.ctx != nil && run.ctx.Err() != nil {
+		run.cancelled = true
+		return
+	}
+	for _, w := range p.workers {
+		if len(run.pending) == 0 {
+			return
+		}
+		if w.dead || w.cur != nil {
+			continue
+		}
+		r := run.pending[0]
+		if !w.knows[run.cid] {
+			if err := w.enc.Encode(&req{Spec: &specIntro{CID: run.cid, Spec: run.spec}}); err != nil {
+				w.dead = true // reader EOF will reap it; range stays pending
+				continue
+			}
+			w.knows[run.cid] = true
+		}
+		if err := w.enc.Encode(&req{Range: &r}); err != nil {
+			w.dead = true
+			continue
+		}
+		run.pending = run.pending[1:]
+		cur := r
+		w.cur = &cur
+	}
+}
+
+// settleLocked closes the run when nothing more will arrive: every range
+// acked, or assignment stopped (cancellation/error) and every outstanding
+// range drained or died. Caller holds p.mu.
+func (p *Pool) settleLocked() {
+	run := p.run
+	if run == nil || run.settled {
+		return
+	}
+	outstanding := false
+	for _, w := range p.workers {
+		if !w.dead && w.cur != nil {
+			outstanding = true
+		}
+	}
+	if run.done == run.total || ((run.cancelled || run.err != nil) && !outstanding) {
+		run.settled = true
+		p.run = nil
+		close(run.finished)
+	}
+}
+
+// reader is the per-worker decode loop, alive for the pool's lifetime: it
+// merges trial frames, acknowledges ranges (freeing the worker for the next
+// assignment), and on worker death requeues the outstanding range.
+func (p *Pool) reader(w *proc, stdout io.Reader) {
+	defer close(w.readerDone)
+	dec := gob.NewDecoder(stdout)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			p.workerGone(w)
+			return
+		}
+		p.dispatch(w, &f)
+	}
+}
+
+// dispatch handles one worker frame. Trial and profile frames go straight
+// to the merger (thread-safe; ordering is the collector's reorder buffer's
+// job); control frames update assignment state under the pool lock.
+func (p *Pool) dispatch(w *proc, f *frame) {
+	switch f.Kind {
+	case frameTrial:
+		p.mu.Lock()
+		run := p.run
+		p.mu.Unlock()
+		if run != nil && run.cid == f.CID {
+			run.merger.Add(f.Index, f.TR)
+		}
+	case frameProfile:
+		p.mu.Lock()
+		run := p.run
+		p.mu.Unlock()
+		if run != nil && run.cid == f.CID && f.Profile != nil {
+			run.merger.SetProfile(f.Profile)
+		}
+	case frameRangeDone:
+		p.mu.Lock()
+		w.last = f.Stats
+		if run := p.run; run != nil && run.cid == f.CID &&
+			w.cur != nil && w.cur.Lo == f.Lo && w.cur.Hi == f.Hi {
+			w.cur = nil
+			run.done++
+			p.assignLocked()
+			p.settleLocked()
+		}
+		p.mu.Unlock()
+	case frameErr:
+		p.mu.Lock()
+		if run := p.run; run != nil && run.cid == f.CID {
+			if run.err == nil {
+				run.err = errors.New(f.Err)
+			}
+			w.cur = nil
+			p.settleLocked()
+		}
+		p.mu.Unlock()
+	case frameExit:
+		p.mu.Lock()
+		w.last = f.Stats
+		p.mu.Unlock()
+	}
+}
+
+// workerGone reaps a dead worker: its outstanding range is reassigned to a
+// live worker (the merger drops whatever duplicate prefix the dead worker
+// already shipped), unless the run is already cancelled — then the range is
+// abandoned like any unclaimed one. When the last worker dies mid-run the
+// campaign fails rather than hangs.
+func (p *Pool) workerGone(w *proc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w.dead = true
+	orphan := w.cur
+	w.cur = nil
+	run := p.run
+	if run == nil {
+		return
+	}
+	if orphan != nil && orphan.CID == run.cid && !run.cancelled && run.err == nil {
+		// Reassign: keep pending sorted by Lo so claimed ranges stay the
+		// lowest outstanding and the delivered prefix contiguous.
+		i := sort.Search(len(run.pending), func(i int) bool { return run.pending[i].Lo >= orphan.Lo })
+		run.pending = append(run.pending, rangeReq{})
+		copy(run.pending[i+1:], run.pending[i:])
+		run.pending[i] = *orphan
+	}
+	live := 0
+	for _, other := range p.workers {
+		if !other.dead {
+			live++
+		}
+	}
+	if live == 0 && run.err == nil && !run.cancelled {
+		run.err = errors.New("all workers exited mid-campaign")
+	}
+	p.assignLocked()
+	p.settleLocked()
+}
+
+// Run is the one-shot convenience: spawn an n-worker pool, run the single
+// campaign, drain the pool. Campaign.WithShards routes here through the
+// registered engine hook.
+func Run(ctx context.Context, n int, c *campaign.Campaign) (*campaign.Result, error) {
+	p, err := NewPool(n)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	return p.Run(ctx, c)
+}

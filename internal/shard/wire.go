@@ -1,0 +1,74 @@
+package shard
+
+import "repro/internal/campaign"
+
+// Wire format. Both directions are gob streams over the worker's stdio:
+//
+//	coordinator → worker (stdin):  a stream of req messages — a specIntro
+//	    introduces a campaign under a small integer id (once per campaign
+//	    per worker, before its first range), a rangeReq assigns the trial
+//	    index range [Lo, Hi) of that campaign. Closing stdin tells the
+//	    worker to finish up: it ships a final frameExit with its cache
+//	    counters and exits 0.
+//
+//	worker → coordinator (stdout): a stream of frames. Running a range
+//	    produces one frameTrial per trial — (Index, TrialResult), exactly
+//	    the order-deterministic observer's callback shape, in trial order —
+//	    then one frameProfile (first range of a campaign only; builds are
+//	    byte-stable across processes, so every worker derives the identical
+//	    profile) and one frameRangeDone echoing [Lo, Hi) with the worker's
+//	    cumulative cache counters. A campaign-fatal error (unknown app,
+//	    build failure) is one frameErr.
+//
+// The coordinator merges frameTrial streams through campaign.Merger, which
+// feeds the same reorder-buffer collector the in-process paths use: frames
+// may interleave across workers in any order, duplicates from reassigned
+// ranges are dropped, and the merged Counts/Cycles/Records/observer stream
+// come out bit-identical to an unsharded run.
+
+// req is one coordinator→worker message; exactly one field is non-nil.
+type req struct {
+	Spec  *specIntro
+	Range *rangeReq
+}
+
+// specIntro introduces a campaign spec under an id all later rangeReqs use.
+type specIntro struct {
+	CID  int
+	Spec campaign.Spec
+}
+
+// rangeReq assigns the trial index range [Lo, Hi) of campaign CID.
+type rangeReq struct {
+	CID    int
+	Lo, Hi int
+}
+
+type frameKind uint8
+
+const (
+	// frameTrial carries one trial result: (Index, TR).
+	frameTrial frameKind = iota
+	// frameProfile carries the campaign's golden-run profile.
+	frameProfile
+	// frameRangeDone acknowledges completion of [Lo, Hi), with the worker's
+	// cumulative cache counters piggybacked for the drivers' stats report.
+	frameRangeDone
+	// frameErr reports a campaign-fatal worker error (Err).
+	frameErr
+	// frameExit is the worker's sign-off after stdin closes: final cache
+	// counters, then process exit.
+	frameExit
+)
+
+// frame is one worker→coordinator message.
+type frame struct {
+	Kind    frameKind
+	CID     int
+	Index   int
+	TR      campaign.TrialResult
+	Profile *campaign.Profile
+	Lo, Hi  int
+	Err     string
+	Stats   campaign.CacheStats
+}

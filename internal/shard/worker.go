@@ -1,0 +1,196 @@
+package shard
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/campaign"
+	"repro/internal/workloads"
+)
+
+// workerEnv marks a process as a re-exec'd shard worker. The coordinator
+// sets it when spawning os.Executable(), so the same mechanism works for the
+// fi-* drivers and for test binaries (whose TestMain calls MaybeWorker).
+const workerEnv = "FI_SHARD_WORKER"
+
+// MaybeWorker turns this process into a shard worker when the re-exec
+// marker is set, running the wire protocol on stdin/stdout and exiting when
+// the coordinator closes the pipe. Call it first thing in main() — and in
+// TestMain of any test binary that spawns a Pool — before flags or tests
+// run. It returns (without side effects) in ordinary processes.
+func MaybeWorker() {
+	if os.Getenv(workerEnv) == "" {
+		return
+	}
+	if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "shard worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// WorkerMain runs the worker half of the wire protocol: decode spec and
+// range assignments from in, run each assigned range through the ordinary
+// campaign.New(...).Run machinery, and stream (index, TrialResult) frames
+// to out. It returns when the coordinator closes in (normal drain) or the
+// process receives SIGTERM/SIGINT — then the current range's claimed trials
+// finish shipping their contiguous prefix, a final frameExit carries the
+// cache counters, and the coordinator reassigns whatever was left.
+func WorkerMain(in io.Reader, out io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	w := &worker{
+		dec:    gob.NewDecoder(in),
+		enc:    gob.NewEncoder(out),
+		specs:  map[int]campaign.Spec{},
+		caches: map[string]*campaign.Cache{},
+	}
+	for {
+		var r req
+		if err := w.dec.Decode(&r); err != nil {
+			w.sendExit()
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return fmt.Errorf("decode: %w", err)
+		}
+		switch {
+		case r.Spec != nil:
+			w.specs[r.Spec.CID] = r.Spec.Spec
+		case r.Range != nil:
+			w.runRange(ctx, r.Range)
+			if ctx.Err() != nil {
+				// SIGTERM'd: the claimed range drained (its delivered prefix
+				// is on the wire); leave the rest to reassignment.
+				w.sendExit()
+				return nil
+			}
+		}
+	}
+}
+
+// worker is the per-process protocol state: introduced specs, one
+// build/profile cache per cache directory (plus one process-private memory
+// cache for dirless specs), and which campaigns already shipped a profile.
+type worker struct {
+	dec      *gob.Decoder
+	enc      *gob.Encoder
+	specs    map[int]campaign.Spec
+	caches   map[string]*campaign.Cache
+	profiled map[int]bool
+	encErr   error
+}
+
+// send encodes one frame, latching the first encode error (a vanished
+// coordinator): after that the worker just drains.
+func (w *worker) send(f *frame) {
+	if w.encErr != nil {
+		return
+	}
+	w.encErr = w.enc.Encode(f)
+}
+
+func (w *worker) sendExit() {
+	w.send(&frame{Kind: frameExit, Stats: w.stats()})
+}
+
+// stats sums the cache counters across the worker's caches.
+func (w *worker) stats() campaign.CacheStats {
+	var s campaign.CacheStats
+	for _, c := range w.caches {
+		st := c.Stats()
+		s.MemHits += st.MemHits
+		s.DiskHits += st.DiskHits
+		s.Builds += st.Builds
+		s.DiskErrors += st.DiskErrors
+	}
+	return s
+}
+
+// cache resolves the build/profile cache for a spec: the shared disk cache
+// rooted at its CacheDir, or a worker-private memory cache. One instance per
+// directory per process, so a worker's later ranges and campaigns reuse
+// earlier builds in memory.
+func (w *worker) cache(dir string) (*campaign.Cache, error) {
+	if c, ok := w.caches[dir]; ok {
+		return c, nil
+	}
+	var (
+		c   *campaign.Cache
+		err error
+	)
+	if dir == "" {
+		c = campaign.NewCache()
+	} else if c, err = campaign.NewDiskCache(dir); err != nil {
+		return nil, err
+	}
+	w.caches[dir] = c
+	return c, nil
+}
+
+// runRange executes trial range [Lo, Hi) of an introduced campaign,
+// streaming each trial as a frame from inside the campaign's ordered
+// observer, then the profile (once per campaign) and the range ack.
+func (w *worker) runRange(ctx context.Context, r *rangeReq) {
+	fail := func(err error) {
+		w.send(&frame{Kind: frameErr, CID: r.CID, Err: err.Error()})
+	}
+	s, ok := w.specs[r.CID]
+	if !ok {
+		fail(fmt.Errorf("shard: range for unknown campaign id %d", r.CID))
+		return
+	}
+	app, err := workloads.ByName(s.App)
+	if err != nil {
+		fail(err)
+		return
+	}
+	cache, err := w.cache(s.CacheDir)
+	if err != nil {
+		fail(err)
+		return
+	}
+	cam, err := campaign.NewFromSpec(s, app, r.Lo, r.Hi, cache, func(i int, tr campaign.TrialResult) {
+		w.send(&frame{Kind: frameTrial, CID: r.CID, Index: i, TR: tr})
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	res, err := cam.Run(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			// SIGTERM'd mid-range: the partial prefix is already on the
+			// wire; still ship the profile (the coordinator may have no
+			// other worker that completed a range), then let the exit path
+			// report. The range itself is left for reassignment.
+			if res != nil {
+				w.sendProfile(r.CID, res.Profile)
+			}
+			return
+		}
+		fail(err)
+		return
+	}
+	w.sendProfile(r.CID, res.Profile)
+	w.send(&frame{Kind: frameRangeDone, CID: r.CID, Lo: r.Lo, Hi: r.Hi, Stats: w.stats()})
+}
+
+// sendProfile ships a campaign's golden-run profile once per process.
+func (w *worker) sendProfile(cid int, p *campaign.Profile) {
+	if p == nil || w.profiled[cid] {
+		return
+	}
+	if w.profiled == nil {
+		w.profiled = map[int]bool{}
+	}
+	w.profiled[cid] = true
+	w.send(&frame{Kind: frameProfile, CID: cid, Profile: p})
+}

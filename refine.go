@@ -35,6 +35,7 @@ import (
 	"repro/internal/opcodefi"
 	"repro/internal/pinfi"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -171,7 +172,36 @@ var (
 	// concurrent campaigns interleave at trial granularity with
 	// bit-identical results.
 	WithExecutor = campaign.WithExecutor
+	// WithShards fans the campaign across N worker OS processes (this
+	// binary re-exec'd; see ShardPool) with bit-identical results for any
+	// shard count. Requires a registry app (AppByName).
+	WithShards = campaign.WithShards
+	// WithTrialRange restricts the campaign to trial indexes [lo, hi)
+	// while keeping absolute per-trial seeds — the sharding substrate,
+	// usable directly for manual work splitting.
+	WithTrialRange = campaign.WithTrialRange
 )
+
+// ErrBuildUnclaimed is returned (wrapped) by scheduled campaigns whose
+// build+profile unit was abandoned before any executor worker claimed it
+// while the context reports no error; match with errors.Is.
+var ErrBuildUnclaimed = campaign.ErrBuildUnclaimed
+
+// ShardPool is a set of live worker processes that campaigns fan out over:
+// this binary re-exec'd, driven over stdio with gob frames, sharing one
+// content-addressed disk cache. One pool can run many campaigns (a suite)
+// before Close. See internal/shard for the wire protocol and the
+// determinism, cache-sharing and cancellation contracts.
+type ShardPool = shard.Pool
+
+// NewShardPool spawns n shard worker processes. The embedding binary must
+// call MaybeShardWorker first thing in main (the fi-* drivers do).
+func NewShardPool(n int) (*ShardPool, error) { return shard.NewPool(n) }
+
+// MaybeShardWorker turns this process into a shard worker when it was
+// re-exec'd by a ShardPool (no-op otherwise). Call it before flag parsing
+// in any main — or in TestMain of any test binary — that creates pools.
+func MaybeShardWorker() { shard.MaybeWorker() }
 
 // Executor is the process-wide work-stealing trial executor: one pool that
 // treats every build, profile and trial of every campaign as a claimable
