@@ -70,6 +70,7 @@ func main() {
 	shards := flag.Int("shards", 0, "fan campaigns across N worker OS processes (this binary re-exec'd); results are bit-identical to in-process runs, and -cache-dir is shared so only the first worker per app x tool builds (0 = in-process)")
 	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker: gob job assignments on stdin, trial frames on stdout (what -shards re-execs; normally set via the environment)")
 	cacheDir := flag.String("cache-dir", "", "persist built binaries + profiles under this directory (warm starts skip all builds)")
+	journalDir := flag.String("journal", "", "append every completed trial to a crash-safe journal under this directory; a restarted run replays it and re-executes only missing trials")
 	quiet := flag.Bool("quiet", false, "suppress per-campaign progress")
 	flag.Parse()
 	if *shardWorker {
@@ -95,6 +96,14 @@ func main() {
 		fatal(err)
 	}
 	cfg.Sched, cfg.Cache = ex, cache
+	var journal *campaign.Journal
+	if *journalDir != "" {
+		if journal, err = campaign.OpenJournal(*journalDir); err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+		cfg.Journal = journal
+	}
 	var pool *shard.Pool
 	if *shards > 0 {
 		if pool, err = shard.NewPool(*shards); err != nil {
@@ -142,6 +151,9 @@ func main() {
 		len(suite.Order), len(suite.Tools), suite.Trials,
 		len(suite.Order)*len(suite.Tools)*suite.Trials, time.Since(start).Round(time.Millisecond))
 	fmt.Println(experiments.CacheStatsLine(cache))
+	if journal != nil {
+		fmt.Println(experiments.JournalLine(journal))
+	}
 	if pool != nil {
 		pool.Close() // drain the workers' final cache counters first
 		fmt.Println(experiments.ShardLines(pool))

@@ -60,6 +60,7 @@ func run() error {
 	shards := flag.Int("shards", 0, "fan campaigns across N worker OS processes (this binary re-exec'd); results are bit-identical to in-process runs (0 = in-process)")
 	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker: gob job assignments on stdin, trial frames on stdout (what -shards re-execs; normally set via the environment)")
 	cacheDir := flag.String("cache-dir", "", "persist built binaries + profiles under this directory (warm starts skip all builds)")
+	journalDir := flag.String("journal", "", "append every completed trial to a crash-safe journal under this directory; a restarted run replays it and re-executes only missing trials")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file")
 	flag.Parse()
 	if *shardWorker {
@@ -94,6 +95,14 @@ func run() error {
 		return err
 	}
 	cfg.Sched, cfg.Cache = ex, cache
+	var journal *campaign.Journal
+	if *journalDir != "" {
+		if journal, err = campaign.OpenJournal(*journalDir); err != nil {
+			return err
+		}
+		defer journal.Close()
+		cfg.Journal = journal
+	}
 	var pool *shard.Pool
 	if *shards > 0 {
 		if pool, err = shard.NewPool(*shards); err != nil {
@@ -133,6 +142,9 @@ func run() error {
 		return err
 	}
 	fmt.Println(experiments.CacheStatsLine(cache))
+	if journal != nil {
+		fmt.Println(experiments.JournalLine(journal))
+	}
 	if pool != nil {
 		pool.Close() // drain the workers' final cache counters first
 		fmt.Println(experiments.ShardLines(pool))

@@ -58,6 +58,7 @@ func main() {
 	shards := flag.Int("shards", 0, "fan -measure campaigns across N worker OS processes (this binary re-exec'd); verdicts are bit-identical to in-process runs (0 = in-process)")
 	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker: gob job assignments on stdin, trial frames on stdout (what -shards re-execs; normally set via the environment)")
 	cacheDir := flag.String("cache-dir", "", "persist -measure builds + profiles under this directory")
+	journalDir := flag.String("journal", "", "append every completed -measure trial to a crash-safe journal under this directory; a restarted run replays it and re-executes only missing trials")
 	flag.Parse()
 	if *shardWorker {
 		if err := shard.WorkerMain(os.Stdin, os.Stdout); err != nil {
@@ -120,7 +121,7 @@ func main() {
 	}
 
 	if *measure {
-		if err := runMeasured(*appsFlag, *trials, *seed, *schedWorkers, *chunk, *shards, *cacheDir); err != nil {
+		if err := runMeasured(*appsFlag, *trials, *seed, *schedWorkers, *chunk, *shards, *cacheDir, *journalDir); err != nil {
 			fmt.Fprintln(os.Stderr, "fi-stats:", err)
 			os.Exit(1)
 		}
@@ -129,7 +130,7 @@ func main() {
 
 // runMeasured runs a live suite through the shared scheduler (and the disk
 // cache when dir is set) and prints the measured Table 5.
-func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk, shards int, dir string) error {
+func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk, shards int, dir, journalDir string) error {
 	cfg := experiments.Config{
 		Trials: trials,
 		Seed:   seed,
@@ -144,6 +145,14 @@ func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk, s
 		return err
 	}
 	cfg.Sched, cfg.Cache = ex, cache
+	var journal *campaign.Journal
+	if journalDir != "" {
+		if journal, err = campaign.OpenJournal(journalDir); err != nil {
+			return err
+		}
+		defer journal.Close()
+		cfg.Journal = journal
+	}
 	var pool *shard.Pool
 	if shards > 0 {
 		if pool, err = shard.NewPool(shards); err != nil {
@@ -167,6 +176,9 @@ func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk, s
 	}
 	fmt.Printf("\nMeasured suite (n=%d per cell):\n", suite.Trials)
 	fmt.Println(experiments.CacheStatsLine(cache))
+	if journal != nil {
+		fmt.Println(experiments.JournalLine(journal))
+	}
 	if pool != nil {
 		pool.Close() // drain the workers' final cache counters first
 		fmt.Println(experiments.ShardLines(pool))

@@ -1,0 +1,125 @@
+// Package backoff provides bounded retry with exponential backoff and
+// jitter for the harness's own fallible operations: worker spawn, disk-cache
+// I/O, journal writes. The budgets are deliberately small and explicit — a
+// deterministically failing operation must surface as an error (or a
+// HarnessFault outcome, at the campaign layer) after a handful of attempts,
+// never loop forever. Jitter only perturbs *timing*, never results, so the
+// determinism invariant (bit-identical tables for a fixed seed) is
+// unaffected.
+package backoff
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy bounds a retry loop.
+type Policy struct {
+	// Attempts is the total number of tries, first included (<= 1 ⇒ no
+	// retries).
+	Attempts int
+	// Base is the delay before the first retry; each subsequent retry
+	// doubles it.
+	Base time.Duration
+	// Max caps the per-retry delay (0 ⇒ uncapped).
+	Max time.Duration
+	// Jitter is the fraction of each delay drawn uniformly at random in
+	// [1-Jitter, 1+Jitter), de-synchronizing retry storms across workers
+	// (0 ⇒ none).
+	Jitter float64
+}
+
+// Default is the harness-wide policy for transient local failures: 4 tries
+// over roughly 10+20+40 ms.
+func Default() Policy {
+	return Policy{Attempts: 4, Base: 10 * time.Millisecond, Max: 250 * time.Millisecond, Jitter: 0.25}
+}
+
+// jitterRNG is a private source so backoff never perturbs the global
+// math/rand stream (workloads and tests may seed it).
+var (
+	rngMu sync.Mutex
+	rng   = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// Delay returns the backoff delay before retry number retry (0-based).
+func (p Policy) Delay(retry int) time.Duration {
+	d := p.Base << uint(retry)
+	if d <= 0 { // overflow or zero base
+		d = p.Base
+	}
+	if p.Max > 0 && d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 {
+		rngMu.Lock()
+		f := 1 + p.Jitter*(2*rng.Float64()-1)
+		rngMu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// permanent wraps an error that must not be retried.
+type permanent struct{ err error }
+
+func (p permanent) Error() string { return p.err.Error() }
+func (p permanent) Unwrap() error { return p.err }
+
+// Permanent marks an error as non-retryable: Retry returns it (unwrapped)
+// immediately instead of burning the remaining attempts.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanent{err}
+}
+
+// Retry runs op up to p.Attempts times, sleeping the policy's backoff
+// between tries, until it succeeds, returns a Permanent error, or the
+// context is cancelled. The returned error is the last attempt's (wrapped
+// Permanent errors are unwrapped); a cancelled context returns ctx.Err().
+// A nil ctx behaves like context.Background().
+func Retry(ctx context.Context, p Policy, op func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		var perm permanent
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if i == attempts-1 {
+			break
+		}
+		d := p.Delay(i)
+		if d <= 0 {
+			continue
+		}
+		if ctx == nil || ctx.Done() == nil {
+			time.Sleep(d)
+			continue
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return err
+}

@@ -1,0 +1,118 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	p := Policy{Attempts: 4, Base: time.Microsecond}
+	calls := 0
+	err := Retry(nil, p, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on attempt 3", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	p := Policy{Attempts: 3, Base: time.Microsecond}
+	calls := 0
+	boom := errors.New("boom")
+	if err := Retry(nil, p, func() error { calls++; return boom }); !errors.Is(err, boom) {
+		t.Fatalf("want the last attempt's error, got %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("ran %d attempts, want exactly 3", calls)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	p := Policy{Attempts: 10, Base: time.Microsecond}
+	calls := 0
+	boom := errors.New("fatal")
+	err := Retry(nil, p, func() error { calls++; return Permanent(boom) })
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+	// Permanent is unwrapped on return: callers match the original error.
+	if !errors.Is(err, boom) || err.Error() != "fatal" {
+		t.Fatalf("got %v, want the unwrapped original", err)
+	}
+}
+
+func TestPermanentNilIsNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, Default(), func() error { calls++; return errors.New("x") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("op ran %d times under a pre-cancelled context", calls)
+	}
+}
+
+func TestRetryCancelsMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Attempts: 3, Base: time.Hour} // the sleep must be interrupted
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, p, func() error { return errors.New("x") })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry slept through the cancellation")
+	}
+}
+
+func TestDelayBoundsAndJitter(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond, Jitter: 0.25}
+	for retry := 0; retry < 8; retry++ {
+		d := p.Delay(retry)
+		// Exponential, capped at Max, jittered by at most ±25%.
+		base := p.Base << uint(retry)
+		if base > p.Max {
+			base = p.Max
+		}
+		lo := time.Duration(float64(base) * 0.74)
+		hi := time.Duration(float64(base) * 1.26)
+		if d < lo || d > hi {
+			t.Fatalf("Delay(%d) = %v outside [%v, %v]", retry, d, lo, hi)
+		}
+	}
+}
+
+func TestDelayOverflowFallsBackToBase(t *testing.T) {
+	p := Policy{Base: time.Hour}
+	if d := p.Delay(62); d != time.Hour { // Base << 62 overflows negative
+		t.Fatalf("overflowed delay = %v, want Base", d)
+	}
+}
+
+func TestZeroAttemptsStillRunsOnce(t *testing.T) {
+	calls := 0
+	if err := Retry(nil, Policy{}, func() error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want one attempt", err, calls)
+	}
+}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/hex"
@@ -12,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/backoff"
+	"repro/internal/chaos"
 	"repro/internal/fault"
 	"repro/internal/opt"
 	"repro/internal/pinfi"
@@ -54,10 +57,11 @@ type Cache struct {
 	// layer's documented contract (one Build per name within a cache).
 	fp map[fpKey]string
 
-	memHits    atomic.Uint64
-	diskHits   atomic.Uint64
-	builds     atomic.Uint64
-	diskErrors atomic.Uint64
+	memHits     atomic.Uint64
+	diskHits    atomic.Uint64
+	builds      atomic.Uint64
+	diskErrors  atomic.Uint64
+	quarantined atomic.Uint64
 }
 
 // CacheStats are the cache's hit/build counters, for the CLI drivers' cache
@@ -71,9 +75,15 @@ type CacheStats struct {
 	DiskHits uint64
 	// Builds counts full build+profile executions.
 	Builds uint64
-	// DiskErrors counts unreadable/corrupt disk entries and failed writes
-	// (the cache falls back to building; it never fails a campaign).
+	// DiskErrors counts transient disk failures that survived the retry
+	// budget — unreadable files, failed writes (the cache falls back to
+	// building; it never fails a campaign).
 	DiskErrors uint64
+	// Quarantined counts corrupt disk entries (checksum mismatch, torn or
+	// truncated gob) renamed aside to <name>.quarantine: the entry is
+	// rebuilt exactly once instead of being re-decoded — and re-failing —
+	// on every warm run.
+	Quarantined uint64
 }
 
 type cacheKey struct {
@@ -110,6 +120,15 @@ func NewDiskCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: cache dir: %w", err)
 	}
+	// Probe writability now, so an unwritable directory fails the caller
+	// fast with one clear error instead of silently degrading every store
+	// into a DiskErrors tick.
+	probe, err := os.CreateTemp(dir, ".fic-probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: cache dir %s not writable: %w", dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
 	c := NewCache()
 	c.dir = dir
 	return c, nil
@@ -121,10 +140,11 @@ func (c *Cache) Dir() string { return c.dir }
 // Stats returns the cache's counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		MemHits:    c.memHits.Load(),
-		DiskHits:   c.diskHits.Load(),
-		Builds:     c.builds.Load(),
-		DiskErrors: c.diskErrors.Load(),
+		MemHits:     c.memHits.Load(),
+		DiskHits:    c.diskHits.Load(),
+		Builds:      c.builds.Load(),
+		DiskErrors:  c.diskErrors.Load(),
+		Quarantined: c.quarantined.Load(),
 	}
 }
 
@@ -183,8 +203,21 @@ func (c *Cache) BuildAndProfile(app App, tool Tool, o BuildOptions, costs pinfi.
 // disk persistence ------------------------------------------------------------
 
 // diskFormatVersion is folded into the content address, so an incompatible
-// encoding change silently misses instead of mis-decoding.
-const diskFormatVersion = 1
+// encoding change silently misses instead of mis-decoding. Version 2 added
+// the leading SHA-256 self-checksum.
+const diskFormatVersion = 2
+
+// checksumLen prefixes every disk entry: SHA-256 over the gob payload,
+// verified on load so torn writes and bit-rot are detected (and
+// quarantined) instead of being re-decoded — or worse, half-decoded into a
+// plausible artifact — on every warm run.
+const checksumLen = sha256.Size
+
+// diskRetry bounds the retry loop around disk reads and writes: transient
+// failures (a busy file, an injected chaos error) are retried with
+// exponential backoff; corruption is never retried — it is deterministic
+// and goes straight to quarantine.
+var diskRetry = backoff.Default()
 
 type fpKey struct {
 	app     string
@@ -265,50 +298,108 @@ func (c *Cache) entryPath(app App, k cacheKey) string {
 }
 
 // loadDiskEntry restores a persisted artifact pair, reattaching the live app
-// and tool. A missing file is a plain miss; a corrupt one counts as a disk
-// error and falls back to building.
+// and tool. A missing file is a plain miss. A transient read failure is
+// retried with bounded backoff, then counted as a disk error and treated as
+// a miss. A corrupt entry — checksum mismatch, truncation, undecodable gob —
+// is quarantined: renamed to <name>.quarantine and counted, so the artifact
+// is rebuilt exactly once instead of re-failing on every warm run.
 func (c *Cache) loadDiskEntry(path string, app App, tool Tool) (*Binary, *Profile, bool) {
-	f, err := os.Open(path)
+	var data []byte
+	err := backoff.Retry(nil, diskRetry, func() error {
+		if err := chaos.Err("campaign.cache.load"); err != nil {
+			return err
+		}
+		var err error
+		data, err = os.ReadFile(path)
+		if os.IsNotExist(err) {
+			return backoff.Permanent(err)
+		}
+		return err
+	})
 	if err != nil {
 		if !os.IsNotExist(err) {
 			c.diskErrors.Add(1)
 		}
 		return nil, nil, false
 	}
-	defer f.Close()
+	if len(data) < checksumLen {
+		c.quarantine(path)
+		return nil, nil, false
+	}
+	payload := data[checksumLen:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], data[:checksumLen]) {
+		c.quarantine(path)
+		return nil, nil, false
+	}
 	var d diskEntry
-	if err := gob.NewDecoder(f).Decode(&d); err != nil || d.Img == nil || d.Prof == nil {
-		c.diskErrors.Add(1)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&d); err != nil || d.Img == nil || d.Prof == nil {
+		// The checksum matched, so this is a well-preserved entry in a
+		// format this binary cannot decode — version drift the content
+		// address should have caught. Quarantine it all the same: rebuilding
+		// once beats failing forever.
+		c.quarantine(path)
 		return nil, nil, false
 	}
 	return &Binary{App: app, Tool: tool, Img: d.Img, Sites: d.Sites, Cfg: d.Cfg}, d.Prof, true
 }
 
-// storeDiskEntry persists an artifact pair atomically (temp file + rename),
-// so concurrent processes sharing a cache dir see either nothing or a
-// complete entry. Failures only cost the warm start, never the campaign.
+// quarantine renames a corrupt entry aside (best effort: removed outright if
+// the rename fails) so the next lookup misses cleanly and rebuilds.
+func (c *Cache) quarantine(path string) {
+	c.quarantined.Add(1)
+	if err := os.Rename(path, path+".quarantine"); err != nil {
+		os.Remove(path)
+	}
+}
+
+// storeDiskEntry persists an artifact pair atomically (temp file + rename)
+// with a leading SHA-256 self-checksum, so concurrent processes sharing a
+// cache dir see either nothing or a complete, verifiable entry. Transient
+// write failures are retried with bounded backoff; persistent ones only
+// cost the warm start, never the campaign.
 func (c *Cache) storeDiskEntry(path string, bin *Binary, prof *Profile) {
-	tmp, err := os.CreateTemp(c.dir, ".fic-*")
+	var payload bytes.Buffer
+	d := diskEntry{Img: bin.Img, Sites: bin.Sites, Cfg: bin.Cfg, Prof: prof}
+	if err := gob.NewEncoder(&payload).Encode(&d); err != nil {
+		c.diskErrors.Add(1)
+		return
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	err := backoff.Retry(nil, diskRetry, func() error {
+		if err := chaos.Err("campaign.cache.store"); err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(c.dir, ".fic-*")
+		if err != nil {
+			return err
+		}
+		if _, err := tmp.Write(sum[:]); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		if _, err := tmp.Write(payload.Bytes()); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		return nil
+	})
 	if err != nil {
 		c.diskErrors.Add(1)
 		return
 	}
-	d := diskEntry{Img: bin.Img, Sites: bin.Sites, Cfg: bin.Cfg, Prof: prof}
-	if err := gob.NewEncoder(tmp).Encode(&d); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		c.diskErrors.Add(1)
-		return
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		c.diskErrors.Add(1)
-		return
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		c.diskErrors.Add(1)
-	}
+	// Chaos seam: the bit-rot / torn-write injection point for the cache
+	// quarantine tests — corrupts the just-renamed entry in place.
+	chaos.Corrupt("campaign.cache.stored", path)
 }
 
 // Len reports the number of cached entries (for tests and diagnostics).

@@ -1,0 +1,178 @@
+package campaign_test
+
+// Disk-cache corruption tests: a truncated or bit-flipped entry must be
+// detected by the self-checksum on load, renamed aside to <name>.quarantine
+// (counted in Stats), and rebuilt exactly once — a subsequent warm cache
+// reports builds=0 again.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/chaos"
+	"repro/internal/pinfi"
+	"repro/internal/workloads"
+)
+
+// cacheEntries globs the persisted .fic entries under dir.
+func cacheEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.fic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// warmOnce builds (or restores) CG×REFINE through a fresh Cache over dir and
+// returns the counters.
+func warmOnce(t *testing.T, dir string) campaign.CacheStats {
+	t.Helper()
+	cache, err := campaign.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := workloads.ByName("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cache.BuildAndProfile(app, campaign.REFINE, campaign.DefaultBuildOptions(), pinfi.DefaultCosts()); err != nil {
+		t.Fatal(err)
+	}
+	return cache.Stats()
+}
+
+func TestCorruptCacheEntryQuarantinedAndRebuiltOnce(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bitflipped", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"tiny", func(t *testing.T, path string) {
+			// Shorter than the checksum prefix: the undecodable-header case.
+			if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cold := warmOnce(t, dir)
+			if cold.Builds != 1 || cold.Quarantined != 0 {
+				t.Fatalf("cold run: %+v, want exactly one build", cold)
+			}
+			entries := cacheEntries(t, dir)
+			if len(entries) != 1 {
+				t.Fatalf("cold run left %d entries: %v", len(entries), entries)
+			}
+			tc.corrupt(t, entries[0])
+
+			// The corrupted entry must be quarantined and rebuilt — once.
+			rebuilt := warmOnce(t, dir)
+			if rebuilt.Quarantined != 1 {
+				t.Fatalf("corrupt run: %+v, want Quarantined=1", rebuilt)
+			}
+			if rebuilt.Builds != 1 || rebuilt.DiskHits != 0 {
+				t.Fatalf("corrupt run: %+v, want one rebuild and no disk hit", rebuilt)
+			}
+			if rebuilt.DiskErrors != 0 {
+				t.Fatalf("corruption miscounted as a transient disk error: %+v", rebuilt)
+			}
+			q, err := filepath.Glob(filepath.Join(dir, "*.quarantine"))
+			if err != nil || len(q) != 1 {
+				t.Fatalf("quarantine files: %v (err %v), want exactly one", q, err)
+			}
+
+			// The rebuild repaired the entry: a warm run builds nothing.
+			warm := warmOnce(t, dir)
+			if warm.Builds != 0 || warm.DiskHits != 1 || warm.Quarantined != 0 {
+				t.Fatalf("post-rebuild warm run: %+v, want pure disk hit", warm)
+			}
+		})
+	}
+}
+
+// TestChaosCorruptsStoredEntry drives the same path through the chaos seam:
+// an armed campaign.cache.stored fault rots the entry as it is written, the
+// way a torn flush or failing disk would.
+func TestChaosCorruptsStoredEntry(t *testing.T) {
+	defer chaos.Reset()
+	dir := t.TempDir()
+	chaos.Arm("campaign.cache.stored", chaos.Fault{Kind: chaos.Truncate})
+	cold := warmOnce(t, dir)
+	chaos.Reset()
+	if cold.Builds != 1 {
+		t.Fatalf("cold run under chaos: %+v", cold)
+	}
+	rebuilt := warmOnce(t, dir)
+	if rebuilt.Quarantined != 1 || rebuilt.Builds != 1 {
+		t.Fatalf("chaos-torn entry not quarantined+rebuilt: %+v", rebuilt)
+	}
+	warm := warmOnce(t, dir)
+	if warm.Builds != 0 || warm.DiskHits != 1 {
+		t.Fatalf("entry not repaired after chaos rebuild: %+v", warm)
+	}
+}
+
+// TestTransientLoadErrorsRetryThenFallBack: err-kind faults on the load seam
+// are transient — within the retry budget the load still succeeds; past it
+// the cache falls back to building, counting a DiskError, never failing.
+func TestTransientLoadErrorsRetryThenFallBack(t *testing.T) {
+	defer chaos.Reset()
+	dir := t.TempDir()
+	if cold := warmOnce(t, dir); cold.Builds != 1 {
+		t.Fatalf("cold run: %+v", cold)
+	}
+
+	// Two transient failures: the third attempt (of 4) succeeds.
+	chaos.Arm("campaign.cache.load", chaos.Fault{Kind: chaos.ErrKind, Count: 2})
+	warm := warmOnce(t, dir)
+	chaos.Reset()
+	if warm.Builds != 0 || warm.DiskHits != 1 || warm.DiskErrors != 0 {
+		t.Fatalf("transient errors within budget: %+v, want a clean disk hit", warm)
+	}
+
+	// Persistent failure: retries exhaust, one DiskError, build fallback.
+	chaos.Arm("campaign.cache.load", chaos.Fault{Kind: chaos.ErrKind, Count: 1 << 20})
+	broken := warmOnce(t, dir)
+	chaos.Reset()
+	if broken.Builds != 1 || broken.DiskErrors != 1 {
+		t.Fatalf("persistent load failure: %+v, want build fallback with one DiskError", broken)
+	}
+}
+
+// TestUnwritableCacheDirFailsFast: NewDiskCache must reject an unwritable
+// directory with one clear error instead of degrading every store.
+func TestUnwritableCacheDirFailsFast(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores file permissions")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if _, err := campaign.NewDiskCache(dir); err == nil {
+		t.Fatal("NewDiskCache accepted an unwritable directory")
+	}
+}

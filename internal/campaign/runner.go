@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +21,13 @@ import (
 // (e.g. a context whose Done channel fires before Err reports non-nil).
 // Match with errors.Is.
 var ErrBuildUnclaimed = errors.New("build+profile unit abandoned unclaimed")
+
+// ErrShardsUnavailable is wrapped by the shard engine when it cannot field
+// any worker process at all (the executable cannot be re-exec'd, every spawn
+// failed after retries). Run treats it as a degraded-mode signal: it warns
+// and falls back to in-process execution, which is bit-identical by the
+// determinism invariant — sharding only decides where trials run.
+var ErrShardsUnavailable = errors.New("shard workers unavailable")
 
 // Campaign is a fully specified fault-injection campaign: one application,
 // one injector, and the run configuration collected from functional options.
@@ -40,6 +49,7 @@ type Campaign struct {
 	exec        *sched.Executor // nil ⇒ private per-campaign worker pool
 	chunk       int             // trial indexes claimed per executor lock (0 ⇒ adaptive)
 	shards      int             // worker processes (WithShards; 0 ⇒ in-process)
+	journal     *Journal        // nil ⇒ no crash-safe resume
 }
 
 // Option configures a Campaign (functional options).
@@ -134,6 +144,26 @@ func WithTrialRange(lo, hi int) Option {
 // path.
 func WithShards(n int) Option { return func(c *Campaign) { c.shards = n } }
 
+// WithJournal makes the campaign crash-safe: every delivered trial is
+// appended to the journal as it completes, and Run starts by replaying the
+// journal's recorded trials for this campaign (matched by Spec.Key) through
+// the ordinary reorder-buffer collector, so only missing indices execute. A
+// coordinator killed mid-campaign therefore resumes where it left off, and
+// because trial i is a pure function of TrialSeed(seed, tool, i), the resumed
+// Counts/Cycles/Records/observer stream is bit-identical to an uninterrupted
+// run. Applies to the pooled, scheduled and sharded paths alike (shard
+// workers never journal — only the coordinator's merger does).
+func WithJournal(j *Journal) Option { return func(c *Campaign) { c.journal = j } }
+
+// resume returns the journal's recorded results for this campaign's trial
+// range (nil without a journal or recorded work).
+func (c *Campaign) resume() map[int]TrialResult {
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.Recorded(c.Spec().Key(), c.lo, c.trials)
+}
+
 // shardRunner is installed by internal/shard's init; campaign cannot import
 // it (shard depends on campaign and the workload registry).
 var shardRunner func(ctx context.Context, c *Campaign) (*Result, error)
@@ -198,9 +228,21 @@ type collector struct {
 	base       int // first trial index (WithTrialRange lo)
 	obs        func(int, TrialResult)
 	keep       bool
+
+	// Crash-safe resume sink: freshly executed trials are appended to the
+	// journal before insertion; indices in skip were themselves restored
+	// from the journal and must not be re-appended.
+	j    *Journal
+	jkey string
+	skip map[int]TrialResult
 }
 
 func (c *collector) add(i int, tr TrialResult) {
+	if c.j != nil {
+		if _, replayed := c.skip[i]; !replayed {
+			c.j.Append(c.jkey, i, tr)
+		}
+	}
 	c.mu.Lock()
 	c.pending[i] = tr
 	if c.delivering {
@@ -270,7 +312,14 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("campaign: %s/%s: WithShards(%d) needs the shard engine linked in (import repro/internal/shard or the refine facade)",
 				c.app.Name, c.tool.Name(), c.shards)
 		}
-		return shardRunner(ctx, c)
+		res, err := shardRunner(ctx, c)
+		if err == nil || !errors.Is(err, ErrShardsUnavailable) {
+			return res, err
+		}
+		// No worker process could be fielded: degrade to in-process
+		// execution with a warning. Results are bit-identical either way.
+		fmt.Fprintf(os.Stderr, "campaign: %s/%s: %v; falling back to in-process execution\n",
+			c.app.Name, c.tool.Name(), err)
 	}
 	if c.exec != nil {
 		return c.runScheduled(ctx)
@@ -291,7 +340,9 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 		workers = c.trials - c.lo
 	}
 
-	res, col := c.newResult(prof)
+	recorded := c.resume()
+	res, col := c.newResult(prof, recorded)
+	replay(col, recorded)
 
 	var nextIdx atomic.Int64
 	var wg sync.WaitGroup
@@ -311,6 +362,9 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 				i := c.lo + int(nextIdx.Add(1)) - 1
 				if i >= c.trials {
 					return
+				}
+				if _, ok := recorded[i]; ok {
+					continue // restored from the journal, already delivered
 				}
 				col.add(i, bin.runTrialOn(m, prof, c.costs, TrialSeed(c.seed, c.tool, i)))
 			}
@@ -350,9 +404,14 @@ func (c *Campaign) runScheduled(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("campaign: %s/%s: %w", c.app.Name, c.tool.Name(), err)
 	}
 
-	res, col := c.newResult(prof)
+	recorded := c.resume()
+	res, col := c.newResult(prof, recorded)
+	replay(col, recorded)
 	c.exec.SubmitChunk(ctx, c.trials-c.lo, c.chunk, func(i int) {
 		idx := c.lo + i
+		if _, ok := recorded[idx]; ok {
+			return // restored from the journal, already delivered
+		}
 		m := bin.AcquireMachine()
 		defer bin.ReleaseMachine(m)
 		col.add(idx, bin.runTrialOn(m, prof, c.costs, TrialSeed(c.seed, c.tool, idx)))
@@ -379,14 +438,35 @@ func (c *Campaign) prepare() (*Binary, *Profile, error) {
 }
 
 // newResult allocates the campaign result and its ordered collector.
-func (c *Campaign) newResult(prof *Profile) (*Result, *collector) {
+// recorded is the journal replay set (nil without one): those indices are
+// delivered from the journal and must not be re-appended to it.
+func (c *Campaign) newResult(prof *Profile, recorded map[int]TrialResult) (*Result, *collector) {
 	res := &Result{App: c.app.Name, Tool: c.tool, Trials: c.trials - c.lo, Profile: prof}
 	if c.keepRecords {
 		res.Records = make([]TrialResult, c.trials-c.lo)
 	}
 	col := &collector{pending: map[int]TrialResult{}, next: c.lo, base: c.lo,
 		res: res, obs: c.observer, keep: c.keepRecords}
+	if c.journal != nil {
+		col.j, col.jkey, col.skip = c.journal, c.Spec().Key(), recorded
+	}
 	return res, col
+}
+
+// replay feeds journal-restored trials into the collector in index order;
+// the reorder buffer delivers them exactly as a live run would.
+func replay(col *collector, recorded map[int]TrialResult) {
+	if len(recorded) == 0 {
+		return
+	}
+	idx := make([]int, 0, len(recorded))
+	for i := range recorded {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		col.add(i, recorded[i])
+	}
 }
 
 // finish applies the partial-prefix cancellation contract.

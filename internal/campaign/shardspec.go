@@ -10,6 +10,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/pinfi"
@@ -99,10 +100,50 @@ type Merger struct {
 	dups int
 }
 
-// NewMerger returns a Merger for the campaign's trial range.
+// NewMerger returns a Merger for the campaign's trial range. With WithJournal
+// configured, journal-recorded trials are replayed into the merger here —
+// marked seen and delivered through the collector — so Missing reports only
+// the work left to assign and late worker frames for replayed indices drop as
+// ordinary duplicates.
 func (c *Campaign) NewMerger() *Merger {
-	res, col := c.newResult(nil)
-	return &Merger{c: c, res: res, col: col, seen: make([]bool, c.trials-c.lo)}
+	recorded := c.resume()
+	res, col := c.newResult(nil, recorded)
+	m := &Merger{c: c, res: res, col: col, seen: make([]bool, c.trials-c.lo)}
+	if len(recorded) > 0 {
+		idx := make([]int, 0, len(recorded))
+		for i := range recorded {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		for _, i := range idx {
+			m.Add(i, recorded[i])
+		}
+	}
+	return m
+}
+
+// Missing returns the maximal runs [lo, hi) of trial indexes not yet folded
+// in — after construction, the work a journal resume still has to execute
+// (the full range for a fresh campaign). The shard pool partitions exactly
+// these runs instead of the whole range.
+func (m *Merger) Missing() [][2]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var runs [][2]int
+	lo := m.c.lo
+	for i := 0; i < len(m.seen); {
+		if m.seen[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(m.seen) && !m.seen[j] {
+			j++
+		}
+		runs = append(runs, [2]int{lo + i, lo + j})
+		i = j
+	}
+	return runs
 }
 
 // SetProfile attaches the profile shipped by the first worker to build the
@@ -135,6 +176,22 @@ func (m *Merger) Add(i int, tr TrialResult) bool {
 // Delivered reports the contiguous delivered prefix length — the trials
 // whose aggregates, record and observer call have all been applied.
 func (m *Merger) Delivered() int { return m.col.delivered() }
+
+// Unseen returns the indexes in [lo, hi) not yet folded in. The pool's
+// retry-budget logic uses it when splitting a repeatedly-fatal range into
+// single-trial ranges: indexes the dying workers already shipped need no
+// re-execution.
+func (m *Merger) Unseen(lo, hi int) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for i := lo; i < hi; i++ {
+		if k := i - m.c.lo; k >= 0 && k < len(m.seen) && !m.seen[k] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
 
 // Finish applies the partial-prefix cancellation contract and returns the
 // merged result, exactly as the in-process paths do: on a cancelled context

@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// resetArmed clears all armed faults and restores the exit seam after the
+// test, so chaos tests cannot leak state into each other.
+func resetArmed(t *testing.T) {
+	t.Helper()
+	Reset()
+	orig := exit
+	t.Cleanup(func() {
+		Reset()
+		exit = orig
+	})
+}
+
+func TestDisarmedPointsAreNoOps(t *testing.T) {
+	resetArmed(t)
+	Point("nothing.armed")
+	PointN("nothing.armed", 7)
+	if err := Err("nothing.armed"); err != nil {
+		t.Fatalf("disarmed Err returned %v", err)
+	}
+	if Tearing("nothing.armed") {
+		t.Fatal("disarmed Tearing reported true")
+	}
+	if Enabled() && os.Getenv(EnvVar) == "" {
+		t.Fatal("Enabled with nothing armed")
+	}
+}
+
+func TestErrFiresWithinWindow(t *testing.T) {
+	resetArmed(t)
+	Arm("p", Fault{Kind: ErrKind, After: 2, Count: 2})
+	var got []bool
+	for i := 0; i < 5; i++ {
+		got = append(got, Err("p") != nil)
+	}
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v, want %v (after=2 count=2)", i+1, got[i], want[i])
+		}
+	}
+	if Err("q") != nil {
+		t.Fatal("unrelated point fired")
+	}
+}
+
+func TestAtWindowCountsMatchingCalls(t *testing.T) {
+	resetArmed(t)
+	// after=2 on an at=17 fault means "the second call whose argument is
+	// 17", regardless of how many other arguments the point sees first.
+	crashed := 0
+	exit = func(int) { crashed++ }
+	Arm("trial", Fault{Kind: Crash, At: 17, HasAt: true, After: 2})
+	for _, arg := range []int64{3, 17, 9, 17, 17} {
+		PointN("trial", arg)
+	}
+	if crashed != 1 {
+		t.Fatalf("crash fired %d times, want exactly once (second arg=17 call)", crashed)
+	}
+}
+
+func TestAtMatchesArgumentNotHitNumber(t *testing.T) {
+	resetArmed(t)
+	exitCode := -1
+	exit = func(code int) { exitCode = code }
+	Arm("trial", Fault{Kind: Crash, At: 5, HasAt: true})
+	for i := int64(0); i < 10; i++ {
+		PointN("trial", i)
+	}
+	if exitCode != 3 {
+		t.Fatalf("crash at trial 5 did not fire (exit code %d)", exitCode)
+	}
+}
+
+func TestTearingFiresOnce(t *testing.T) {
+	resetArmed(t)
+	Arm("send", Fault{Kind: Tear})
+	if !Tearing("send") {
+		t.Fatal("armed tear did not fire")
+	}
+	if Tearing("send") {
+		t.Fatal("tear fired twice with count=1")
+	}
+}
+
+func TestSleepDelays(t *testing.T) {
+	resetArmed(t)
+	Arm("slow", Fault{Kind: Sleep, Sleep: 30 * time.Millisecond})
+	start := time.Now()
+	Point("slow")
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sleep fault delayed only %v", d)
+	}
+}
+
+func TestCorruptTruncateAndBitrot(t *testing.T) {
+	resetArmed(t)
+	dir := t.TempDir()
+	write := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, make([]byte, 1000), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	trunc := write("t.bin")
+	Arm("store", Fault{Kind: Truncate})
+	Corrupt("store", trunc)
+	if fi, err := os.Stat(trunc); err != nil || fi.Size() >= 1000 {
+		t.Fatalf("truncate fault left size %v (err %v)", fi.Size(), err)
+	}
+
+	Reset()
+	rot := write("r.bin")
+	Arm("store", Fault{Kind: Bitrot})
+	Corrupt("store", rot)
+	data, err := os.ReadFile(rot)
+	if err != nil || len(data) != 1000 {
+		t.Fatalf("bitrot changed the file size: %d bytes, err %v", len(data), err)
+	}
+	flipped := 0
+	for _, b := range data {
+		if b != 0 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("bitrot flipped %d bytes, want exactly one bit in one byte", flipped)
+	}
+}
+
+func TestArmSpecGrammar(t *testing.T) {
+	resetArmed(t)
+	if err := ArmSpec("cache.load:err:count=3; journal.write:err"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if Err("cache.load") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("count=3 fired %d times", fired)
+	}
+	if Err("journal.write") == nil {
+		t.Fatal("second spec clause did not arm")
+	}
+
+	for _, bad := range []string{"nameonly", "p:nosuchkind", "p:err:count", "p:err:bogus=1", "p:err:count=x"} {
+		if err := ArmSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestArmSpecWorkerFilter(t *testing.T) {
+	resetArmed(t)
+	t.Setenv(WorkerEnv, "2")
+	if err := ArmSpec("p:err:w=1;q:err:w=2"); err != nil {
+		t.Fatal(err)
+	}
+	if Err("p") != nil {
+		t.Fatal("fault for worker 1 armed in worker 2")
+	}
+	if Err("q") == nil {
+		t.Fatal("fault for worker 2 not armed in worker 2")
+	}
+}
+
+func TestPointsLists(t *testing.T) {
+	resetArmed(t)
+	Arm("b", Fault{Kind: ErrKind})
+	Arm("a", Fault{Kind: ErrKind})
+	pts := Points()
+	if len(pts) != 2 || pts[0] != "a" || pts[1] != "b" {
+		t.Fatalf("Points() = %v, want [a b]", pts)
+	}
+}

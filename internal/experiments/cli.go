@@ -45,8 +45,17 @@ func ResolveExecution(schedWorkers, trialWorkers int, cacheDir string) (*sched.E
 // job greps it to assert cold builds and warm disk hits).
 func CacheStatsLine(c *campaign.Cache) string {
 	st := c.Stats()
-	return fmt.Sprintf("# cache: builds=%d mem-hits=%d disk-hits=%d disk-errors=%d dir=%s",
-		st.Builds, st.MemHits, st.DiskHits, st.DiskErrors, c.Dir())
+	return fmt.Sprintf("# cache: builds=%d mem-hits=%d disk-hits=%d disk-errors=%d quarantined=%d dir=%s",
+		st.Builds, st.MemHits, st.DiskHits, st.DiskErrors, st.Quarantined, c.Dir())
+}
+
+// JournalLine renders the drivers' "# journal:" report. The chaos-smoke CI
+// job greps replayed= on a resumed run to assert that journal replay (not
+// re-execution) supplied the already-completed trials.
+func JournalLine(j *campaign.Journal) string {
+	st := j.Stats()
+	return fmt.Sprintf("# journal: segments=%d loaded=%d replayed=%d appended=%d torn=%d errors=%d dir=%s",
+		st.Segments, st.Loaded, st.Replayed, st.Appended, st.Torn, st.Errors, st.Dir)
 }
 
 // ExecutionLine renders the drivers' "# exec:" report: the resolved
@@ -71,6 +80,6 @@ func ExecutionLine(ex *sched.Executor, chunk int) string {
 // warm builds=0 on it).
 func ShardLines(p *shard.Pool) string {
 	st := p.Stats()
-	return fmt.Sprintf("# shard: workers=%d\n# shard-cache: builds=%d mem-hits=%d disk-hits=%d disk-errors=%d",
-		p.Workers(), st.Builds, st.MemHits, st.DiskHits, st.DiskErrors)
+	return fmt.Sprintf("# shard: workers=%d deaths=%d\n# shard-cache: builds=%d mem-hits=%d disk-hits=%d disk-errors=%d quarantined=%d",
+		p.Workers(), p.Deaths(), st.Builds, st.MemHits, st.DiskHits, st.DiskErrors, st.Quarantined)
 }

@@ -77,6 +77,12 @@ type Config struct {
 	// cache counters stay readable by the caller afterwards); nil with
 	// Shards > 0 spawns a pool for the duration of the suite.
 	Pool *shard.Pool
+	// Journal makes the suite crash-safe (campaign.WithJournal): every
+	// completed trial is appended to the journal, and a restarted suite
+	// over the same journal replays recorded trials and re-executes only
+	// the missing indices — bit-identical to an uninterrupted run. nil ⇒
+	// no journaling.
+	Journal *campaign.Journal
 	// Progress, if non-nil, receives one line per completed campaign.
 	// On the scheduled path campaigns finish concurrently, so line order
 	// follows completion, not the app×tool nesting; calls are serialized.
@@ -128,6 +134,7 @@ func RunSuiteContext(ctx context.Context, cfg Config) (*Suite, error) {
 			campaign.WithWorkers(cfg.Workers),
 			campaign.WithBuildOptions(cfg.Build),
 			campaign.WithCache(cache),
+			campaign.WithJournal(cfg.Journal),
 		}, extra...)
 		return campaign.New(app, tool, opts...)
 	}

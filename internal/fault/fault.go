@@ -160,6 +160,13 @@ const (
 	Crash
 	// SOC: silent output corruption — clean exit, wrong final output.
 	SOC
+	// HarnessFault: the trial never produced a verdict because the harness
+	// itself kept failing on it — e.g. a worker process that deterministically
+	// crashes executing this trial, reassigned and retried until the per-trial
+	// retry budget ran out. It is synthesized by the runtime (never by
+	// Classify), so any non-zero HarnessFault count flags an infrastructure
+	// problem rather than a property of the application under test.
+	HarnessFault
 )
 
 func (o Outcome) String() string {
@@ -170,6 +177,8 @@ func (o Outcome) String() string {
 		return "crash"
 	case SOC:
 		return "soc"
+	case HarnessFault:
+		return "harness-fault"
 	}
 	return "?"
 }
@@ -202,13 +211,15 @@ func PickOperandAndBit(rng *RNG, outs []vx.Reg) (int, uint) {
 }
 
 // Counts aggregates outcome frequencies for one (application, tool) cell of
-// the paper's Table 6.
+// the paper's Table 6. HarnessFault counts trials the runtime gave up on
+// (per-trial retry budget exhausted); it is zero in any healthy campaign.
 type Counts struct {
 	Crash, SOC, Benign int
+	HarnessFault       int
 }
 
 // Total returns the number of trials.
-func (c Counts) Total() int { return c.Crash + c.SOC + c.Benign }
+func (c Counts) Total() int { return c.Crash + c.SOC + c.Benign + c.HarnessFault }
 
 // Add accumulates an outcome.
 func (c *Counts) Add(o Outcome) {
@@ -217,6 +228,8 @@ func (c *Counts) Add(o Outcome) {
 		c.Crash++
 	case SOC:
 		c.SOC++
+	case HarnessFault:
+		c.HarnessFault++
 	default:
 		c.Benign++
 	}

@@ -21,17 +21,31 @@
 //   - Cancellation: cancelling the Run context stops assignment; claimed
 //     ranges drain (their trials finish shipping), so the delivered set
 //     stays a contiguous prefix and Run returns the partial result exactly
-//     as the in-process runner does. A worker that dies mid-range (SIGTERM,
-//     crash) has its claimed range reassigned to a live worker — duplicate
-//     frames from the dead worker's partial delivery are dropped by the
-//     merger — so the prefix stays contiguous and complete.
+//     as the in-process runner does.
+//
+//   - Resilience: a worker that dies mid-range (SIGTERM, crash, SIGKILL,
+//     torn stdio frame) has its claimed range reassigned to a live worker —
+//     duplicate frames from the dead worker's partial delivery are dropped
+//     by the merger — and a replacement worker is respawned under a bounded
+//     budget. A worker that goes *silent* (alive but making no progress) is
+//     detected by the heartbeat monitor — workers beat with a cumulative
+//     progress counter, and the deadline only refreshes when progress
+//     advances — then SIGTERM'd and, after a grace period, killed, feeding
+//     the same reassignment path. A range that keeps killing workers is
+//     split into single-trial ranges to isolate the poison trial, and a
+//     single trial that exhausts its retry budget is recorded as a
+//     fault.HarnessFault outcome instead of looping forever. All of this is
+//     exercised deterministically by the chaos suite (internal/chaos).
 //
 // Campaigns opt in with campaign.WithShards(n) (this package registers the
 // engine hook at init), suites with experiments.Config.Shards, and the fi-*
-// drivers with -shards.
+// drivers with -shards. Knobs for tests: FI_SHARD_STALL and FI_SHARD_GRACE
+// (milliseconds) fix the silent-worker deadline and the SIGTERM→SIGKILL
+// grace.
 package shard
 
 import (
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -42,8 +56,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"syscall"
+	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/campaign"
+	"repro/internal/chaos"
+	"repro/internal/fault"
 	"repro/internal/workloads"
 )
 
@@ -51,12 +70,42 @@ func init() {
 	campaign.RegisterShardRunner(func(ctx context.Context, c *campaign.Campaign) (*campaign.Result, error) {
 		p, err := NewPool(c.Shards())
 		if err != nil {
-			return nil, err
+			// Signal campaign.Run's degraded-mode fallback: no worker
+			// process could be fielded at all.
+			return nil, fmt.Errorf("%w: %v", campaign.ErrShardsUnavailable, err)
 		}
 		defer p.Close()
 		return p.Run(ctx, c)
 	})
 }
+
+// Retry budget: a range that kills SplitAfter workers is split into
+// single-trial ranges (only not-yet-shipped indexes), and a single-trial
+// range whose cumulative retries exceed SplitAfter+MaxTrialRetries is given
+// up — its trial is recorded as fault.HarnessFault. The budget counts worker
+// deaths while holding the range, so one flaky death costs nothing and a
+// deterministically fatal trial is isolated and reported after a handful of
+// kills instead of grinding the pool forever.
+const (
+	SplitAfter      = 2
+	MaxTrialRetries = 2
+)
+
+const (
+	stallEnv     = "FI_SHARD_STALL"
+	graceEnv     = "FI_SHARD_GRACE"
+	defaultStall = 30 * time.Second
+	defaultGrace = 2 * time.Second
+	// slowInstrPerSec is the pessimistic VM throughput floor used to derive
+	// a per-range progress deadline from the cost model's trial budget; the
+	// real VM is orders of magnitude faster, so only a genuinely wedged
+	// worker can miss the deadline.
+	slowInstrPerSec = 8 << 20
+)
+
+// spawnRetry bounds worker spawn attempts (fork/exec can fail transiently
+// under fd or pid pressure).
+var spawnRetry = backoff.Default()
 
 // Pool is a set of live worker processes campaigns fan out over. Create
 // with NewPool, run any number of campaigns through Run (one at a time; a
@@ -65,23 +114,36 @@ func init() {
 type Pool struct {
 	runMu sync.Mutex // serializes Run: one campaign owns the workers at a time
 
-	mu      sync.Mutex
-	workers []*proc
-	nextCID int
-	run     *runState // active campaign (nil between runs)
-	closed  bool
+	exe        string
+	stall      time.Duration // silent-worker deadline floor
+	stallFixed bool          // FI_SHARD_STALL set: skip the cost-model scale-up
+	grace      time.Duration // SIGTERM → SIGKILL escalation grace
+
+	mu            sync.Mutex
+	workers       []*proc
+	nextIndex     int // shard index of the next spawned worker (never reused)
+	nextCID       int
+	run           *runState // active campaign (nil between runs)
+	closed        bool
+	respawnBudget int // replacement spawns left (bounds a crash loop)
+	respawning    int // spawns in flight (holds off the all-dead verdict)
+	deaths        int
 }
 
 // proc is one worker process and its coordinator-side bookkeeping.
 type proc struct {
-	cmd        *exec.Cmd
-	in         io.WriteCloser
-	enc        *gob.Encoder
-	dead       bool
-	cur        *rangeReq    // outstanding assignment (nil ⇒ idle)
-	knows      map[int]bool // campaign ids introduced on this worker
-	last       campaign.CacheStats
-	readerDone chan struct{}
+	index        int // shard index: stderr prefix, chaos w= filter
+	cmd          *exec.Cmd
+	in           io.WriteCloser
+	enc          *gob.Encoder
+	dead         bool
+	condemned    bool      // monitor declared it hung; kill escalation running
+	cur          *rangeReq // outstanding assignment (nil ⇒ idle)
+	beatProgress int64     // highest heartbeat progress counter seen
+	lastAdvance  time.Time // last observed forward progress
+	knows        map[int]bool
+	last         campaign.CacheStats
+	readerDone   chan struct{}
 }
 
 // runState tracks one campaign's fan-out.
@@ -91,17 +153,54 @@ type runState struct {
 	spec      campaign.Spec
 	merger    *campaign.Merger
 	pending   []rangeReq // unclaimed ranges, ascending Lo
-	total     int        // ranges overall
-	done      int        // ranges acked
+	total     int        // ranges overall (grows when a fatal range splits)
+	done      int        // ranges acked or given up
+	budget    int64      // cost-model instruction budget per trial (from the profile)
 	cancelled bool       // stop assigning (ctx cancel or fatal error)
 	err       error
 	settled   bool
 	finished  chan struct{}
 }
 
+// prefixWriter tags every stderr line a worker writes with its shard index,
+// so interleaved multi-worker diagnostics stay attributable.
+type prefixWriter struct {
+	mu     sync.Mutex
+	dst    io.Writer
+	prefix string
+	buf    []byte // partial line carried across writes
+}
+
+func (pw *prefixWriter) Write(b []byte) (int, error) {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	pw.buf = append(pw.buf, b...)
+	for {
+		i := bytes.IndexByte(pw.buf, '\n')
+		if i < 0 {
+			break
+		}
+		io.WriteString(pw.dst, pw.prefix)
+		pw.dst.Write(pw.buf[:i+1])
+		pw.buf = pw.buf[i+1:]
+	}
+	if len(pw.buf) > 4096 { // don't buffer a runaway unterminated line
+		io.WriteString(pw.dst, pw.prefix)
+		pw.dst.Write(pw.buf)
+		io.WriteString(pw.dst, "\n")
+		pw.buf = pw.buf[:0]
+	}
+	return len(b), nil
+}
+
 // NewPool spawns n worker processes (n < 1 ⇒ 1) by re-executing this
 // binary with the worker marker set. Workers idle until Run assigns ranges
 // and survive across campaigns until Close.
+//
+// Spawns are retried with bounded backoff. If no worker at all can be
+// spawned NewPool fails fast with an error naming the executable and worker
+// index; if some spawned, the pool degrades to the partial fleet with a
+// warning (results are unaffected — workers only decide where trials run).
 func NewPool(n int) (*Pool, error) {
 	if n < 1 {
 		n = 1
@@ -110,35 +209,91 @@ func NewPool(n int) (*Pool, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: executable: %w", err)
 	}
-	p := &Pool{}
+	stall := envDuration(stallEnv, defaultStall)
+	p := &Pool{
+		exe:           exe,
+		stall:         stall,
+		stallFixed:    stall != defaultStall,
+		grace:         envDuration(graceEnv, defaultGrace),
+		respawnBudget: 2 * n,
+	}
+	var spawnErr error
 	for i := 0; i < n; i++ {
-		cmd := exec.Command(exe)
-		cmd.Env = append(os.Environ(), workerEnv+"=1")
-		cmd.Stderr = os.Stderr
-		stdin, err := cmd.StdinPipe()
+		w, err := p.spawnWorker()
 		if err != nil {
-			p.Close()
-			return nil, fmt.Errorf("shard: %w", err)
+			spawnErr = err
+			break
 		}
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			p.Close()
-			return nil, fmt.Errorf("shard: %w", err)
-		}
-		if err := cmd.Start(); err != nil {
-			p.Close()
-			return nil, fmt.Errorf("shard: spawn worker: %w", err)
-		}
-		w := &proc{cmd: cmd, in: stdin, enc: gob.NewEncoder(stdin),
-			knows: map[int]bool{}, readerDone: make(chan struct{})}
+		p.mu.Lock()
 		p.workers = append(p.workers, w)
-		go p.reader(w, stdout)
+		p.mu.Unlock()
+	}
+	if len(p.workers) == 0 {
+		return nil, spawnErr
+	}
+	if spawnErr != nil {
+		fmt.Fprintf(os.Stderr, "shard: %v; continuing with %d of %d workers\n",
+			spawnErr, len(p.workers), n)
 	}
 	return p, nil
 }
 
+// spawnWorker forks one worker process (with bounded retry) and starts its
+// reader. The caller appends it to p.workers.
+func (p *Pool) spawnWorker() (*proc, error) {
+	p.mu.Lock()
+	idx := p.nextIndex
+	p.nextIndex++
+	p.mu.Unlock()
+	var w *proc
+	err := backoff.Retry(nil, spawnRetry, func() error {
+		if err := chaos.Err("shard.pool.spawn"); err != nil {
+			return err
+		}
+		cmd := exec.Command(p.exe)
+		// Workers inherit the environment (FI_CHAOS crosses the boundary
+		// here) plus the worker marker and their shard index, which the
+		// chaos w= filter and the stderr prefix key on.
+		cmd.Env = append(os.Environ(), workerEnv+"=1", fmt.Sprintf("%s=%d", chaos.WorkerEnv, idx))
+		cmd.Stderr = &prefixWriter{dst: os.Stderr, prefix: fmt.Sprintf("[shard %d] ", idx)}
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			stdin.Close()
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			stdin.Close()
+			return err
+		}
+		w = &proc{index: idx, cmd: cmd, in: stdin, enc: gob.NewEncoder(stdin),
+			knows: map[int]bool{}, readerDone: make(chan struct{}), lastAdvance: time.Now()}
+		go p.reader(w, stdout)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: spawn worker %d (%s): %w", idx, p.exe, err)
+	}
+	return w, nil
+}
+
 // Workers reports the pool size (including workers that have since died).
-func (p *Pool) Workers() int { return len(p.workers) }
+func (p *Pool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
+
+// Deaths reports how many worker processes have died over the pool's
+// lifetime (diagnostics; the chaos tests assert on it).
+func (p *Pool) Deaths() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.deaths
+}
 
 // Pids returns the worker process ids, for diagnostics and the
 // kill-a-worker reassignment tests.
@@ -165,6 +320,7 @@ func (p *Pool) Stats() campaign.CacheStats {
 		s.DiskHits += w.last.DiskHits
 		s.Builds += w.last.Builds
 		s.DiskErrors += w.last.DiskErrors
+		s.Quarantined += w.last.Quarantined
 	}
 	return s
 }
@@ -223,14 +379,28 @@ func partition(cid, lo, hi, span int) []rangeReq {
 	return out
 }
 
+// insertPending reinserts a range keeping pending sorted by Lo, so claimed
+// ranges stay the lowest outstanding and the delivered prefix contiguous.
+func insertPending(run *runState, r rangeReq) {
+	i := sort.Search(len(run.pending), func(i int) bool { return run.pending[i].Lo >= r.Lo })
+	run.pending = append(run.pending, rangeReq{})
+	copy(run.pending[i+1:], run.pending[i:])
+	run.pending[i] = r
+}
+
 // Run fans the campaign out over the pool's workers and blocks until it
 // settles, returning the merged result. The campaign must target a registry
 // application (workers re-resolve it by name) and a registered tool. See
-// the package comment for the determinism, cache-sharing and cancellation
-// contracts; they are asserted by the determinism suite. One edge diverges
-// from in-process runs: Result.Profile comes from the workers, so a partial
-// result whose every contributing worker died before finishing its first
-// range can carry a nil Profile.
+// the package comment for the determinism, cache-sharing, cancellation and
+// resilience contracts; they are asserted by the determinism and chaos
+// suites. One edge diverges from in-process runs: Result.Profile comes from
+// the workers, so a partial result whose every contributing worker died
+// before finishing its first range can carry a nil Profile.
+//
+// With campaign.WithJournal configured, journal-recorded trials are replayed
+// through the merger before any range is assigned, and only the missing
+// index runs are partitioned — a killed-then-restarted coordinator
+// re-executes exactly the trials it lost.
 func (p *Pool) Run(ctx context.Context, c *campaign.Campaign) (*campaign.Result, error) {
 	p.runMu.Lock()
 	defer p.runMu.Unlock()
@@ -252,6 +422,16 @@ func (p *Pool) Run(ctx context.Context, c *campaign.Campaign) (*campaign.Result,
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("campaign: %s/%s: %w", spec.App, spec.Tool, err)
 		}
+	}
+
+	// Journal replay happens inside NewMerger (outside the pool lock: the
+	// collector invokes the campaign observer); Missing is then the work
+	// left — the full range for a fresh campaign.
+	merger := c.NewMerger()
+	missing := merger.Missing()
+	remaining := 0
+	for _, r := range missing {
+		remaining += r[1] - r[0]
 	}
 
 	p.mu.Lock()
@@ -282,17 +462,21 @@ func (p *Pool) Run(ctx context.Context, c *campaign.Campaign) (*campaign.Result,
 		cid:      cid,
 		ctx:      ctx,
 		spec:     spec,
-		merger:   c.NewMerger(),
-		pending:  partition(cid, lo, hi, rangeSpan(hi-lo, live)),
+		merger:   merger,
 		finished: make(chan struct{}),
+	}
+	span := rangeSpan(remaining, live)
+	for _, r := range missing {
+		run.pending = append(run.pending, partition(cid, r[0], r[1], span)...)
 	}
 	run.total = len(run.pending)
 	p.run = run
 	p.assignLocked()
-	p.settleLocked() // zero-trial campaigns settle immediately
+	p.settleLocked() // zero-trial (or fully replayed) campaigns settle immediately
 	p.mu.Unlock()
 
 	stopWatch := make(chan struct{})
+	go p.monitor(run, stopWatch)
 	if ctx != nil && ctx.Done() != nil {
 		go func() {
 			select {
@@ -318,11 +502,94 @@ func (p *Pool) Run(ctx context.Context, c *campaign.Campaign) (*campaign.Result,
 	return run.merger.Finish(ctx)
 }
 
+// rangeDeadline is the silent-worker deadline for one assigned range: the
+// stall floor (generous enough to cover a cold build+profile inside the
+// first range), scaled up by the cost model when a range's worst-case trial
+// budget at a pessimistic VM throughput floor exceeds it. FI_SHARD_STALL
+// fixes it absolutely (tests).
+func (p *Pool) rangeDeadline(run *runState, r *rangeReq) time.Duration {
+	if p.stallFixed {
+		return p.stall
+	}
+	d := p.stall
+	if run.budget > 0 {
+		est := time.Duration(float64(run.budget) * float64(r.Hi-r.Lo) / slowInstrPerSec * float64(time.Second))
+		if est > d {
+			d = est
+		}
+	}
+	return d
+}
+
+// monitor is the per-run hung-worker detector: workers holding a range must
+// show forward progress (new data frames, or a heartbeat whose progress
+// counter advanced) within the range deadline, or they are condemned and
+// terminated — SIGTERM first (a live-but-slow worker drains its prefix and
+// exits), SIGKILL after the grace period (a truly wedged worker ignores
+// SIGTERM: its trial loop never reaches the context check). Death then
+// feeds the ordinary reassignment path.
+func (p *Pool) monitor(run *runState, stop <-chan struct{}) {
+	tick := p.stall / 8
+	if tick < 20*time.Millisecond {
+		tick = 20 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		var victims []*proc
+		p.mu.Lock()
+		if p.run != run || run.settled {
+			p.mu.Unlock()
+			return
+		}
+		for _, w := range p.workers {
+			if w.dead || w.condemned || w.cur == nil {
+				continue
+			}
+			if now.Sub(w.lastAdvance) > p.rangeDeadline(run, w.cur) {
+				w.condemned = true
+				victims = append(victims, w)
+			}
+		}
+		p.mu.Unlock()
+		for _, w := range victims {
+			p.terminate(w)
+		}
+	}
+}
+
+// terminate escalates on a condemned worker: SIGTERM, then SIGKILL when it
+// doesn't exit within the grace period. Reassignment happens in workerGone
+// when the reader sees the pipe close.
+func (p *Pool) terminate(w *proc) {
+	fmt.Fprintf(os.Stderr, "shard: worker %d silent past its progress deadline; terminating\n", w.index)
+	w.cmd.Process.Signal(syscall.SIGTERM)
+	go func() {
+		select {
+		case <-w.readerDone:
+		case <-time.After(p.grace):
+			fmt.Fprintf(os.Stderr, "shard: worker %d ignored SIGTERM; killing\n", w.index)
+			w.cmd.Process.Kill()
+		}
+	}()
+}
+
 // assignLocked hands pending ranges to idle live workers, introducing the
 // campaign spec on a worker's first contact. Caller holds p.mu. A worker
 // holds at most one outstanding range, so these small control messages can
 // never back up the stdin pipe (the worker is parked in Decode when we
-// write).
+// write). An encode failure is a broken pipe — the worker is marked dead
+// and the range stays pending; reassignment to the next idle worker is the
+// retry.
 func (p *Pool) assignLocked() {
 	run := p.run
 	if run == nil || run.cancelled || run.err != nil {
@@ -339,7 +606,7 @@ func (p *Pool) assignLocked() {
 		if len(run.pending) == 0 {
 			return
 		}
-		if w.dead || w.cur != nil {
+		if w.dead || w.condemned || w.cur != nil {
 			continue
 		}
 		r := run.pending[0]
@@ -357,6 +624,7 @@ func (p *Pool) assignLocked() {
 		run.pending = run.pending[1:]
 		cur := r
 		w.cur = &cur
+		w.lastAdvance = time.Now() // fresh deadline clock for the new range
 	}
 }
 
@@ -399,8 +667,22 @@ func (p *Pool) reader(w *proc, stdout io.Reader) {
 
 // dispatch handles one worker frame. Trial and profile frames go straight
 // to the merger (thread-safe; ordering is the collector's reorder buffer's
-// job); control frames update assignment state under the pool lock.
+// job); control frames update assignment state under the pool lock. Every
+// data frame — and every heartbeat whose progress counter advanced —
+// refreshes the worker's progress deadline.
 func (p *Pool) dispatch(w *proc, f *frame) {
+	p.mu.Lock()
+	if f.Kind == frameBeat {
+		if f.Progress > w.beatProgress {
+			w.beatProgress = f.Progress
+			w.lastAdvance = time.Now()
+		}
+		p.mu.Unlock()
+		return
+	}
+	w.lastAdvance = time.Now()
+	p.mu.Unlock()
+
 	switch f.Kind {
 	case frameTrial:
 		p.mu.Lock()
@@ -412,6 +694,9 @@ func (p *Pool) dispatch(w *proc, f *frame) {
 	case frameProfile:
 		p.mu.Lock()
 		run := p.run
+		if run != nil && run.cid == f.CID && f.Profile != nil && run.budget == 0 {
+			run.budget = f.Profile.Budget // arms the cost-model deadline
+		}
 		p.mu.Unlock()
 		if run != nil && run.cid == f.CID && f.Profile != nil {
 			run.merger.SetProfile(f.Profile)
@@ -444,28 +729,56 @@ func (p *Pool) dispatch(w *proc, f *frame) {
 	}
 }
 
-// workerGone reaps a dead worker: its outstanding range is reassigned to a
-// live worker (the merger drops whatever duplicate prefix the dead worker
-// already shipped), unless the run is already cancelled — then the range is
-// abandoned like any unclaimed one. When the last worker dies mid-run the
-// campaign fails rather than hangs.
+// workerGone reaps a dead worker: its outstanding range re-enters the
+// pending queue (the merger drops whatever duplicate prefix the dead worker
+// already shipped) with its retry count bumped — splitting into single-trial
+// ranges once it has killed SplitAfter workers, and giving up on a single
+// trial that exhausts the budget by recording a fault.HarnessFault outcome.
+// A replacement worker is respawned under the pool's bounded respawn budget.
+// When the last worker dies with no respawn in flight the campaign fails
+// rather than hangs.
 func (p *Pool) workerGone(w *proc) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	w.dead = true
+	if !p.closed {
+		p.deaths++ // Close retirement reaches here too; only premature exits count
+	}
 	orphan := w.cur
 	w.cur = nil
 	run := p.run
 	if run == nil {
+		p.mu.Unlock()
 		return
 	}
+
+	var giveUp *rangeReq
 	if orphan != nil && orphan.CID == run.cid && !run.cancelled && run.err == nil {
-		// Reassign: keep pending sorted by Lo so claimed ranges stay the
-		// lowest outstanding and the delivered prefix contiguous.
-		i := sort.Search(len(run.pending), func(i int) bool { return run.pending[i].Lo >= orphan.Lo })
-		run.pending = append(run.pending, rangeReq{})
-		copy(run.pending[i+1:], run.pending[i:])
-		run.pending[i] = *orphan
+		orphan.Retries++
+		switch {
+		case orphan.Hi-orphan.Lo == 1 && orphan.Retries > SplitAfter+MaxTrialRetries:
+			giveUp = orphan
+		case orphan.Hi-orphan.Lo > 1 && orphan.Retries > SplitAfter:
+			// The range keeps killing workers: isolate the poison trial by
+			// re-queueing only the not-yet-shipped indexes as single-trial
+			// ranges (each inherits the retry count).
+			unseen := run.merger.Unseen(orphan.Lo, orphan.Hi)
+			if len(unseen) == 0 {
+				run.done++ // every index shipped before the death: range complete
+			} else {
+				run.total += len(unseen) - 1
+				for _, i := range unseen {
+					insertPending(run, rangeReq{CID: run.cid, Lo: i, Hi: i + 1, Retries: orphan.Retries})
+				}
+			}
+		default:
+			insertPending(run, *orphan)
+		}
+	}
+
+	if !run.cancelled && run.err == nil && !p.closed && p.respawnBudget > 0 {
+		p.respawnBudget--
+		p.respawning++
+		go p.respawnWorker()
 	}
 	live := 0
 	for _, other := range p.workers {
@@ -473,11 +786,69 @@ func (p *Pool) workerGone(w *proc) {
 			live++
 		}
 	}
-	if live == 0 && run.err == nil && !run.cancelled {
+	if live == 0 && p.respawning == 0 && run.err == nil && !run.cancelled {
 		run.err = errors.New("all workers exited mid-campaign")
 	}
+	if giveUp == nil {
+		p.assignLocked()
+		p.settleLocked()
+		p.mu.Unlock()
+		return
+	}
 	p.assignLocked()
-	p.settleLocked()
+	p.mu.Unlock()
+
+	// Deliver the synthesized outcome outside the pool lock: merger delivery
+	// runs the campaign observer, which must never see pool internals locked.
+	fmt.Fprintf(os.Stderr, "shard: trial %d killed %d workers; recording harness-fault\n",
+		giveUp.Lo, giveUp.Retries)
+	run.merger.Add(giveUp.Lo, campaign.TrialResult{Outcome: fault.HarnessFault})
+
+	p.mu.Lock()
+	if p.run == run {
+		run.done++
+		p.assignLocked()
+		p.settleLocked()
+	}
+	p.mu.Unlock()
+}
+
+// respawnWorker replaces a dead worker (bounded by the pool's respawn
+// budget). A replacement that arrives after Close, or fails to spawn, is
+// cleaned up; a spawn failure that leaves the pool empty fails the active
+// run instead of hanging it.
+func (p *Pool) respawnWorker() {
+	w, err := p.spawnWorker()
+	p.mu.Lock()
+	p.respawning--
+	if err == nil && !p.closed {
+		p.workers = append(p.workers, w)
+		p.assignLocked()
+		p.settleLocked()
+		p.mu.Unlock()
+		return
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard: respawn failed: %v\n", err)
+		run := p.run
+		live := 0
+		for _, other := range p.workers {
+			if !other.dead {
+				live++
+			}
+		}
+		if run != nil && live == 0 && p.respawning == 0 && run.err == nil && !run.cancelled {
+			run.err = errors.New("all workers exited mid-campaign and respawn failed")
+		}
+		p.settleLocked()
+		p.mu.Unlock()
+		return
+	}
+	// Closed while the respawn was in flight: retire the fresh worker.
+	p.mu.Unlock()
+	w.in.Close()
+	<-w.readerDone
+	w.cmd.Wait()
 }
 
 // Run is the one-shot convenience: spawn an n-worker pool, run the single

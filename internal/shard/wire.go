@@ -38,10 +38,13 @@ type specIntro struct {
 	Spec campaign.Spec
 }
 
-// rangeReq assigns the trial index range [Lo, Hi) of campaign CID.
+// rangeReq assigns the trial index range [Lo, Hi) of campaign CID. Retries
+// is coordinator-side bookkeeping (how many workers died holding this range —
+// the per-range slice of the retry budget); workers ignore it.
 type rangeReq struct {
-	CID    int
-	Lo, Hi int
+	CID     int
+	Lo, Hi  int
+	Retries int
 }
 
 type frameKind uint8
@@ -59,16 +62,24 @@ const (
 	// frameExit is the worker's sign-off after stdin closes: final cache
 	// counters, then process exit.
 	frameExit
+	// frameBeat is the worker's heartbeat: Progress carries the cumulative
+	// count of data frames the worker has sent. The coordinator's hung-worker
+	// monitor refreshes a worker's progress deadline only when Progress
+	// advances (or a data frame arrives), so a worker whose heartbeat
+	// goroutine still ticks while its trial loop is wedged is detected all
+	// the same.
+	frameBeat
 )
 
 // frame is one worker→coordinator message.
 type frame struct {
-	Kind    frameKind
-	CID     int
-	Index   int
-	TR      campaign.TrialResult
-	Profile *campaign.Profile
-	Lo, Hi  int
-	Err     string
-	Stats   campaign.CacheStats
+	Kind     frameKind
+	CID      int
+	Index    int
+	TR       campaign.TrialResult
+	Profile  *campaign.Profile
+	Lo, Hi   int
+	Err      string
+	Stats    campaign.CacheStats
+	Progress int64 // frameBeat: cumulative data frames sent
 }

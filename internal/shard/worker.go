@@ -8,9 +8,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/chaos"
 	"repro/internal/workloads"
 )
 
@@ -18,6 +23,27 @@ import (
 // sets it when spawning os.Executable(), so the same mechanism works for the
 // fi-* drivers and for test binaries (whose TestMain calls MaybeWorker).
 const workerEnv = "FI_SHARD_WORKER"
+
+// heartbeatEnv overrides the worker heartbeat interval in milliseconds
+// (tests shrink it alongside the coordinator's stall deadline).
+const heartbeatEnv = "FI_SHARD_HEARTBEAT"
+
+// defaultHeartbeat is the worker heartbeat period: frequent enough that the
+// coordinator's stall deadline (seconds) spans many beats, cheap enough to
+// be noise on the wire.
+const defaultHeartbeat = 500 * time.Millisecond
+
+// envDuration reads a millisecond count from the environment (0 or unset ⇒
+// def). Shared by the worker heartbeat and the coordinator's stall/grace
+// knobs.
+func envDuration(name string, def time.Duration) time.Duration {
+	if s := os.Getenv(name); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Millisecond
+		}
+	}
+	return def
+}
 
 // MaybeWorker turns this process into a shard worker when the re-exec
 // marker is set, running the wire protocol on stdin/stdout and exiting when
@@ -42,16 +68,23 @@ func MaybeWorker() {
 // process receives SIGTERM/SIGINT — then the current range's claimed trials
 // finish shipping their contiguous prefix, a final frameExit carries the
 // cache counters, and the coordinator reassigns whatever was left.
+//
+// A heartbeat goroutine ships frameBeat with the cumulative data-frame count
+// so the coordinator can tell a slow worker (progress advances) from a hung
+// one (beats arrive, progress doesn't — or nothing arrives at all).
 func WorkerMain(in io.Reader, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()
 
 	w := &worker{
 		dec:    gob.NewDecoder(in),
-		enc:    gob.NewEncoder(out),
+		enc:    gob.NewEncoder(&tearWriter{w: out}),
 		specs:  map[int]campaign.Spec{},
 		caches: map[string]*campaign.Cache{},
 	}
+	beatDone := make(chan struct{})
+	defer close(beatDone)
+	go w.heartbeat(beatDone)
 	for {
 		var r req
 		if err := w.dec.Decode(&r); err != nil {
@@ -85,16 +118,54 @@ type worker struct {
 	specs    map[int]campaign.Spec
 	caches   map[string]*campaign.Cache
 	profiled map[int]bool
-	encErr   error
+
+	sendMu sync.Mutex // serializes enc between trial stream and heartbeat
+	encErr error
+	sent   atomic.Int64 // data frames sent (the heartbeat's progress counter)
+}
+
+// tearWriter is the chaos seam for torn stdio frames: when a
+// shard.worker.send tear fault fires, it flushes only half of the pending
+// write and dies — the coordinator sees a mid-frame gob error, exactly as if
+// the worker crashed between two write(2) calls.
+type tearWriter struct{ w io.Writer }
+
+func (t *tearWriter) Write(p []byte) (int, error) {
+	if len(p) > 1 && chaos.Tearing("shard.worker.send") {
+		t.w.Write(p[:len(p)/2])
+		fmt.Fprintln(os.Stderr, "chaos: shard.worker.send: torn frame, exiting")
+		os.Exit(3)
+	}
+	return t.w.Write(p)
 }
 
 // send encodes one frame, latching the first encode error (a vanished
-// coordinator): after that the worker just drains.
+// coordinator): after that the worker just drains. Safe for concurrent use
+// (the heartbeat goroutine interleaves with the trial stream).
 func (w *worker) send(f *frame) {
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
 	if w.encErr != nil {
 		return
 	}
 	w.encErr = w.enc.Encode(f)
+	if w.encErr == nil && f.Kind != frameBeat {
+		w.sent.Add(1)
+	}
+}
+
+// heartbeat ships the cumulative data-frame count until the worker exits.
+func (w *worker) heartbeat(done <-chan struct{}) {
+	t := time.NewTicker(envDuration(heartbeatEnv, defaultHeartbeat))
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			w.send(&frame{Kind: frameBeat, Progress: w.sent.Load()})
+		}
+	}
 }
 
 func (w *worker) sendExit() {
@@ -110,6 +181,7 @@ func (w *worker) stats() campaign.CacheStats {
 		s.DiskHits += st.DiskHits
 		s.Builds += st.Builds
 		s.DiskErrors += st.DiskErrors
+		s.Quarantined += st.Quarantined
 	}
 	return s
 }
@@ -138,7 +210,12 @@ func (w *worker) cache(dir string) (*campaign.Cache, error) {
 // runRange executes trial range [Lo, Hi) of an introduced campaign,
 // streaming each trial as a frame from inside the campaign's ordered
 // observer, then the profile (once per campaign) and the range ack.
+// shard.worker.range and shard.worker.trial are chaos seams: the former
+// fires per assignment, the latter per trial with the absolute trial index
+// as its PointN argument, so a test can hang/crash/kill this worker at an
+// exact frame.
 func (w *worker) runRange(ctx context.Context, r *rangeReq) {
+	chaos.Point("shard.worker.range")
 	fail := func(err error) {
 		w.send(&frame{Kind: frameErr, CID: r.CID, Err: err.Error()})
 	}
@@ -158,6 +235,7 @@ func (w *worker) runRange(ctx context.Context, r *rangeReq) {
 		return
 	}
 	cam, err := campaign.NewFromSpec(s, app, r.Lo, r.Hi, cache, func(i int, tr campaign.TrialResult) {
+		chaos.PointN("shard.worker.trial", int64(i))
 		w.send(&frame{Kind: frameTrial, CID: r.CID, Index: i, TR: tr})
 	})
 	if err != nil {

@@ -103,11 +103,16 @@ type Options = campaign.BuildOptions
 // Outcome is the crash/SOC/benign classification.
 type Outcome = fault.Outcome
 
-// Outcome constants.
+// Outcome constants. HarnessFault is not a fault-model outcome: it marks a
+// trial whose execution harness failed deterministically (e.g. a shard
+// worker that crashed on every retry), so campaign tables can report the
+// infrastructure failure instead of silently dropping or mislabeling the
+// trial.
 const (
-	Benign = fault.Benign
-	Crash  = fault.Crash
-	SOC    = fault.SOC
+	Benign       = fault.Benign
+	Crash        = fault.Crash
+	SOC          = fault.SOC
+	HarnessFault = fault.HarnessFault
 )
 
 // Counts aggregates outcome frequencies.
@@ -180,12 +185,37 @@ var (
 	// while keeping absolute per-trial seeds — the sharding substrate,
 	// usable directly for manual work splitting.
 	WithTrialRange = campaign.WithTrialRange
+	// WithJournal appends every completed trial to a crash-safe journal
+	// (see OpenJournal); a restarted campaign with the same journal replays
+	// recorded trials and re-executes only the missing indexes,
+	// bit-identically.
+	WithJournal = campaign.WithJournal
 )
 
 // ErrBuildUnclaimed is returned (wrapped) by scheduled campaigns whose
 // build+profile unit was abandoned before any executor worker claimed it
 // while the context reports no error; match with errors.Is.
 var ErrBuildUnclaimed = campaign.ErrBuildUnclaimed
+
+// ErrShardsUnavailable wraps shard-pool construction failures (no worker
+// process could be spawned); campaign.Run falls back to in-process
+// execution when its shard hook reports it. Match with errors.Is.
+var ErrShardsUnavailable = campaign.ErrShardsUnavailable
+
+// Journal is a crash-safe, append-only record of completed trials: gob
+// frames in rotated segments, fsynced, torn-tail tolerant. One journal
+// serves many campaigns — entries are keyed by each campaign's
+// configuration fingerprint — and a process restarted onto the same
+// directory replays recorded trials instead of re-executing them.
+type Journal = campaign.Journal
+
+// JournalStats are a journal's replay/append counters.
+type JournalStats = campaign.JournalStats
+
+// OpenJournal opens (or creates) the trial journal rooted at dir, loading
+// every complete entry from existing segments; pass it to campaigns with
+// WithJournal.
+func OpenJournal(dir string) (*Journal, error) { return campaign.OpenJournal(dir) }
 
 // ShardPool is a set of live worker processes that campaigns fan out over:
 // this binary re-exec'd, driven over stdio with gob frames, sharing one
