@@ -1,0 +1,65 @@
+// Command fi-lint runs the project's static-analysis suite (internal/lint):
+// five analyzers encoding determinism and concurrency invariants that each
+// map to a historical bug class in this repository — map-iteration order
+// reaching build output (the LICM nondeterminism), wall-clock reads in
+// determinism-critical packages, global math/rand state, callbacks invoked
+// under a mutex (the collector re-entrancy deadlock), and gob wire-type
+// field stability. See internal/lint/README.md for the invariant catalog.
+//
+// Usage:
+//
+//	fi-lint [-list] [packages]
+//
+// Packages default to ./... relative to the module root. Exits 1 when any
+// diagnostic is reported, 2 on load errors — so `go run ./cmd/fi-lint ./...`
+// is CI-gateable. It needs only the source tree: all type checking runs
+// through the standard library's source importer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, module, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := lint.NewLoader(root, module)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Check(loader, pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fi-lint: %d violation(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fi-lint:", err)
+	os.Exit(2)
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/campaign"
 	"repro/internal/fault"
+	"repro/internal/ir"
 	"repro/internal/opt"
 	"repro/internal/workloads"
 
@@ -39,7 +40,11 @@ func main() {
 	optLevel := flag.Int("O", 2, "optimization level (0 or 2)")
 	emitAsm := flag.Bool("S", false, "print final assembly to stdout")
 	emitIR := flag.Bool("emit-ir", false, "print optimized IR to stdout")
+	verifyIR := flag.Bool("verify-ir", true,
+		"verify IR between optimization passes and MIR at backend checkpoints")
 	flag.Parse()
+
+	ir.SetVerifyEach(*verifyIR)
 
 	if *list {
 		fmt.Println(strings.Join(workloads.Names(), "\n"))
@@ -83,7 +88,9 @@ func main() {
 
 	if *emitIR {
 		m := app.Build()
-		opt.Optimize(m, o.Opt)
+		if err := optimizeChecked(m, o.Opt); err != nil {
+			fatal(err)
+		}
 		fmt.Print(m.String())
 		return
 	}
@@ -106,6 +113,23 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d instructions, %d bytes, %d FI sites\n",
 		path, len(bin.Img.Instrs), len(blob), bin.Sites)
+}
+
+// optimizeChecked runs the optimizer, converting a *ir.VerifyError panic
+// (raised when -verify-ir catches a broken pass) into an ordinary error so
+// the driver prints one diagnostic line naming the pass.
+func optimizeChecked(m *ir.Module, lvl opt.Level) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if verr, ok := r.(*ir.VerifyError); ok {
+				err = verr
+				return
+			}
+			panic(r)
+		}
+	}()
+	opt.Optimize(m, lvl)
+	return nil
 }
 
 func fatal(err error) {

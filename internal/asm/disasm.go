@@ -111,10 +111,14 @@ func operandString(img *vm.Image, in *vm.Inst, isA bool) string {
 }
 
 func globalNameFor(img *vm.Image, addr int64) string {
-	for name, a := range img.GlobalAddrs {
-		if a == addr {
-			return name
+	// Min-reduce to the lexicographically smallest matching name so the
+	// disassembly stays byte-stable even if two globals ever share a placed
+	// address; the reduction is order-insensitive by construction.
+	best := ""
+	for name, a := range img.GlobalAddrs { //fi:ordered — min-reduction; order-free
+		if a == addr && (best == "" || name < best) {
+			best = name
 		}
 	}
-	return ""
+	return best
 }

@@ -10,9 +10,10 @@ package backoff
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
-	"math/rand"
-	"sync"
+	"hash/fnv"
+	"os"
 	"time"
 )
 
@@ -26,9 +27,9 @@ type Policy struct {
 	Base time.Duration
 	// Max caps the per-retry delay (0 ⇒ uncapped).
 	Max time.Duration
-	// Jitter is the fraction of each delay drawn uniformly at random in
-	// [1-Jitter, 1+Jitter), de-synchronizing retry storms across workers
-	// (0 ⇒ none).
+	// Jitter scales each delay by a factor in [1-Jitter, 1+Jitter) derived
+	// from a per-shard hash, de-synchronizing retry storms across workers
+	// while staying reproducible (0 ⇒ none).
 	Jitter float64
 }
 
@@ -38,12 +39,30 @@ func Default() Policy {
 	return Policy{Attempts: 4, Base: 10 * time.Millisecond, Max: 250 * time.Millisecond, Jitter: 0.25}
 }
 
-// jitterRNG is a private source so backoff never perturbs the global
-// math/rand stream (workloads and tests may seed it).
-var (
-	rngMu sync.Mutex
-	rng   = rand.New(rand.NewSource(time.Now().UnixNano()))
-)
+// jitterSalt de-synchronizes retry storms across worker processes without
+// wall-clock or math/rand seeding: each shard hashes its FI_SHARD_INDEX (set
+// by the sharded-campaign driver; empty in single-process runs) into a
+// distinct, reproducible phase. Delays are therefore a pure function of
+// (shard, retry number) — rerunning a shard replays the identical backoff
+// schedule, which keeps harness timing out of the determinism audit entirely.
+var jitterSalt = func() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte("fi-backoff|"))
+	h.Write([]byte(os.Getenv("FI_SHARD_INDEX")))
+	return h.Sum64()
+}()
+
+// jitterFrac maps (jitterSalt, retry) to a uniform value in [0, 1).
+func jitterFrac(retry int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], jitterSalt)
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(retry))
+	h.Write(buf[:])
+	// Keep the top 53 bits: the largest float64-exact integer range.
+	return float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+}
 
 // Delay returns the backoff delay before retry number retry (0-based).
 func (p Policy) Delay(retry int) time.Duration {
@@ -55,9 +74,7 @@ func (p Policy) Delay(retry int) time.Duration {
 		d = p.Max
 	}
 	if p.Jitter > 0 {
-		rngMu.Lock()
-		f := 1 + p.Jitter*(2*rng.Float64()-1)
-		rngMu.Unlock()
+		f := 1 + p.Jitter*(2*jitterFrac(retry)-1)
 		d = time.Duration(float64(d) * f)
 	}
 	return d

@@ -116,3 +116,31 @@ func TestZeroAttemptsStillRunsOnce(t *testing.T) {
 		t.Fatalf("err=%v calls=%d, want one attempt", err, calls)
 	}
 }
+
+// TestDelayIsDeterministic pins the hash-based jitter: delays are a pure
+// function of (shard salt, retry number) — calling Delay twice for the same
+// retry yields the identical duration, and distinct retries actually spread
+// (the jitter is not a constant). A time-seeded source would fail the first
+// property across processes; a broken hash would fail the second.
+func TestDelayIsDeterministic(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Minute, Jitter: 0.25}
+	for retry := 0; retry < 8; retry++ {
+		d1 := p.Delay(retry)
+		d2 := p.Delay(retry)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v then %v", retry, d1, d2)
+		}
+	}
+	// Spread check on the jitter fractions themselves.
+	fracs := map[float64]bool{}
+	for retry := 0; retry < 16; retry++ {
+		f := jitterFrac(retry)
+		if f < 0 || f >= 1 {
+			t.Fatalf("jitterFrac(%d) = %v outside [0,1)", retry, f)
+		}
+		fracs[f] = true
+	}
+	if len(fracs) < 8 {
+		t.Fatalf("jitter fractions collapse: only %d distinct of 16", len(fracs))
+	}
+}

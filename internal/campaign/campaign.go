@@ -34,6 +34,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/fault"
 	"repro/internal/ir"
+	"repro/internal/mir"
 	"repro/internal/opt"
 	"repro/internal/pinfi"
 	"repro/internal/vm"
@@ -102,13 +103,32 @@ func (b *Binary) TargetMap() []bool {
 //
 // LLFI instruments at the IR hook, REFINE at the machine hook, PINFI at
 // neither (plain binary).
-func BuildBinary(app App, tool Tool, o BuildOptions) (*Binary, error) {
+func BuildBinary(app App, tool Tool, o BuildOptions) (bin *Binary, err error) {
+	// The optimizer panics *ir.VerifyError when inter-pass verification
+	// catches a broken pass; surface it to callers as an ordinary build
+	// error so campaign drivers print one diagnostic line instead of a
+	// stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			if verr, ok := r.(*ir.VerifyError); ok {
+				bin, err = nil, fmt.Errorf("campaign: %s: %w", app.Name, verr)
+				return
+			}
+			panic(r)
+		}
+	}()
 	m := app.Build()
 	if err := ir.Verify(m); err != nil {
 		return nil, fmt.Errorf("campaign: %s: verify: %w", app.Name, err)
 	}
 	opt.OptimizeNoLower(m, o.Opt)
 	sites := tool.InstrumentIR(m, o.FI)
+	if ir.VerifyEachEnabled() {
+		if verr := ir.Verify(m); verr != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", app.Name,
+				&ir.VerifyError{Stage: "instrument-ir/" + tool.Name(), Err: verr})
+		}
+	}
 	opt.Legalize(m)
 	res, err := codegen.Compile(m)
 	if err != nil {
@@ -119,6 +139,12 @@ func BuildBinary(app App, tool Tool, o BuildOptions) (*Binary, error) {
 		return nil, fmt.Errorf("campaign: %s: %w", app.Name, err)
 	}
 	sites += machineSites
+	if ir.VerifyEachEnabled() {
+		if verr := mir.Verify(res.Prog, mir.PostRA); verr != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", app.Name,
+				&ir.VerifyError{Stage: "instrument-machine/" + tool.Name(), Err: verr})
+		}
+	}
 	img, err := asm.Assemble(res.Prog, asm.Options{MemSize: app.MemSize})
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %s: assemble: %w", app.Name, err)

@@ -1,0 +1,72 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/opt"
+	"repro/internal/pinfi"
+)
+
+// TestSpecKeyGolden pins the journal/cache key derivation to an exact hash
+// under a fixed harness fingerprint. The key is wire format: journals and
+// shared disk caches written by earlier runs resolve by it, so any change to
+// the format string, to Level/Classes/CostModel printing, or to the hash
+// truncation silently orphans every artifact ever written. If this test
+// fails, you have changed the key derivation — that must be a deliberate
+// format bump (rename the "fij1|" prefix), never an accident.
+func TestSpecKeyGolden(t *testing.T) {
+	spec := Spec{
+		App:    "HPCCG",
+		Tool:   "REFINE",
+		Trials: 1068,
+		Lo:     0,
+		Seed:   1,
+		Build: BuildOptions{
+			Opt: opt.O2,
+			FI:  fault.Config{Funcs: []string{"main", "ddot"}, Classes: fault.ClassAll},
+		},
+		Costs: pinfi.DefaultCosts(),
+	}
+	const fp = "test-fingerprint"
+	const want = "073f7941fd3831ab221ee6d8835fb680"
+	if got := spec.keyWith(fp); got != want {
+		t.Errorf("Spec.keyWith changed: got %q, want %q — this orphans existing journals and caches", got, want)
+	}
+
+	// Execution-only knobs must not move the key: results are independent of
+	// parallelism layout by the determinism invariant, so a campaign may
+	// resume under different worker/cache settings.
+	spec2 := spec
+	spec2.CacheDir = "/somewhere/else"
+	spec2.Workers = 7
+	if got := spec2.keyWith(fp); got != want {
+		t.Errorf("execution-only knobs changed the key: %q", got)
+	}
+
+	// Outcome-determining fields must each move the key.
+	muts := map[string]func(*Spec){
+		"app":     func(s *Spec) { s.App = "CG" },
+		"tool":    func(s *Spec) { s.Tool = "PINFI" },
+		"trials":  func(s *Spec) { s.Trials++ },
+		"lo":      func(s *Spec) { s.Lo++ },
+		"seed":    func(s *Spec) { s.Seed++ },
+		"opt":     func(s *Spec) { s.Build.Opt = opt.O0 },
+		"funcs":   func(s *Spec) { s.Build.FI.Funcs = []string{"main"} },
+		"classes": func(s *Spec) { s.Build.FI.Classes = fault.ClassArith },
+		"costs":   func(s *Spec) { s.Costs.PerInstr++ },
+	}
+	for name, mut := range muts {
+		s := spec
+		mut(&s)
+		if s.keyWith(fp) == want {
+			t.Errorf("mutating %s did not change the key", name)
+		}
+	}
+
+	// The fingerprint itself must move the key (a rebuilt harness must not
+	// satisfy a resume).
+	if spec.keyWith("other-fingerprint") == want {
+		t.Error("fingerprint does not affect the key")
+	}
+}

@@ -47,13 +47,27 @@ func Compile(m *ir.Module) (*Result, error) {
 		prog.Fns = append(prog.Fns, mf)
 		res.Stats = append(res.Stats, statsFor(mf, spills))
 	}
+	// Whole-program check with symbol resolution: every call target and
+	// global reference must be defined. Only possible here — compileFunc
+	// sees one function at a time.
+	if ir.VerifyEachEnabled() {
+		if err := mir.Verify(prog, mir.PostRA); err != nil {
+			return nil, &ir.VerifyError{Stage: "codegen", Err: err}
+		}
+	}
 	return res, nil
 }
 
 func compileFunc(f *ir.Func) (*mir.Fn, int, error) {
+	verify := ir.VerifyEachEnabled()
 	s, err := selectFunc(f)
 	if err != nil {
 		return nil, 0, err
+	}
+	if verify {
+		if verr := mir.VerifyFn(s.mf, mir.PreRA); verr != nil {
+			return nil, 0, &ir.VerifyError{Stage: "codegen/isel", Fn: f.Name, Err: verr}
+		}
 	}
 	alloc := linearScan(s.mf)
 	rw := &rewriter{f: s.mf, alloc: alloc, allocaSize: s.allocaSize}
@@ -62,6 +76,11 @@ func compileFunc(f *ir.Func) (*mir.Fn, int, error) {
 	}
 	lowerFrame(s.mf, s.allocaSize, alloc)
 	peephole(s.mf)
+	if verify {
+		if verr := mir.VerifyFn(s.mf, mir.PostRA); verr != nil {
+			return nil, 0, &ir.VerifyError{Stage: "codegen/peephole", Fn: f.Name, Err: verr}
+		}
+	}
 	return s.mf, alloc.spillSlots, nil
 }
 

@@ -101,10 +101,12 @@ func buildIntervals(f *mir.Fn) (map[int]*interval, []int) {
 		if blockEnd < blockStart {
 			blockEnd = blockStart
 		}
-		for v := range liveIn[bi] {
+		// touch only widens the per-vreg interval in the ivs map, so the
+		// visit order of the live sets cannot affect the result.
+		for v := range liveIn[bi] { //fi:ordered — touch is min/max per vreg; order-free
 			touch(v, blockStart)
 		}
-		for v := range liveOut[bi] {
+		for v := range liveOut[bi] { //fi:ordered — touch is min/max per vreg; order-free
 			touch(v, blockEnd)
 		}
 	}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags math/rand usage that bypasses the campaign seeding
+// protocol: calls to the package-level convenience functions (which draw
+// from the shared, historically time-seeded global source) and package-level
+// generator state (a `var rng = rand.New(...)` shared across goroutines and
+// campaigns). All randomness in this repository must flow from campaign
+// seeds through locally constructed generators (fault.NewRNG, or a
+// rand.New(rand.NewSource(seed)) scoped to one trial), so that trial i is a
+// pure function of TrialSeed(seed, tool, i). Locally seeded generators
+// inside functions pass; intentional exceptions need `//fi:rand-ok`.
+var GlobalRand = &Analyzer{
+	Name:      "globalrand",
+	Doc:       "no package-level or implicitly seeded math/rand; randomness flows from campaign seeds",
+	Directive: "rand-ok",
+	Run:       runGlobalRand,
+}
+
+func runGlobalRand(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		// Package-level vars holding generator state.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := p.ObjectOf(name)
+					if obj == nil || obj.Parent() != p.Pkg.Types.Scope() {
+						continue
+					}
+					if isRandState(obj.Type()) {
+						p.Reportf(name.Pos(), "package-level math/rand generator %s; randomness must flow from campaign seeds through locally scoped generators (annotate //fi:rand-ok if intentional)", name.Name)
+					}
+				}
+			}
+		}
+		// Calls to the implicitly seeded package-level functions.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Method calls on a locally constructed *rand.Rand are fine;
+			// only package-level functions touch the shared source.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Name() {
+			case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+				// Constructors: the seed is explicit at the call site.
+				return true
+			}
+			p.Reportf(sel.Pos(), "%s.%s draws from the shared global source; seed a local generator from the campaign seed instead (annotate //fi:rand-ok if intentional)", path, fn.Name())
+			return true
+		})
+	}
+}
+
+// isRandState reports whether the type is (a pointer to) math/rand
+// generator or source state.
+func isRandState(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	switch obj.Name() {
+	case "Rand", "Source", "Source64", "PCG", "ChaCha8", "Zipf":
+		return true
+	}
+	return false
+}

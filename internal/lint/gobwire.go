@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GobWire audits every type that crosses a gob wire — the shard
+// coordinator/worker frames and the crash-safe journal/cache entries. Gob's
+// failure modes are silent: an unexported field simply does not travel (a
+// worker decodes a zero value and the campaign table drifts), and an
+// interface-typed field panics at encode time unless every concrete type was
+// gob.Register'ed. The analyzer finds the root types of each
+// (*gob.Encoder).Encode / (*gob.Decoder).Decode call, walks every module
+// struct reachable from them, and requires:
+//
+//   - every field is exported, or carries `//fi:nowire` documenting that it
+//     is derived state deliberately rebuilt on the receiving side;
+//   - no exported func or chan fields (gob cannot encode them);
+//   - interface-typed fields are annotated `//fi:gob-registered` only when
+//     the package registers concrete implementations with gob.Register.
+var GobWire = &Analyzer{
+	Name:      "gobwire",
+	Doc:       "every type crossing the shard/journal gob wire is registered and field-stable",
+	Directive: "nowire",
+	Run:       runGobWire,
+}
+
+func runGobWire(p *Pass) {
+	roots := map[*types.Named]bool{}
+	hasRegister := false
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/gob" {
+				return true
+			}
+			switch fn.Name() {
+			case "Register", "RegisterName":
+				hasRegister = true
+			case "Encode", "Decode":
+				if t := p.TypeOf(call.Args[0]); t != nil {
+					addWireRoot(roots, t)
+				}
+			}
+			return true
+		})
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Deterministic walk order for deterministic diagnostics.
+	var sorted []*types.Named
+	for n := range roots { //fi:ordered — sorted by name below
+		sorted = append(sorted, n)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Obj().Id() < sorted[j].Obj().Id()
+	})
+
+	seen := map[*types.Named]bool{}
+	for _, root := range sorted {
+		checkWireStruct(p, root, hasRegister, seen)
+	}
+}
+
+// addWireRoot records the named struct type behind an Encode/Decode
+// argument, unwrapping pointers.
+func addWireRoot(roots map[*types.Named]bool, t types.Type) {
+	for {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+			roots[named] = true
+		}
+	}
+}
+
+// checkWireStruct validates one named struct's fields and recurses through
+// every module-internal named struct reachable from them.
+func checkWireStruct(p *Pass, named *types.Named, hasRegister bool, seen map[*types.Named]bool) {
+	if seen[named] {
+		return
+	}
+	seen[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	typeName := named.Obj().Name()
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() {
+			p.Reportf(field.Pos(), "unexported field %s.%s crosses the gob wire and is silently dropped; export it or annotate //fi:nowire if it is derived state rebuilt on the receiving side", typeName, field.Name())
+			continue
+		}
+		switch ft := field.Type().Underlying().(type) {
+		case *types.Signature, *types.Chan:
+			p.Reportf(field.Pos(), "field %s.%s has a type gob cannot encode (%s)", typeName, field.Name(), field.Type())
+		case *types.Interface:
+			if ft.NumMethods() > 0 && !hasRegister {
+				p.Reportf(field.Pos(), "interface-typed field %s.%s crosses the gob wire but the package has no gob.Register call; register every concrete type", typeName, field.Name())
+			}
+		}
+		recurseWireType(p, field.Type(), hasRegister, seen)
+	}
+}
+
+// recurseWireType follows the field type to further module-internal named
+// structs (through pointers, slices, arrays, and map keys/values).
+func recurseWireType(p *Pass, t types.Type, hasRegister bool, seen map[*types.Named]bool) {
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && inModule(p, obj.Pkg().Path()) {
+			checkWireStruct(p, u, hasRegister, seen)
+		}
+		return
+	case *types.Pointer:
+		recurseWireType(p, u.Elem(), hasRegister, seen)
+	case *types.Slice:
+		recurseWireType(p, u.Elem(), hasRegister, seen)
+	case *types.Array:
+		recurseWireType(p, u.Elem(), hasRegister, seen)
+	case *types.Map:
+		recurseWireType(p, u.Key(), hasRegister, seen)
+		recurseWireType(p, u.Elem(), hasRegister, seen)
+	}
+}
+
+// inModule reports whether the import path is inside the analyzed module.
+func inModule(p *Pass, path string) bool {
+	mod := p.Pkg.Path
+	if i := strings.Index(mod, "/"); i >= 0 {
+		mod = mod[:i]
+	}
+	return path == mod || strings.HasPrefix(path, mod+"/")
+}

@@ -1,0 +1,199 @@
+// Package lint is the project's static-analysis suite: a small
+// go/analysis-style framework plus the analyzers behind cmd/fi-lint, each
+// encoding a determinism or concurrency invariant that maps to a real
+// historical bug class in this repository (see README.md for the catalog).
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis API
+// shape — Analyzer{Name, Doc, Run(*Pass)} with Pass carrying the type-checked
+// package — but is built entirely on the standard library (go/parser,
+// go/types, and the source importer), so the module stays dependency-free.
+//
+// Diagnostics are suppressed by an in-source directive comment on the flagged
+// line or the line above it, e.g.
+//
+//	//fi:ordered — keys are collected and sorted before any output
+//	for k := range m { ... }
+//
+// Every analyzer documents its directive; a directive never matches another
+// analyzer's diagnostics.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a type-checked package and
+// reports violations through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and directives.
+	Name string
+	// Doc is the one-line description printed by fi-lint -list.
+	Doc string
+	// Directive is the //fi:<directive> token that suppresses this
+	// analyzer's diagnostics on the annotated line (or the line below the
+	// annotation). Empty means the analyzer cannot be suppressed.
+	Directive string
+	// Skip, when non-nil, exempts whole packages by import path.
+	Skip func(pkgPath string) bool
+	// Run inspects the package and reports diagnostics.
+	Run func(*Pass)
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	loader   *Loader
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless the analyzer's suppression
+// directive annotates that line (or the line above it). The directive lookup
+// is loader-wide, so analyzers that inspect types defined in other packages
+// of the module (gobwire walking wire structs) honor annotations at the
+// definition site.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Analyzer.Directive != "" && p.loader != nil && p.loader.suppressed(position, p.Analyzer.Directive) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of the expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves the identifier to its types.Object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Analyzers is the fi-lint suite, in the order diagnostics group.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		WallClock,
+		GlobalRand,
+		LockCallback,
+		GobWire,
+	}
+}
+
+// Check runs every analyzer over every package and returns the combined
+// diagnostics sorted by position — the linter's own output must be
+// deterministic regardless of load or map order.
+func Check(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Skip != nil && a.Skip(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, loader: l}
+			a.Run(pass)
+			all = append(all, pass.diags...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// exemptPkgs are the runtime-coordination packages exempt from the
+// determinism-critical analyzers (maporder, wallclock): their job is
+// wall-clock scheduling — worker deadlines, retry pacing, failure injection —
+// and nothing they compute reaches build output, wire frames, or tables.
+// The lint package itself is exempt from maporder: its output determinism is
+// enforced by the final sort in Check, not by loop order.
+var exemptPkgs = map[string]bool{
+	"sched":   true,
+	"shard":   true,
+	"backoff": true,
+	"chaos":   true,
+	"lint":    true,
+}
+
+// DeterminismCritical reports whether the import path names a package whose
+// outputs must be bit-stable: everything under internal/ that derives build
+// artifacts, wire frames, cache keys, or result tables. Command and example
+// mains are excluded (they may time themselves for progress lines; table
+// bytes are produced by internal/experiments).
+func DeterminismCritical(path string) bool {
+	rest, ok := strings.CutPrefix(path, "repro/internal/")
+	if !ok {
+		return false
+	}
+	seg, _, _ := strings.Cut(rest, "/")
+	return !exemptPkgs[seg]
+}
+
+var directiveRE = regexp.MustCompile(`fi:[a-z][a-z-]*`)
+
+// fileDirectives extracts the //fi: directive tokens of a parsed file,
+// keyed by line number.
+func fileDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
+	var out map[int][]string
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, "fi:") {
+				continue
+			}
+			for _, m := range directiveRE.FindAllString(c.Text, -1) {
+				if out == nil {
+					out = map[int][]string{}
+				}
+				line := fset.Position(c.Pos()).Line
+				out[line] = append(out[line], strings.TrimPrefix(m, "fi:"))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// Path is the import path ("repro/internal/opt").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset is the loader-wide file set (shared across packages).
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks module packages from source. Standard-library
+// imports resolve through the go/importer source importer, module-internal
+// imports recurse through the loader itself, so the whole tool works with
+// nothing but a source tree — no export data, no network, no external
+// modules.
+type Loader struct {
+	// Root is the module root directory (the one holding go.mod).
+	Root string
+	// Module is the module path ("repro").
+	Module string
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package
+	// loading guards against import cycles (invalid Go, but a clear error
+	// beats a stack overflow).
+	loading map[string]bool
+	// directives indexes //fi: suppression comments of every parsed file:
+	// "filename\x00line" → directive tokens.
+	directives map[string][]string
+}
+
+// NewLoader returns a loader for the module rooted at root.
+func NewLoader(root, module string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:       root,
+		Module:     module,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+		directives: map[string][]string{},
+	}
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod and
+// returns that directory plus the declared module path.
+func FindModuleRoot(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer: module-internal paths load recursively,
+// everything else is delegated to the standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps an import path of the module to its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.Module {
+		return l.Root
+	}
+	return filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.Module+"/")))
+}
+
+// load type-checks the package at the given module-internal import path,
+// memoized loader-wide.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return l.loadDirAs(l.dirFor(path), path)
+}
+
+// LoadDirAs parses and type-checks the non-test Go files of dir under the
+// given import path. Tests use it to check fixture directories (which live
+// under testdata/, invisible to the go tool) as if they were real packages
+// at an in-scope path.
+func (l *Loader) LoadDirAs(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return l.loadDirAs(dir, path)
+}
+
+func (l *Loader) loadDirAs(dir, path string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	var files []*ast.File
+	for _, n := range names {
+		full := filepath.Join(dir, n)
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+		for line, ds := range fileDirectives(l.fset, f) {
+			l.directives[directiveKey(full, line)] = ds
+		}
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Load resolves the given patterns ("./...", "./internal/opt", or full import
+// paths) to packages, loading each. The result is sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	paths := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.walk(l.Root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				paths[d] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dirs, err := l.walk(l.dirFor(l.pathFor(base)))
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				paths[d] = true
+			}
+		default:
+			paths[l.pathFor(pat)] = true
+		}
+	}
+	var sorted []string
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	var pkgs []*Package
+	for _, p := range sorted {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// pathFor normalizes a pattern element to an import path: "./x" and "x"
+// become module-relative, full import paths pass through.
+func (l *Loader) pathFor(pat string) string {
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "" || pat == "." {
+		return l.Module
+	}
+	if pat == l.Module || strings.HasPrefix(pat, l.Module+"/") {
+		return pat
+	}
+	return l.Module + "/" + strings.TrimSuffix(pat, "/")
+}
+
+// walk returns the import paths of every package directory under root,
+// skipping testdata, hidden directories, and directories without Go files.
+func (l *Loader) walk(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				rel, err := filepath.Rel(l.Root, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					out = append(out, l.Module)
+				} else {
+					out = append(out, l.Module+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+func directiveKey(file string, line int) string {
+	return fmt.Sprintf("%s\x00%d", file, line)
+}
+
+// suppressed reports whether the analyzer directive annotates the diagnostic
+// position's line or the line above it.
+func (l *Loader) suppressed(pos token.Position, directive string) bool {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, d := range l.directives[directiveKey(pos.Filename, line)] {
+			if d == directive {
+				return true
+			}
+		}
+	}
+	return false
+}

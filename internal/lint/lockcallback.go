@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCallback flags calls through func values — observer callbacks, hook
+// fields, injected closures — made while a mutex is held: the PR 5 collector
+// re-entrancy deadlock class, where the campaign collector invoked the
+// user's observer inside its own mutex and a re-entrant observer
+// self-deadlocked. A callback's body is not visible at the call site, so the
+// only safe protocol is to copy what it needs and invoke it after Unlock.
+//
+// The analyzer tracks lock state per block: a critical section opens at
+// `x.Lock()` / `x.RLock()` and closes at the matching `x.Unlock()` /
+// `x.RUnlock()` in the same block (`defer x.Unlock()` holds to function
+// exit). Within a section, any call whose callee is a func-typed variable,
+// field, or parameter — a dynamic call — is flagged. Static calls (named
+// functions, concrete methods) pass: their bodies are analyzable and they
+// cannot be swapped for a re-entrant implementation at runtime. Function
+// literals defined (not called) under the lock are not walked; they run
+// later, on their invoker's lock state. Intentional invoke-under-lock sites
+// need `//fi:locked-call-ok` with a justification.
+var LockCallback = &Analyzer{
+	Name:      "lockcallback",
+	Doc:       "no observer/hook/callback invocation while holding a mutex",
+	Directive: "locked-call-ok",
+	Run:       runLockCallback,
+}
+
+func runLockCallback(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockedBlock(p, fd.Body, map[string]bool{})
+		}
+	}
+}
+
+// checkLockedBlock walks one block's statements in order, maintaining the
+// set of held locks (keyed by the receiver expression's printed form).
+// Nested control-flow blocks inherit a copy of the current state: an Unlock
+// inside a branch releases for that branch only — conservative in both
+// directions, but it matches the lock idioms this repository actually uses.
+func checkLockedBlock(p *Pass, block *ast.BlockStmt, held map[string]bool) {
+	for _, s := range block.List {
+		// Lock-state transitions first, so `mu.Unlock()` itself is never
+		// "a call under mu".
+		if recv, op := lockOp(p, s); recv != "" {
+			switch op {
+			case "Lock", "RLock":
+				held[recv] = true
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+			continue
+		}
+		if ds, ok := s.(*ast.DeferStmt); ok {
+			// defer x.Unlock(): x stays held to function exit — no state
+			// change. Walk the deferred call's arguments only.
+			if name := lockMethodRecv(p, ds.Call); name != "" {
+				continue
+			}
+		}
+		if len(held) > 0 {
+			reportDynamicCalls(p, s, held)
+		}
+		// Recurse into nested blocks with a copied state.
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			checkLockedBlock(p, s, copyHeld(held))
+		case *ast.IfStmt:
+			checkLockedBlock(p, s.Body, copyHeld(held))
+			if els, ok := s.Else.(*ast.BlockStmt); ok {
+				checkLockedBlock(p, els, copyHeld(held))
+			} else if elif, ok := s.Else.(*ast.IfStmt); ok {
+				checkLockedBlock(p, &ast.BlockStmt{List: []ast.Stmt{elif}}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			checkLockedBlock(p, s.Body, copyHeld(held))
+		case *ast.RangeStmt:
+			checkLockedBlock(p, s.Body, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockedBlock(p, &ast.BlockStmt{List: cc.Body}, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockedBlock(p, &ast.BlockStmt{List: cc.Body}, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					checkLockedBlock(p, &ast.BlockStmt{List: cc.Body}, copyHeld(held))
+				}
+			}
+		}
+	}
+}
+
+// reportDynamicCalls flags dynamic (func-value) calls in the statement,
+// without descending into nested blocks (the caller recurses with its own
+// state) or function literal bodies (they execute under their invoker's
+// locks, not these).
+func reportDynamicCalls(p *Pass, s ast.Stmt, held map[string]bool) {
+	switch s.(type) {
+	case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := ast.Unparen(call.Fun)
+		var obj types.Object
+		switch c := callee.(type) {
+		case *ast.Ident:
+			obj = p.ObjectOf(c)
+		case *ast.SelectorExpr:
+			obj = p.ObjectOf(c.Sel)
+		default:
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return true // static func or method: body analyzable, not swappable
+		}
+		if _, isFunc := v.Type().Underlying().(*types.Signature); !isFunc {
+			return true
+		}
+		p.Reportf(call.Pos(), "call through func value %s while holding %s; deliver outside the critical section (the collector re-entrancy deadlock class) or annotate //fi:locked-call-ok", exprString(callee), heldNames(held))
+		return true
+	})
+}
+
+// lockOp matches `recv.Lock()`-shaped expression statements, returning the
+// receiver's printed form and the method name.
+func lockOp(p *Pass, s ast.Stmt) (recv, op string) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	if name := lockMethodRecv(p, call); name != "" {
+		sel := call.Fun.(*ast.SelectorExpr)
+		return name, sel.Sel.Name
+	}
+	return "", ""
+}
+
+// lockMethodRecv returns the receiver's printed form when the call is a
+// niladic Lock/RLock/Unlock/RUnlock method call, "" otherwise.
+func lockMethodRecv(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return ""
+	}
+	if _, isMethod := p.ObjectOf(sel.Sel).(*types.Func); !isMethod {
+		return ""
+	}
+	return exprString(sel.X)
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held { //fi:ordered — copies into a map; order-free
+		out[k] = true
+	}
+	return out
+}
+
+func heldNames(held map[string]bool) string {
+	if len(held) == 1 {
+		for k := range held {
+			return k
+		}
+	}
+	return "a mutex"
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for range` over a map in determinism-critical packages —
+// the bug class behind the LICM map-iteration nondeterminism that produced
+// byte-unstable LLFI builds and poisoned the content-addressed cache (PR 3).
+// Map iteration order is randomized per run, so any loop whose effects can
+// reach build output, wire frames, cache keys, or tables must either walk a
+// sorted key slice or prove order-insensitivity.
+//
+// A range-over-map passes without annotation when its body is provably
+// order-insensitive:
+//
+//   - writes into (or deletes from) other maps,
+//   - commutative integer accumulation (x += e, x++, x--, |=, &=, ^=),
+//   - idempotent flagging (x = c where c is the only constant the body ever
+//     assigns to x — the data-flow fixpoint `changed = true` idiom),
+//   - appends into a slice that a sort.* or slices.Sort* call later reorders
+//     in the same function (the collect-then-sort idiom),
+//
+// possibly nested under if/block statements. Everything else needs the
+// `//fi:ordered` directive with a justification.
+var MapOrder = &Analyzer{
+	Name:      "maporder",
+	Doc:       "no map iteration whose order can reach build output, wire frames, or tables",
+	Directive: "ordered",
+	Skip:      func(path string) bool { return !DeterminismCritical(path) },
+	Run:       runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if orderInsensitiveBody(p, fd, rs) {
+					return true
+				}
+				p.Reportf(rs.For, "iteration over map %s has randomized order; sort the keys, restrict the body to order-insensitive writes, or annotate //fi:ordered with a justification", exprString(rs.X))
+				return true
+			})
+		}
+	}
+}
+
+// orderInsensitiveBody reports whether every statement of the range body is
+// in the commutative-effects allowlist.
+func orderInsensitiveBody(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	flagVars := idempotentFlagVars(p, rs.Body)
+	ok := true
+	var check func(ast.Stmt)
+	check = func(s ast.Stmt) {
+		if !ok {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if !orderInsensitiveAssign(p, fd, rs, s, flagVars) {
+				ok = false
+			}
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(p, s.X) {
+				ok = false
+			}
+		case *ast.ExprStmt:
+			call, isCall := s.X.(*ast.CallExpr)
+			if !isCall || !isBuiltin(p, call, "delete") {
+				ok = false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				check(s.Init)
+			}
+			for _, bs := range s.Body.List {
+				check(bs)
+			}
+			if s.Else != nil {
+				check(s.Else)
+			}
+		case *ast.BlockStmt:
+			for _, bs := range s.List {
+				check(bs)
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				ok = false
+			}
+		default:
+			ok = false
+		}
+	}
+	for _, s := range rs.Body.List {
+		check(s)
+	}
+	return ok
+}
+
+// idempotentFlagVars collects identifiers the body only ever assigns one
+// constant value: re-assigning the same constant is idempotent, so iteration
+// order cannot matter (`changed = true` in a data-flow fixpoint). A single
+// non-constant or second distinct constant disqualifies the identifier.
+func idempotentFlagVars(p *Pass, body *ast.BlockStmt) map[string]bool {
+	consts := map[string]string{}
+	bad := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || a.Tok != token.ASSIGN {
+			return true
+		}
+		for i, lhs := range a.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			val := ""
+			if i < len(a.Rhs) {
+				if tv, has := p.Pkg.Info.Types[a.Rhs[i]]; has && tv.Value != nil {
+					val = tv.Value.String()
+				}
+			}
+			if val == "" {
+				bad[id.Name] = true
+				continue
+			}
+			if prev, seen := consts[id.Name]; seen && prev != val {
+				bad[id.Name] = true
+				continue
+			}
+			consts[id.Name] = val
+		}
+		return true
+	})
+	out := map[string]bool{}
+	for name := range consts { //fi:ordered — builds a set; order-free
+		if !bad[name] {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// orderInsensitiveAssign accepts map-index writes, commutative integer
+// compound assignment, idempotent constant flagging, and
+// append-into-later-sorted-slice.
+func orderInsensitiveAssign(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, a *ast.AssignStmt, flagVars map[string]bool) bool {
+	switch a.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		for _, lhs := range a.Lhs {
+			if !isIntegerExpr(p, lhs) {
+				return false
+			}
+		}
+		return true
+	case token.ASSIGN, token.DEFINE:
+		for i, lhs := range a.Lhs {
+			if id, isIdent := lhs.(*ast.Ident); isIdent && flagVars[id.Name] {
+				continue // only ever assigned one constant: idempotent
+			}
+			if ix, isIndex := lhs.(*ast.IndexExpr); isIndex {
+				if t := p.TypeOf(ix.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						continue // write into a map: order-insensitive for distinct keys
+					}
+				}
+			}
+			// s = append(s, ...) where s is sorted later in the function.
+			if i < len(a.Rhs) {
+				if call, isCall := a.Rhs[i].(*ast.CallExpr); isCall && isBuiltin(p, call, "append") &&
+					sortedLater(p, fd, rs.End(), lhs) {
+					continue
+				}
+			}
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// sortedLater reports whether a sort.* / slices.Sort* call mentioning the
+// slice appears after pos in the enclosing function — the collect-then-sort
+// idiom's second half.
+func sortedLater(p *Pass, fd *ast.FuncDecl, pos token.Pos, slice ast.Expr) bool {
+	name := exprString(slice)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, isPkg := p.ObjectOf(pkgID).(*types.PkgName); !isPkg ||
+			(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(arg, name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func exprMentions(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ex, ok := n.(ast.Expr); ok && exprString(ex) == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isIntegerExpr(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := p.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// exprString renders simple expressions (identifiers, selector chains) for
+// messages and structural comparison; other shapes render as "<expr>".
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	}
+	return "<expr>"
+}

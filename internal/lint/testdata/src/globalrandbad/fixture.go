@@ -1,0 +1,25 @@
+// Package globalrandbad is a fi-lint fixture: every `// want` line must be
+// flagged by the globalrand analyzer.
+package globalrandbad
+
+import "math/rand"
+
+// rng is package-level generator state shared across goroutines and
+// campaigns — the seeding protocol cannot reach it.
+var rng = rand.New(rand.NewSource(1)) // want
+
+// Roll draws from the shared, implicitly seeded global source.
+func Roll() int {
+	return rand.Intn(6) // want
+}
+
+// Shuffle mutates through the global source too.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want
+}
+
+// Use draws from the package-level generator; the var declaration is the
+// violation, method calls on it are not re-flagged.
+func Use() int {
+	return rng.Intn(6)
+}

@@ -1,0 +1,21 @@
+// Package globalrandok is a fi-lint fixture: the globalrand analyzer must
+// report nothing here — generators are locally scoped and explicitly seeded,
+// and the one package-level source is annotated.
+package globalrandok
+
+import "math/rand"
+
+// Trial seeds a local generator from the campaign seed: trial outcomes stay
+// pure functions of the seed.
+func Trial(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+//fi:rand-ok — fixture: intentional shared source; annotation form under test
+var shared = rand.New(rand.NewSource(7))
+
+// Use draws from the annotated generator.
+func Use() int {
+	return shared.Intn(3)
+}

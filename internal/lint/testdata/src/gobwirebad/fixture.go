@@ -1,0 +1,34 @@
+// Package gobwirebad is a fi-lint fixture: every `// want` line must be
+// flagged by the gobwire analyzer.
+package gobwirebad
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Result is a non-empty interface; the package never calls gob.Register, so
+// no concrete type can actually travel.
+type Result interface {
+	Outcome() string
+}
+
+// Frame crosses the wire via Send below.
+type Frame struct {
+	ID     int
+	hidden int    // want
+	Hook   func() // want
+	Res    Result // want
+	Inner  inner
+}
+
+// inner is reachable from Frame, so its fields are audited too.
+type inner struct {
+	secret int // want
+	Public int
+}
+
+// Send is the Encode root the analyzer discovers.
+func Send(w *bytes.Buffer, f *Frame) error {
+	return gob.NewEncoder(w).Encode(f)
+}

@@ -1,0 +1,37 @@
+// Package gobwireok is a fi-lint fixture: the gobwire analyzer must report
+// nothing here — interface fields have registered concrete types and the one
+// unexported field is annotated derived state.
+package gobwireok
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Outcome travels as an interface; Crash is registered in init.
+type Outcome interface {
+	Kind() string
+}
+
+// Crash is a concrete Outcome.
+type Crash struct{ Code int }
+
+// Kind implements Outcome.
+func (Crash) Kind() string { return "crash" }
+
+func init() {
+	gob.Register(Crash{})
+}
+
+// Frame crosses the wire via Send below; cache is derived state gob drops by
+// design and the decoder rebuilds.
+type Frame struct {
+	ID    int
+	Res   Outcome
+	cache []byte //fi:nowire — fixture: derived, rebuilt on decode
+}
+
+// Send is the Encode root the analyzer discovers.
+func Send(w *bytes.Buffer, f *Frame) error {
+	return gob.NewEncoder(w).Encode(f)
+}

@@ -1,0 +1,39 @@
+// Package lockcallbackbad is a fi-lint fixture: every `// want` line must be
+// flagged by the lockcallback analyzer.
+package lockcallbackbad
+
+import "sync"
+
+// Collector mirrors the PR 5 re-entrancy deadlock shape: an observer
+// callback invoked inside the collector's own mutex.
+type Collector struct {
+	mu       sync.Mutex
+	observer func(int)
+	n        int
+}
+
+// Add invokes the observer between Lock and Unlock.
+func (c *Collector) Add(v int) {
+	c.mu.Lock()
+	c.n += v
+	c.observer(c.n) // want
+	c.mu.Unlock()
+}
+
+// AddDefer holds the lock to function exit via defer; the observer call is
+// still under it.
+func (c *Collector) AddDefer(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += v
+	c.observer(c.n) // want
+}
+
+// Branch invokes a hook parameter inside a branch of the critical section.
+func (c *Collector) Branch(hook func()) {
+	c.mu.Lock()
+	if c.n > 0 {
+		hook() // want
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,53 @@
+// Package lockcallbackok is a fi-lint fixture: the lockcallback analyzer
+// must report nothing here — callbacks are copied under the lock and invoked
+// after Unlock, static calls are allowed, and the one intentional
+// invoke-under-lock is annotated.
+package lockcallbackok
+
+import "sync"
+
+// Collector is the safe counterpart of the bad fixture.
+type Collector struct {
+	mu       sync.Mutex
+	observer func(int)
+	n        int
+}
+
+// Add copies what the observer needs and delivers outside the critical
+// section — the protocol the analyzer exists to enforce.
+func (c *Collector) Add(v int) {
+	c.mu.Lock()
+	c.n += v
+	n, obs := c.n, c.observer
+	c.mu.Unlock()
+	if obs != nil {
+		obs(n)
+	}
+}
+
+func record(int) {}
+
+// Static makes a named-function call under the lock: its body is analyzable
+// and cannot be swapped at runtime, so it passes.
+func (c *Collector) Static(v int) {
+	c.mu.Lock()
+	c.n += v
+	record(c.n)
+	c.mu.Unlock()
+}
+
+// Deferred defines (but does not call) a closure under the lock; it runs on
+// its invoker's lock state later.
+func (c *Collector) Deferred() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.n
+	return func() int { return n }
+}
+
+// Annotated carries the suppression directive with a justification.
+func (c *Collector) Annotated(v int) {
+	c.mu.Lock()
+	c.observer(v) //fi:locked-call-ok — fixture: observer is package-private and never re-enters
+	c.mu.Unlock()
+}

@@ -1,0 +1,39 @@
+// Package maporderbad is a fi-lint fixture: every `// want` line must be
+// flagged by the maporder analyzer.
+package maporderbad
+
+import "fmt"
+
+// Keys leaks map order into a returned slice with no later sort.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want
+		out = append(out, k)
+	}
+	return out
+}
+
+// Print leaks map order straight into output.
+func Print(m map[string]int) {
+	for k, v := range m { // want
+		fmt.Println(k, v)
+	}
+}
+
+// Concat accumulates into a string: += is only commutative for integers.
+func Concat(m map[string]bool) string {
+	s := ""
+	for k := range m { // want
+		s += k
+	}
+	return s
+}
+
+// LastWins assigns a non-constant value: order decides the result.
+func LastWins(m map[string]int) int {
+	last := 0
+	for _, v := range m { // want
+		last = v
+	}
+	return last
+}

@@ -1,0 +1,74 @@
+// Package maporderok is a fi-lint fixture: the maporder analyzer must report
+// nothing here — every loop is in the order-insensitivity allowlist or
+// annotated.
+package maporderok
+
+import "sort"
+
+// Invert writes into another map: distinct keys, order-free.
+func Invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Sum is commutative integer accumulation.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Count uses IncDec on an integer.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Prune deletes from the ranged map itself (specified-safe and order-free).
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// SortedKeys is the collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AnyNegative is idempotent flagging: the body only ever assigns the one
+// constant true, so iteration order cannot matter.
+func AnyNegative(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+// Annotated carries the suppression directive with a justification.
+func Annotated(m map[string]int) []string {
+	var out []string
+	//fi:ordered — fixture: caller sorts; annotation form under test
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Package wallclockbad is a fi-lint fixture: every `// want` line must be
+// flagged by the wallclock analyzer.
+package wallclockbad
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want
+}
+
+// Elapsed reads the clock through time.Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want
+}
+
+// Deadline arms a timer (an implicit clock read).
+func Deadline(d time.Duration) <-chan time.Time {
+	return time.After(d) // want
+}

@@ -1,0 +1,23 @@
+// Package wallclockok is a fi-lint fixture: the wallclock analyzer must
+// report nothing here — duration arithmetic and fixed instants never observe
+// the clock, and the one genuine read is annotated.
+package wallclockok
+
+import "time"
+
+const step = 10 * time.Millisecond
+
+// Scaled is pure duration arithmetic.
+func Scaled(n int) time.Duration {
+	return time.Duration(n) * step
+}
+
+// Epoch constructs a fixed instant without reading the clock.
+func Epoch() time.Time {
+	return time.Unix(0, 0)
+}
+
+// Annotated carries the suppression directive with a justification.
+func Annotated() time.Time {
+	return time.Now() //fi:wallclock-ok — fixture: progress line only, never reaches output
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock flags wall-clock reads in determinism-critical packages. Trial
+// outcomes, build artifacts, and tables must be pure functions of the
+// campaign seed; a time.Now that leaks into any of them (directly, or by
+// seeding state, as internal/backoff's jitter RNG once did) breaks the
+// serial ≡ scheduled ≡ sharded ≡ cached ≡ resumed invariant in a way only a
+// cross-process diff can catch dynamically. Deadline and pacing code lives
+// in the exempt runtime packages (shard, backoff, sched, chaos); anything
+// else needs `//fi:wallclock-ok` with a justification.
+var WallClock = &Analyzer{
+	Name:      "wallclock",
+	Doc:       "no wall-clock reads or time-seeded state in determinism-critical packages",
+	Directive: "wallclock-ok",
+	Skip:      func(path string) bool { return !DeterminismCritical(path) },
+	Run:       runWallClock,
+}
+
+// wallClockFuncs are the time package entry points that observe the clock.
+// Pure-value constructors (time.Duration arithmetic, time.Unix) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallClock(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.%s in determinism-critical package %s; outcomes must be pure functions of the seed (move timing into a runtime package or annotate //fi:wallclock-ok)", fn.Name(), p.Pkg.Path)
+			return true
+		})
+	}
+}

@@ -1,0 +1,391 @@
+package mir
+
+import (
+	"fmt"
+
+	"repro/internal/vx"
+)
+
+// VerifyMode selects which MIR invariants apply. The representation changes
+// shape across the backend: between instruction selection and register
+// allocation it carries virtual registers and the VCALL/VENTRY pseudos; after
+// the rewriter, frame lowering and peephole it must be pure architectural
+// VX64 that the assembler can encode.
+type VerifyMode int
+
+const (
+	// PreRA accepts virtual registers and the VCALL/VENTRY pseudos.
+	PreRA VerifyMode = iota
+	// PostRA requires physical registers only and rejects pseudos.
+	PostRA
+)
+
+func (m VerifyMode) String() string {
+	if m == PreRA {
+		return "pre-ra"
+	}
+	return "post-ra"
+}
+
+// symtab is the whole-program symbol view used for resolution checks.
+type symtab struct {
+	fns     map[string]bool
+	hosts   map[string]bool
+	globals map[string]bool
+}
+
+// Verify checks every function of the program plus the cross-function
+// invariants a single function cannot see: unique symbol names, a defined
+// entry function, and resolution of every call target and global reference.
+// An unresolved symbol here is the gob-era failure mode's static cousin — the
+// assembler would reject it later, but without naming the stage that
+// introduced it.
+func Verify(p *Prog, mode VerifyMode) error {
+	syms := &symtab{fns: map[string]bool{}, hosts: map[string]bool{}, globals: map[string]bool{}}
+	for _, f := range p.Fns {
+		if syms.fns[f.Name] {
+			return fmt.Errorf("mir: duplicate function %q", f.Name)
+		}
+		syms.fns[f.Name] = true
+	}
+	for _, h := range p.HostFns {
+		syms.hosts[h] = true
+	}
+	for _, g := range p.Globals {
+		if syms.globals[g.Name] {
+			return fmt.Errorf("mir: duplicate global %q", g.Name)
+		}
+		syms.globals[g.Name] = true
+		if int64(len(g.Init)) > g.Size {
+			return fmt.Errorf("mir: global %q init larger than size", g.Name)
+		}
+	}
+	if p.Entry != "" && !syms.fns[p.Entry] {
+		return fmt.Errorf("mir: entry function %q not defined", p.Entry)
+	}
+	for _, f := range p.Fns {
+		if err := verifyFn(f, mode, syms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyFn checks one function's structural invariants: block indexing,
+// branch-target validity, operand arity and kinds per opcode, and register
+// validity/class per mode. Symbol resolution needs the whole program — use
+// Verify for that.
+func VerifyFn(f *Fn, mode VerifyMode) error {
+	return verifyFn(f, mode, nil)
+}
+
+func verifyFn(f *Fn, mode VerifyMode, syms *symtab) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("mir: %s: no blocks", f.Name)
+	}
+	if mode == PreRA && len(f.VRegClasses) != f.NumVRegs {
+		return fmt.Errorf("mir: %s: %d vreg classes recorded for %d vregs", f.Name, len(f.VRegClasses), f.NumVRegs)
+	}
+	for bi, b := range f.Blocks {
+		if b.Index != bi {
+			return fmt.Errorf("mir: %s: block at position %d has index %d", f.Name, bi, b.Index)
+		}
+		for _, s := range b.Succs {
+			if s < 0 || s >= len(f.Blocks) {
+				return fmt.Errorf("mir: %s.b%d: successor %d out of range", f.Name, bi, s)
+			}
+		}
+		for _, in := range b.Instrs {
+			if err := verifyInstr(f, bi, in, mode, syms); err != nil {
+				return fmt.Errorf("mir: %s.b%d: %v: %w", f.Name, bi, in, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Register-class requirements for register operands.
+type classReq uint8
+
+const (
+	anyReg  classReq = iota // any architectural register (uniform 64-bit file)
+	gprOnly                 // general-purpose register / ClassInt vreg
+	fprOnly                 // floating-point register / ClassFP vreg
+)
+
+// checkReg validates one register number against the mode and class.
+func checkReg(f *Fn, mode VerifyMode, reg int, req classReq) error {
+	if reg >= VRegBase {
+		if mode == PostRA {
+			return fmt.Errorf("virtual register v%d survives past register allocation", reg-VRegBase)
+		}
+		idx := reg - VRegBase
+		if idx >= f.NumVRegs {
+			return fmt.Errorf("virtual register v%d out of range (have %d)", idx, f.NumVRegs)
+		}
+		if idx < len(f.VRegClasses) {
+			switch {
+			case req == gprOnly && f.VRegClasses[idx] != ClassInt:
+				return fmt.Errorf("v%d is FP-class in an integer slot", idx)
+			case req == fprOnly && f.VRegClasses[idx] != ClassFP:
+				return fmt.Errorf("v%d is int-class in an FP slot", idx)
+			}
+		}
+		return nil
+	}
+	r := vx.Reg(reg)
+	if !r.IsGPR() && !r.IsFPR() {
+		return fmt.Errorf("register operand %d is not an addressable architectural register", reg)
+	}
+	switch {
+	case req == gprOnly && !r.IsGPR():
+		return fmt.Errorf("%s in a GPR-only slot", r)
+	case req == fprOnly && !r.IsFPR():
+		return fmt.Errorf("%s in an FPR-only slot", r)
+	}
+	return nil
+}
+
+// checkMem validates a memory operand: symbol-based addressing has no base
+// register, register-based addressing has a valid integer base, the optional
+// index carries a hardware scale.
+func checkMem(f *Fn, mode VerifyMode, o Operand, syms *symtab) error {
+	if o.Sym != "" {
+		if o.Base >= 0 {
+			return fmt.Errorf("memory operand has both symbol %q and base register", o.Sym)
+		}
+		if syms != nil && !syms.globals[o.Sym] {
+			return fmt.Errorf("memory operand references undefined global %q", o.Sym)
+		}
+	} else {
+		if o.Base < 0 {
+			return fmt.Errorf("memory operand has neither symbol nor base register")
+		}
+		if err := checkReg(f, mode, o.Base, gprOnly); err != nil {
+			return fmt.Errorf("base: %w", err)
+		}
+	}
+	if o.Index >= 0 {
+		if err := checkReg(f, mode, o.Index, gprOnly); err != nil {
+			return fmt.Errorf("index: %w", err)
+		}
+		switch o.Scale {
+		case 1, 2, 4, 8:
+		default:
+			return fmt.Errorf("index scale %d is not addressable", o.Scale)
+		}
+	}
+	return nil
+}
+
+// kindSet is a bitmask of allowed OperandKinds.
+type kindSet uint8
+
+func ks(kinds ...OperandKind) kindSet {
+	var s kindSet
+	for _, k := range kinds {
+		s |= 1 << k
+	}
+	return s
+}
+
+func (s kindSet) has(k OperandKind) bool { return s&(1<<k) != 0 }
+
+// operandShape describes one opcode's operand contract: the allowed kinds of
+// A and B plus the register class each requires when the operand is a
+// register.
+type operandShape struct {
+	a, b           kindSet
+	aClass, bClass classReq
+}
+
+var (
+	none = ks(KindNone)
+
+	// opShapes is the arity/kind table for every architectural opcode. The
+	// pseudos (VCALL/VENTRY) and condition-coded branches get bespoke checks
+	// in verifyInstr.
+	opShapes = map[vx.Op]operandShape{
+		vx.NOP:  {a: none, b: none},
+		vx.RET:  {a: none, b: none},
+		vx.HALT: {a: none, b: none},
+
+		// MOVQ and PUSHQ/POPQ operate on any architectural register: the
+		// epilogue restores FP callee-saved registers with plain MOVQ loads
+		// (the register file is uniform 64-bit; see codegen/frame.go).
+		vx.MOVQ:  {a: ks(KindReg, KindMem), b: ks(KindReg, KindImm, KindMem), aClass: anyReg, bClass: anyReg},
+		vx.MOVSD: {a: ks(KindReg, KindMem), b: ks(KindReg, KindFImm, KindMem), aClass: fprOnly, bClass: fprOnly},
+		vx.LEAQ:  {a: ks(KindReg), b: ks(KindMem, KindSym), aClass: gprOnly},
+
+		vx.MOVQ2SD: {a: ks(KindReg), b: ks(KindReg), aClass: fprOnly, bClass: gprOnly},
+		vx.MOVSD2Q: {a: ks(KindReg), b: ks(KindReg), aClass: gprOnly, bClass: fprOnly},
+
+		vx.ADDQ:  intALUShape,
+		vx.SUBQ:  intALUShape,
+		vx.IMULQ: intALUShape,
+		vx.IDIVQ: intALUShape,
+		vx.IREMQ: intALUShape,
+		vx.ANDQ:  intALUShape,
+		vx.ORQ:   intALUShape,
+		vx.XORQ:  intALUShape,
+		vx.SHLQ:  intALUShape,
+		vx.SHRQ:  intALUShape,
+		vx.SARQ:  intALUShape,
+		vx.NEGQ:  {a: ks(KindReg), b: none, aClass: gprOnly},
+		vx.NOTQ:  {a: ks(KindReg), b: none, aClass: gprOnly},
+
+		vx.ADDSD: fpALUShape,
+		vx.SUBSD: fpALUShape,
+		vx.MULSD: fpALUShape,
+		vx.DIVSD: fpALUShape,
+		vx.MINSD: fpALUShape,
+		vx.MAXSD: fpALUShape,
+		vx.ANDPD: fpALUShape,
+		vx.XORPD: {a: ks(KindReg, KindMem), b: ks(KindReg, KindFImm), aClass: fprOnly, bClass: fprOnly},
+
+		vx.SQRTSD:    {a: ks(KindReg), b: ks(KindReg, KindMem), aClass: fprOnly, bClass: fprOnly},
+		vx.CVTSI2SD:  {a: ks(KindReg), b: ks(KindReg, KindImm, KindMem), aClass: fprOnly, bClass: gprOnly},
+		vx.CVTTSD2SI: {a: ks(KindReg), b: ks(KindReg, KindMem), aClass: gprOnly, bClass: fprOnly},
+
+		vx.CMPQ:    intALUShape,
+		vx.TESTQ:   intALUShape,
+		vx.UCOMISD: {a: ks(KindReg), b: ks(KindReg, KindFImm, KindMem), aClass: fprOnly, bClass: fprOnly},
+		vx.SETCC:   {a: ks(KindReg), b: none, aClass: gprOnly},
+
+		vx.JMP:   {a: ks(KindLabel), b: none},
+		vx.JCC:   {a: ks(KindLabel), b: none},
+		vx.CALLQ: {a: ks(KindSym), b: none},
+
+		vx.PUSHQ: {a: ks(KindReg, KindImm, KindMem), b: none, aClass: anyReg},
+		vx.POPQ:  {a: ks(KindReg), b: none, aClass: anyReg},
+		vx.PUSHF: {a: none, b: none},
+		vx.POPF:  {a: none, b: none},
+	}
+)
+
+// intALUShape covers the two-address integer ops: register or memory
+// destination, register/immediate/memory source.
+var intALUShape = operandShape{
+	a: ks(KindReg, KindMem), b: ks(KindReg, KindImm, KindMem),
+	aClass: gprOnly, bClass: gprOnly,
+}
+
+// fpALUShape covers the two-address FP ops: register destination,
+// register/FP-immediate/memory source.
+var fpALUShape = operandShape{
+	a: ks(KindReg), b: ks(KindReg, KindFImm, KindMem),
+	aClass: fprOnly, bClass: fprOnly,
+}
+
+func verifyInstr(f *Fn, blockIdx int, in *Instr, mode VerifyMode, syms *symtab) error {
+	if in.Op >= vx.NumOps {
+		return fmt.Errorf("unknown opcode %d", in.Op)
+	}
+
+	// Pseudos: legal only between isel and register allocation.
+	switch in.Op {
+	case vx.VCALL, vx.VENTRY:
+		if mode == PostRA {
+			return fmt.Errorf("pseudo %s survives past register allocation", in.Op)
+		}
+		if in.Op == vx.VENTRY && blockIdx != 0 {
+			return fmt.Errorf("ventry outside the entry block")
+		}
+		if in.Op == vx.VCALL {
+			if in.A.Kind != KindSym || in.A.Sym == "" {
+				return fmt.Errorf("vcall without a target symbol")
+			}
+			if err := checkCallTarget(in.A.Sym, syms); err != nil {
+				return err
+			}
+			if in.CallRes >= 0 {
+				if err := checkReg(f, mode, in.CallRes, anyReg); err != nil {
+					return fmt.Errorf("result: %w", err)
+				}
+			}
+		}
+		for i, r := range in.Regs {
+			if err := checkReg(f, mode, r, anyReg); err != nil {
+				return fmt.Errorf("pseudo reg %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+
+	shape, ok := opShapes[in.Op]
+	if !ok {
+		return fmt.Errorf("no operand contract for opcode %s", in.Op)
+	}
+	if !shape.a.has(in.A.Kind) {
+		return fmt.Errorf("operand A kind %d not allowed", in.A.Kind)
+	}
+	if !shape.b.has(in.B.Kind) {
+		return fmt.Errorf("operand B kind %d not allowed", in.B.Kind)
+	}
+	// The VM decodes at most one memory operand per instruction.
+	if in.A.Kind == KindMem && in.B.Kind == KindMem {
+		return fmt.Errorf("two memory operands")
+	}
+
+	check := func(o Operand, class classReq, side string) error {
+		switch o.Kind {
+		case KindReg:
+			if err := checkReg(f, mode, o.Reg, class); err != nil {
+				return fmt.Errorf("%s: %w", side, err)
+			}
+		case KindMem:
+			if err := checkMem(f, mode, o, syms); err != nil {
+				return fmt.Errorf("%s: %w", side, err)
+			}
+		case KindLabel:
+			if o.Target < 0 || o.Target >= len(f.Blocks) {
+				return fmt.Errorf("%s: branch target %d out of range (%d blocks)", side, o.Target, len(f.Blocks))
+			}
+		case KindSym:
+			if o.Sym == "" {
+				return fmt.Errorf("%s: empty symbol", side)
+			}
+		}
+		return nil
+	}
+	if err := check(in.A, shape.aClass, "A"); err != nil {
+		return err
+	}
+	if err := check(in.B, shape.bClass, "B"); err != nil {
+		return err
+	}
+
+	switch in.Op {
+	case vx.JCC:
+		if in.Cond >= vx.NumConds {
+			return fmt.Errorf("condition code %d out of range", in.Cond)
+		}
+	case vx.SETCC:
+		if in.Cond >= vx.NumConds {
+			return fmt.Errorf("condition code %d out of range", in.Cond)
+		}
+	case vx.CALLQ:
+		if err := checkCallTarget(in.A.Sym, syms); err != nil {
+			return err
+		}
+		if in.NIntArgs < 0 || in.NIntArgs > len(vx.IntArgRegs) ||
+			in.NFPArgs < 0 || in.NFPArgs > len(vx.FPArgRegs) {
+			return fmt.Errorf("call arity %d int / %d fp exceeds ABI registers", in.NIntArgs, in.NFPArgs)
+		}
+	case vx.LEAQ:
+		if in.B.Kind == KindSym && syms != nil && !syms.globals[in.B.Sym] {
+			return fmt.Errorf("lea of undefined global %q", in.B.Sym)
+		}
+	}
+	return nil
+}
+
+func checkCallTarget(sym string, syms *symtab) error {
+	if syms == nil {
+		return nil
+	}
+	if !syms.fns[sym] && !syms.hosts[sym] {
+		return fmt.Errorf("call to undefined symbol %q", sym)
+	}
+	return nil
+}

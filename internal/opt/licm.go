@@ -101,10 +101,18 @@ func hoistLoop(f *ir.Func, dom *ir.DomTree, header, latch *ir.Block) bool {
 		}
 		return v.Block != nil && !body[v.Block]
 	}
+	// Walk blocks in f.Blocks order, not map order: the fixpoint converges
+	// to the same invariant set either way, but a deterministic walk keeps
+	// every intermediate state — and any future change to this loop —
+	// byte-stable across processes (the bug class that once made LLFI
+	// builds poison the content-addressed cache).
 	changed := false
 	for again := true; again; {
 		again = false
-		for b := range body {
+		for _, b := range f.Blocks {
+			if !body[b] {
+				continue
+			}
 			for _, v := range b.Values {
 				if invariant[v] || !hoistable(v.Op) {
 					continue

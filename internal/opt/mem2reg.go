@@ -9,7 +9,11 @@
 // backend-level injector observes the final machine code.
 package opt
 
-import "repro/internal/ir"
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
 
 // Mem2Reg promotes allocas whose address is only used directly by 8-byte
 // loads and stores into SSA values, inserting phi nodes on the iterated
@@ -91,10 +95,14 @@ func Mem2Reg(f *ir.Func) {
 				}
 			}
 		}
+		// Seed the phi-insertion worklist in block-ID order: the inserted
+		// phi set is order-independent, but phi creation order assigns value
+		// IDs, which reach printed IR and thus the build fingerprint.
 		var work []*ir.Block
 		for b := range defBlocks {
 			work = append(work, b)
 		}
+		sort.Slice(work, func(i, j int) bool { return work[i].ID < work[j].ID })
 		inserted := map[*ir.Block]bool{}
 		for len(work) > 0 {
 			b := work[len(work)-1]

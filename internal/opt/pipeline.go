@@ -42,10 +42,62 @@ func (l Level) String() string {
 	return "O?"
 }
 
+// funcPass is one named per-function transformation. The name appears in
+// VerifyError.Stage when the pass breaks an invariant, so a corrupting pass
+// is identified at the point of corruption instead of wherever the damage
+// finally crashes.
+type funcPass struct {
+	name string
+	run  func(*ir.Func)
+}
+
+// o2Passes is the O2 pipeline in execution order: SSA promotion, then two
+// rounds of folding/CSE/DCE and CFG simplification around loop-invariant
+// code motion.
+var o2Passes = []funcPass{
+	{"mem2reg", Mem2Reg},
+	{"constfold", drop(ConstFold)},
+	{"cse", drop(CSE)},
+	{"dce", drop(DCE)},
+	{"simplifycfg", drop(SimplifyCFG)},
+	{"licm", drop(LICM)},
+	{"constfold.2", drop(ConstFold)},
+	{"cse.2", drop(CSE)},
+	{"dce.2", drop(DCE)},
+	{"simplifycfg.2", drop(SimplifyCFG)},
+}
+
+// drop adapts a changed-reporting pass to the uniform pass shape.
+func drop(p func(*ir.Func) bool) func(*ir.Func) {
+	return func(f *ir.Func) { p(f) }
+}
+
+// legalizePasses is the mandatory pre-backend lowering, run at every level.
+var legalizePasses = []funcPass{
+	{"lower-select", LowerSelect},
+	{"split-critical-edges", SplitCriticalEdges},
+}
+
+// runPasses applies the pass list to one function. With inter-pass
+// verification enabled (test binaries, FI_VERIFY_IR, refinec -verify-ir) the
+// function is re-verified after every pass and a failure panics with a
+// *ir.VerifyError naming the offending pass.
+func runPasses(f *ir.Func, prefix string, passes []funcPass) {
+	verify := ir.VerifyEachEnabled()
+	for _, p := range passes {
+		p.run(f)
+		if verify {
+			if err := ir.VerifyFunc(f); err != nil {
+				panic(&ir.VerifyError{Stage: prefix + p.name, Fn: f.Name, Err: err})
+			}
+		}
+	}
+}
+
 // Optimize runs the full pipeline at the given level over every function,
 // including the mandatory backend lowering, then verifies the module. It
-// panics on verifier failure: a broken pass is a programming error in this
-// repository, not a user input error.
+// panics with *ir.VerifyError on verifier failure: a broken pass is a
+// programming error in this repository, not a user input error.
 func Optimize(m *ir.Module, lvl Level) {
 	OptimizeNoLower(m, lvl)
 	Legalize(m)
@@ -60,29 +112,19 @@ func OptimizeNoLower(m *ir.Module, lvl Level) {
 		return
 	}
 	for _, f := range m.Funcs {
-		Mem2Reg(f)
-		ConstFold(f)
-		CSE(f)
-		DCE(f)
-		SimplifyCFG(f)
-		LICM(f)
-		ConstFold(f)
-		CSE(f)
-		DCE(f)
-		SimplifyCFG(f)
+		runPasses(f, "opt/", o2Passes)
 	}
 	if err := ir.Verify(m); err != nil {
-		panic("opt: pipeline broke the module: " + err.Error())
+		panic(&ir.VerifyError{Stage: "opt", Err: err})
 	}
 }
 
 // Legalize runs the mandatory pre-backend lowering passes and verifies.
 func Legalize(m *ir.Module) {
 	for _, f := range m.Funcs {
-		LowerSelect(f)
-		SplitCriticalEdges(f)
+		runPasses(f, "legalize/", legalizePasses)
 	}
 	if err := ir.Verify(m); err != nil {
-		panic("opt: legalization broke the module: " + err.Error())
+		panic(&ir.VerifyError{Stage: "legalize", Err: err})
 	}
 }

@@ -96,11 +96,14 @@ type Image struct {
 
 	// Execution-engine state, built once per image on first use (see
 	// predecode.go): the predecoded instruction stream, the host-symbol
-	// index, and the entry-sorted function index for FuncOf.
-	once      predecodeOnce
-	code      []uop
-	hostIndex map[string]int32
-	funcOrder []int32 // indexes into Funcs, sorted by Entry
+	// index, and the entry-sorted function index for FuncOf. Deliberately
+	// unexported and absent from the wire: gob drops these, and ensure()
+	// rebuilds them deterministically from the exported fields on the far
+	// side (the disk cache round-trips Image through gob).
+	once      predecodeOnce     //fi:nowire — derived predecode state, rebuilt by ensure()
+	code      []uop             //fi:nowire — derived predecode state, rebuilt by ensure()
+	hostIndex map[string]int32  //fi:nowire — derived predecode state, rebuilt by ensure()
+	funcOrder []int32           //fi:nowire — indexes into Funcs sorted by Entry, rebuilt by ensure()
 }
 
 // Imports reports whether the image links against the named host function.
