@@ -1,0 +1,131 @@
+// BENCH_trials.json emitter: a machine-readable snapshot of the numbers the
+// perf trajectory tracks across PRs — the Figure 5 normalization, the Table 5
+// verdict, raw VM throughput, and the profile/trial phase split that the
+// fire-point trial path is supposed to move. The CI bench job runs this with
+// BENCH_TRIALS_JSON set and uploads the file as a build artifact; without the
+// env var the test skips, so the plain suite never pays the suite runs or the
+// wall-clock measurement.
+package refine_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	refine "repro"
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+)
+
+// benchTrialsReport is the BENCH_trials.json schema. Field names are stable:
+// downstream tooling diffs these files across commits.
+type benchTrialsReport struct {
+	// Fig5Speed: campaign cycle totals normalized to PINFI (paper: 3.9x
+	// LLFI, 1.2x REFINE), full 14-app registry at the bench trial count.
+	Fig5Speed struct {
+		LLFIVsPINFI   float64 `json:"llfi_vs_pinfi"`
+		REFINEVsPINFI float64 `json:"refine_vs_pinfi"`
+		Trials        int     `json:"trials"`
+	} `json:"fig5_speed"`
+	// Table5: applications whose outcome distribution differs significantly
+	// from PINFI's (paper: LLFI on all, REFINE on none), 6-app subset.
+	Table5 struct {
+		LLFISigApps   int `json:"llfi_sig_apps"`
+		REFINESigApps int `json:"refine_sig_apps"`
+		Apps          int `json:"apps"`
+	} `json:"table5"`
+	// VMThroughput: hook-free loop speed on the FT/PINFI binary — the
+	// substrate cost every experiment pays (BenchmarkVMThroughput's metric).
+	VMThroughput struct {
+		InstrPerSec float64 `json:"instr_per_sec"`
+	} `json:"vm_throughput"`
+	// Phases: cumulative campaign-phase throughput over everything this
+	// process ran (the two suites above), from campaign.ReadPhaseStats.
+	// trial_instr_per_sec is the fire-point headline number: trials run
+	// hook-free, so it should sit near VMThroughput rather than near the
+	// hooked profile rate.
+	Phases struct {
+		ProfileInstrPerSec float64 `json:"profile_instr_per_sec"`
+		TrialInstrPerSec   float64 `json:"trial_instr_per_sec"`
+		ProfileInstrs      int64   `json:"profile_instrs"`
+		TrialInstrs        int64   `json:"trial_instrs"`
+	} `json:"phases"`
+}
+
+// TestEmitBenchTrials writes BENCH_trials.json to $BENCH_TRIALS_JSON. It is
+// a test rather than a benchmark so the CI step can run it with -run and a
+// stable exit code, and reuse the suite plumbing without b.N scaling.
+func TestEmitBenchTrials(t *testing.T) {
+	path := os.Getenv("BENCH_TRIALS_JSON")
+	if path == "" {
+		t.Skip("set BENCH_TRIALS_JSON=<path> to emit the benchmark summary (the dedicated CI step does)")
+	}
+
+	var report benchTrialsReport
+
+	// Fig5Speed over the full registry. The shared cache keeps the Table 5
+	// run below from rebuilding the overlapping six apps.
+	cache := campaign.NewCache()
+	apps := refine.Apps()
+	const trials = 80 // matches bench_test.go's reduced bench campaigns
+	suite, err := experiments.RunSuite(experiments.Config{
+		Apps: apps, Trials: trials, Seed: 1, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, r := suite.Speedups()
+	report.Fig5Speed.LLFIVsPINFI = l
+	report.Fig5Speed.REFINEVsPINFI = r
+	report.Fig5Speed.Trials = trials
+
+	t5apps := apps[:6]
+	t5, err := experiments.RunSuite(experiments.Config{
+		Apps: t5apps, Trials: 150, Seed: 1, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := t5.SummaryCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Table5.LLFISigApps = sig["LLFI"]
+	report.Table5.REFINESigApps = sig["REFINE"]
+	report.Table5.Apps = len(t5apps)
+
+	// Raw hook-free throughput, measured like BenchmarkVMThroughput but with
+	// a fixed iteration count.
+	app, err := refine.AppByName("FT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := refine.Build(app, refine.PINFI, refine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := bin.NewMachine()
+	var instrs int64
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		m.Reset()
+		m.Run()
+		instrs += m.InstrCount
+	}
+	report.VMThroughput.InstrPerSec = float64(instrs) / time.Since(start).Seconds()
+
+	ps := campaign.ReadPhaseStats()
+	report.Phases.ProfileInstrPerSec, report.Phases.TrialInstrPerSec = ps.InstrsPerSec()
+	report.Phases.ProfileInstrs = ps.ProfileInstrs
+	report.Phases.TrialInstrs = ps.TrialInstrs
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", path, data)
+}

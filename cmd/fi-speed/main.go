@@ -151,6 +151,7 @@ func run() error {
 	} else {
 		fmt.Println(experiments.ExecutionLine(cfg.Sched, cfg.Chunk))
 	}
+	fmt.Println(experiments.SpeedLine())
 	fmt.Println()
 	fmt.Println(suite.Figure5())
 

@@ -104,9 +104,14 @@ func (pinfiInjector) Profile(m *vm.Machine, cfg fault.Config, costs pinfi.CostMo
 	return pinfi.Profile(m, cfg, costs)
 }
 
+// UsesFirePoints opts PINFI trials into the fire-point index: the cache
+// records it once per binary and warm starts restore it from disk.
+func (pinfiInjector) UsesFirePoints() bool { return true }
+
 func (pinfiInjector) Trial(m *vm.Machine, b *Binary, prof *Profile, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
 	m.Budget = prof.Budget
-	// TrialMapped resets, keeping the budget; the cached bitmap keeps the
-	// hooked prefix on the closure-free counting fast path.
-	return pinfi.TrialMapped(m, b.TargetMap(), costs, target, rng)
+	// TrialFired resets, keeping the budget; the fire-point index maps the
+	// target occurrence to an absolute instruction index, so the whole trial
+	// runs on the hook-free fast loop — zero hooked instructions.
+	return pinfi.TrialFired(m, b.FirePoints(), costs, target, rng)
 }

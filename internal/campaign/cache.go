@@ -193,6 +193,15 @@ func (c *Cache) BuildAndProfile(app App, tool Tool, o BuildOptions, costs pinfi.
 		if e.err == nil {
 			e.prof, e.err = e.bin.RunProfile(costs)
 		}
+		if e.err == nil {
+			// Tools that trial over the fire-point index get it recorded
+			// eagerly — while the profile's golden run is fresh and before
+			// the disk store — so warm starts restore it with the entry
+			// instead of re-running the recording pass per process.
+			if u, ok := tool.(FirePointUser); ok && u.UsesFirePoints() {
+				e.bin.FirePoints()
+			}
+		}
 		if e.err == nil && path != "" {
 			c.storeDiskEntry(path, e.bin, e.prof)
 		}
@@ -203,9 +212,13 @@ func (c *Cache) BuildAndProfile(app App, tool Tool, o BuildOptions, costs pinfi.
 // disk persistence ------------------------------------------------------------
 
 // diskFormatVersion is folded into the content address, so an incompatible
-// encoding change silently misses instead of mis-decoding. Version 2 added
-// the leading SHA-256 self-checksum.
-const diskFormatVersion = 2
+// encoding change silently misses instead of mis-decoding — and stored inside
+// the payload, so an entry that somehow lands on the current path with an
+// older body (a copied cache dir, a hand-rolled tool writing old encodings)
+// is quarantined rather than half-trusted. Version 2 added the leading
+// SHA-256 self-checksum; version 3 added the in-payload version stamp and
+// the persisted fire-point index.
+const diskFormatVersion = 3
 
 // checksumLen prefixes every disk entry: SHA-256 over the gob payload,
 // verified on load so torn writes and bit-rot are detected (and
@@ -276,10 +289,18 @@ func (c *Cache) irFingerprint(app App) string {
 // stored — they are reattached from the live lookup, and their identities are
 // already part of the content address.
 type diskEntry struct {
-	Img   *vm.Image
-	Sites int
-	Cfg   fault.Config
-	Prof  *Profile
+	// Version stamps the payload with diskFormatVersion; loadDiskEntry
+	// quarantines a mismatch (see the constant's doc for why the content
+	// address alone is not enough).
+	Version int
+	Img     *vm.Image
+	Sites   int
+	Cfg     fault.Config
+	Prof    *Profile
+	// Fire is the binary's fire-point index (nil for tools that never use
+	// one); persisting it lets warm starts skip the recording pass the same
+	// way they skip the golden profile.
+	Fire *pinfi.FirePoints
 }
 
 // entryPath derives the content address of a cache key: the key's fields, a
@@ -332,15 +353,16 @@ func (c *Cache) loadDiskEntry(path string, app App, tool Tool) (*Binary, *Profil
 		return nil, nil, false
 	}
 	var d diskEntry
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&d); err != nil || d.Img == nil || d.Prof == nil {
-		// The checksum matched, so this is a well-preserved entry in a
-		// format this binary cannot decode — version drift the content
-		// address should have caught. Quarantine it all the same: rebuilding
-		// once beats failing forever.
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&d); err != nil || d.Img == nil || d.Prof == nil || d.Version != diskFormatVersion {
+		// The checksum matched, so this is a well-preserved entry this
+		// binary cannot trust: an undecodable gob, or a payload stamped by
+		// a different format version — drift the content address should
+		// have caught. Quarantine it all the same: rebuilding once beats
+		// failing forever.
 		c.quarantine(path)
 		return nil, nil, false
 	}
-	return &Binary{App: app, Tool: tool, Img: d.Img, Sites: d.Sites, Cfg: d.Cfg}, d.Prof, true
+	return &Binary{App: app, Tool: tool, Img: d.Img, Sites: d.Sites, Cfg: d.Cfg, firePts: d.Fire}, d.Prof, true
 }
 
 // quarantine renames a corrupt entry aside (best effort: removed outright if
@@ -359,7 +381,8 @@ func (c *Cache) quarantine(path string) {
 // cost the warm start, never the campaign.
 func (c *Cache) storeDiskEntry(path string, bin *Binary, prof *Profile) {
 	var payload bytes.Buffer
-	d := diskEntry{Img: bin.Img, Sites: bin.Sites, Cfg: bin.Cfg, Prof: prof}
+	d := diskEntry{Version: diskFormatVersion, Img: bin.Img, Sites: bin.Sites,
+		Cfg: bin.Cfg, Prof: prof, Fire: bin.firePts}
 	if err := gob.NewEncoder(&payload).Encode(&d); err != nil {
 		c.diskErrors.Add(1)
 		return

@@ -85,6 +85,14 @@ type Binary struct {
 	// re-deriving the population per run.
 	targetOnce sync.Once
 	targets    []bool
+
+	// fireOnce/firePts lazily cache the fire-point index (see FirePoints):
+	// one hooked golden pass per binary records the absolute InstrCount of
+	// every dynamic target occurrence, and every hook-free trial shares the
+	// immutable result. The disk cache persists it alongside the profile
+	// (loadDiskEntry presets firePts, so warm starts skip the pass too).
+	fireOnce sync.Once
+	firePts  *pinfi.FirePoints
 }
 
 // TargetMap returns the binary's per-PC injection-population bitmap
@@ -94,6 +102,31 @@ type Binary struct {
 func (b *Binary) TargetMap() []bool {
 	b.targetOnce.Do(func() { b.targets = pinfi.TargetMap(b.Img, b.Cfg) })
 	return b.targets
+}
+
+// FirePoints returns the binary's fire-point index, recording it on first
+// use (one hooked golden pass over the target map — profiling-phase work,
+// amortized over the campaign and persisted by the disk cache). The index is
+// immutable afterwards, so concurrent trial workers share it. Recording can
+// only fail if the golden run fails, which RunProfile has already ruled out
+// for any binary a campaign trials against — a failure here is a harness
+// bug, so it panics rather than threading an impossible error through every
+// injector.
+func (b *Binary) FirePoints() *pinfi.FirePoints {
+	b.fireOnce.Do(func() {
+		if b.firePts != nil {
+			return // preset from a disk-cache entry
+		}
+		m := b.NewMachine()
+		start := phaseStart()
+		fps, err := pinfi.RecordFirePoints(m, b.TargetMap())
+		noteProfilePhase(m.InstrCount, start)
+		if err != nil {
+			panic(fmt.Sprintf("campaign: %s/%s: %v", b.App.Name, b.Tool.Name(), err))
+		}
+		b.firePts = fps
+	})
+	return b.firePts
 }
 
 // BuildBinary compiles the application through the shared pipeline, letting
@@ -198,7 +231,9 @@ const TimeoutFactor = 10
 func (b *Binary) RunProfile(costs pinfi.CostModel) (*Profile, error) {
 	m := b.NewMachine()
 	p := &Profile{}
+	start := phaseStart()
 	p.Targets, p.Golden = b.Tool.Profile(m, b.Cfg, costs)
+	noteProfilePhase(m.InstrCount, start)
 	if m.Trap != vm.TrapNone || m.ExitCode != 0 {
 		return nil, fmt.Errorf("campaign: %s/%s: golden run failed: trap=%v exit=%d %s",
 			b.App.Name, b.Tool.Name(), m.Trap, m.ExitCode, m.TrapMsg)
@@ -217,6 +252,11 @@ type TrialResult struct {
 	Rec     fault.Record
 	Cycles  int64
 	Trap    vm.TrapKind
+	// Instrs is the trial's executed dynamic instruction count — the
+	// numerator of the trial-phase throughput line (see PhaseStats). Old
+	// journal entries gob-decode it as zero; it does not feed the outcome
+	// tables.
+	Instrs int64
 }
 
 // RunTrial executes one experiment with the given seed. The target dynamic
@@ -230,12 +270,15 @@ func (b *Binary) RunTrial(prof *Profile, costs pinfi.CostModel, seed uint64) Tri
 func (b *Binary) runTrialOn(m *vm.Machine, prof *Profile, costs pinfi.CostModel, seed uint64) TrialResult {
 	rng := fault.NewRNG(seed)
 	target := rng.Intn(prof.Targets)
+	start := phaseStart()
 	rec := b.Tool.Trial(m, b, prof, costs, target, rng)
+	noteTrialPhase(m.InstrCount, start)
 	return TrialResult{
 		Outcome: fault.Classify(m, prof.Golden),
 		Rec:     rec,
 		Cycles:  m.Cycles,
 		Trap:    m.Trap,
+		Instrs:  m.InstrCount,
 	}
 }
 

@@ -1,0 +1,207 @@
+package campaign_test
+
+// The fire-point differential suite: every binary-level trial formulation
+// rewritten over the fire-point index must be bit-identical — outcome,
+// fault record, modeled cycles, trap, dynamic instruction count, output —
+// to its hooked CountHook reference, across all 14 kernels and all four
+// binary-level fault models (PINFI register flips, OPCODE / OPCODE-VALID
+// opcode corruption, PINFI2 double flips). This is the acceptance bar for
+// the hook-free trial path: the perf rung changes how the injection point
+// is reached, never what the experiment measures.
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/multibit"
+	"repro/internal/pinfi"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// trialOutcome snapshots everything a campaign derives from a finished
+// trial.
+type trialOutcome struct {
+	Rec        fault.Record
+	Outcome    fault.Outcome
+	Trap       vm.TrapKind
+	ExitCode   int64
+	InstrCount int64
+	Cycles     int64
+	Output     string
+}
+
+func finishTrial(m *vm.Machine, rec fault.Record, golden []uint64) trialOutcome {
+	out := make([]byte, 0, len(m.Output)*8)
+	for _, w := range m.Output {
+		out = append(out, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return trialOutcome{
+		Rec:        rec,
+		Outcome:    fault.Classify(m, golden),
+		Trap:       m.Trap,
+		ExitCode:   m.ExitCode,
+		InstrCount: m.InstrCount,
+		Cycles:     m.Cycles,
+		Output:     string(out),
+	}
+}
+
+// firedVariant pairs a hooked reference trial with its fire-point rewrite.
+type firedVariant struct {
+	name   string
+	mapped func(m *vm.Machine, bin *campaign.Binary, fps *pinfi.FirePoints, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record
+	fired  func(m *vm.Machine, bin *campaign.Binary, fps *pinfi.FirePoints, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record
+}
+
+func firedVariants() []firedVariant {
+	return []firedVariant{
+		{
+			name: "PINFI",
+			mapped: func(m *vm.Machine, bin *campaign.Binary, _ *pinfi.FirePoints, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+				return pinfi.TrialMapped(m, bin.TargetMap(), costs, target, rng)
+			},
+			fired: func(m *vm.Machine, _ *campaign.Binary, fps *pinfi.FirePoints, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+				return pinfi.TrialFired(m, fps, costs, target, rng)
+			},
+		},
+		{
+			name: "OPCODE",
+			mapped: func(m *vm.Machine, bin *campaign.Binary, _ *pinfi.FirePoints, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+				return pinfi.OpcodeTrialMapped(m, bin.TargetMap(), costs, target, pinfi.OpcodeAny, rng)
+			},
+			fired: func(m *vm.Machine, _ *campaign.Binary, fps *pinfi.FirePoints, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+				return pinfi.OpcodeTrialFired(m, fps, costs, target, pinfi.OpcodeAny, rng)
+			},
+		},
+		{
+			name: "OPCODE-VALID",
+			mapped: func(m *vm.Machine, bin *campaign.Binary, _ *pinfi.FirePoints, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+				return pinfi.OpcodeTrialMapped(m, bin.TargetMap(), costs, target, pinfi.OpcodeValidOnly, rng)
+			},
+			fired: func(m *vm.Machine, _ *campaign.Binary, fps *pinfi.FirePoints, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+				return pinfi.OpcodeTrialFired(m, fps, costs, target, pinfi.OpcodeValidOnly, rng)
+			},
+		},
+		{
+			name: "PINFI2",
+			mapped: func(m *vm.Machine, bin *campaign.Binary, _ *pinfi.FirePoints, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+				return multibit.DoubleTrialMapped(m, bin.TargetMap(), costs, target, rng)
+			},
+			fired: func(m *vm.Machine, bin *campaign.Binary, fps *pinfi.FirePoints, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
+				return multibit.DoubleTrialFired(m, fps, bin.TargetMap(), costs, target, rng)
+			},
+		},
+	}
+}
+
+// TestFiredTrialsMatchHookedReference runs the full 14-kernel × 4-model
+// differential: for each kernel, the first, middle, last and two seeded
+// random target occurrences, under the campaign's 10× budget. The full
+// sweep takes tens of seconds; -short covers three representative kernels.
+func TestFiredTrialsMatchHookedReference(t *testing.T) {
+	apps := workloads.Registry()
+	if testing.Short() {
+		short := []string{"HPCCG", "FT", "DC"}
+		apps = apps[:0]
+		for _, name := range short {
+			app, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			apps = append(apps, app)
+		}
+	}
+	costs := pinfi.DefaultCosts()
+	for _, app := range apps {
+		bin, err := campaign.BuildBinary(app, campaign.PINFI, campaign.DefaultBuildOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := bin.RunProfile(costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps := bin.FirePoints()
+		if fps.N != prof.Targets {
+			t.Fatalf("%s: fire-point index N=%d != profiled targets %d", app.Name, fps.N, prof.Targets)
+		}
+		pick := fault.NewRNG(42)
+		occs := []int64{0, prof.Targets / 2, prof.Targets - 1,
+			pick.Intn(prof.Targets), pick.Intn(prof.Targets)}
+		for _, v := range firedVariants() {
+			for _, occ := range occs {
+				seed := uint64(occ)*2654435761 + 17
+				mm := bin.NewMachine()
+				mm.Img = bin.AcquireImageClone() // opcode variants mutate in place
+				mm.Budget = prof.Budget
+				ref := finishTrial(mm, v.mapped(mm, bin, fps, costs, occ, fault.NewRNG(seed)), prof.Golden)
+
+				fm := bin.NewMachine()
+				fm.Img = bin.AcquireImageClone()
+				fm.Budget = prof.Budget
+				got := finishTrial(fm, v.fired(fm, bin, fps, costs, occ, fault.NewRNG(seed)), prof.Golden)
+
+				if ref != got {
+					t.Errorf("%s/%s occurrence %d diverged:\nhooked: %+v\nfired:  %+v",
+						app.Name, v.name, occ, ref, got)
+				}
+			}
+		}
+	}
+}
+
+// TestFiredTrialBudgetSweep pins the fire/budget composition at the
+// campaign layer for every fired model: budgets below, exactly on, and just
+// past the injection index must reproduce the hooked reference bit for bit
+// (below: the injection never lands and the run times out; on: the fault
+// injects during the last budgeted instruction's epilogue, then the machine
+// times out — the paper's timeout classification still sees the fault).
+func TestFiredTrialBudgetSweep(t *testing.T) {
+	app, err := workloads.ByName("HPCCG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := pinfi.DefaultCosts()
+	bin, err := campaign.BuildBinary(app, campaign.PINFI, campaign.DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := bin.RunProfile(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := bin.FirePoints()
+	occ := prof.Targets / 2
+	at, _ := fps.Lookup(occ)
+
+	for _, v := range firedVariants() {
+		for _, budget := range []int64{at / 2, at - 1, at, at + 1, prof.Budget} {
+			seed := uint64(budget) ^ 0x9E3779B9
+			mm := bin.NewMachine()
+			mm.Img = bin.AcquireImageClone()
+			mm.Budget = budget
+			ref := finishTrial(mm, v.mapped(mm, bin, fps, costs, occ, fault.NewRNG(seed)), prof.Golden)
+
+			fm := bin.NewMachine()
+			fm.Img = bin.AcquireImageClone()
+			fm.Budget = budget
+			got := finishTrial(fm, v.fired(fm, bin, fps, costs, occ, fault.NewRNG(seed)), prof.Golden)
+
+			if ref != got {
+				t.Errorf("%s budget %d (fire at %d) diverged:\nhooked: %+v\nfired:  %+v",
+					v.name, budget, at, ref, got)
+			}
+			if budget < at && got.Rec != (fault.Record{}) {
+				t.Errorf("%s budget %d < fire index %d: injection landed anyway: %+v",
+					v.name, budget, at, got.Rec)
+			}
+			if budget <= at && got.Trap != vm.TrapTimeout {
+				t.Errorf("%s budget %d <= fire index %d: want timeout, got trap=%v",
+					v.name, budget, at, got.Trap)
+			}
+		}
+	}
+}

@@ -64,6 +64,16 @@ type Injector interface {
 // registry hands out pointers), so they still work as map keys.
 type Tool = Injector
 
+// FirePointUser is the optional marker interface for injectors whose Trial
+// runs over the binary's fire-point index (Binary.FirePoints). The cache
+// uses it to record the index eagerly — during the build+profile step, before
+// the disk store — so warm starts restore it with the entry instead of paying
+// the recording pass again; a campaign over a non-caching path still records
+// lazily on the first trial.
+type FirePointUser interface {
+	UsesFirePoints() bool
+}
+
 // ToolName implements the Name and String halves of an Injector by value;
 // embed it to get stable naming plus fmt.Stringer for log lines.
 type ToolName string

@@ -73,6 +73,19 @@ func ExecutionLine(ex *sched.Executor, chunk int) string {
 	return fmt.Sprintf("# exec: sched-workers=%d chunk=%s", ex.Workers(), ck)
 }
 
+// SpeedLine renders the drivers' "# speed:" report: the process's measured
+// wall-clock VM throughput split by campaign phase — profiling (golden runs
+// and fire-point recording, hooked) versus trials (hook-free fire-point
+// dispatch for the binary-level tools). Unlike every table, this line is
+// wall-clock diagnostic output: it varies run to run and across machines,
+// and nothing deterministic derives from it. A sharded run reports only the
+// coordinator's own share (each worker process accumulates its own counters).
+func SpeedLine() string {
+	profile, trial := campaign.ReadPhaseStats().InstrsPerSec()
+	return fmt.Sprintf("# speed: profile=%.1fM instr/s trial=%.1fM instr/s",
+		profile/1e6, trial/1e6)
+}
+
 // ShardLines renders the drivers' sharded-run report: the pool size and the
 // workers' aggregated cross-process cache counters (each worker piggybacks
 // its cumulative counters on every range ack and on exit, so after

@@ -68,21 +68,27 @@ func (*injector) Profile(m *vm.Machine, cfg fault.Config, costs pinfi.CostModel)
 	return pinfi.Profile(m, cfg, costs)
 }
 
+// UsesFirePoints opts OPCODE trials into the fire-point index: the cache
+// records it once per binary and warm starts restore it from disk.
+func (*injector) UsesFirePoints() bool { return true }
+
 // Trial swaps the pooled machine onto a private image clone (pooled on the
 // Binary, so the clones share its lifetime), runs one opcode-corruption
 // experiment, and restores the shared image. The machine keeps its host
 // bindings across the swap: the clone shares the original's host-symbol
-// table, so every HostIdx resolves identically. OpcodeTrial restores the
-// flipped opcode before returning, so released clones are always pristine.
+// table, so every HostIdx resolves identically. OpcodeTrialFired restores
+// the flipped opcode before returning, so released clones are always
+// pristine.
 func (j *injector) Trial(m *vm.Machine, b *campaign.Binary, prof *campaign.Profile, costs pinfi.CostModel, target int64, rng *fault.RNG) fault.Record {
 	priv := b.AcquireImageClone()
 	base := m.Img
 	m.Img = priv
-	m.Budget = prof.Budget // OpcodeTrialMapped resets, keeping the budget
-	// The shared bitmap indexes the clone identically (same instruction
-	// layout), and the count hook detaches at the corruption point, before
-	// the clone's stream diverges from it.
-	rec := pinfi.OpcodeTrialMapped(m, b.TargetMap(), costs, target, j.mode, rng)
+	m.Budget = prof.Budget // OpcodeTrialFired resets, keeping the budget
+	// The fire-point index maps the target occurrence to its absolute
+	// instruction index (recorded on the shared image; the pristine clone's
+	// dynamics are identical), so the whole trial — prefix, corruption,
+	// post-corruption suffix — runs on the hook-free fast loop.
+	rec := pinfi.OpcodeTrialFired(m, b.FirePoints(), costs, target, j.mode, rng)
 	m.Img = base
 	b.ReleaseImageClone(priv)
 	return rec

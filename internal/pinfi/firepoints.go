@@ -1,0 +1,187 @@
+package pinfi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/vm"
+	"repro/internal/vx"
+)
+
+// Fire-point index: the per-binary artifact that makes binary-level trials
+// hook-free end to end. One hooked golden pass per binary records, for every
+// dynamic target-instruction occurrence, the absolute InstrCount at which it
+// committed and its PC. A trial then maps "inject at the Nth dynamic target
+// occurrence" straight to an absolute instruction index and arms the VM's
+// fire-point seam (vm.Machine.ArmFire): the injection deadline rides the
+// budget countdown of the hook-free fast loop, so neither the prefix nor the
+// suffix of the trial executes a single hooked instruction. The recording
+// pass is paid once per binary and amortized over the ~1000-trial campaign
+// (and persisted in the campaign disk cache alongside the profile).
+
+// fireAnchorStride is the occurrence interval between sparse decode anchors:
+// a Lookup decodes at most this many delta records.
+const fireAnchorStride = 64
+
+// FireAnchor snapshots the delta-decoder state immediately before occurrence
+// Index k*fireAnchorStride: byte offset into the stream plus the running
+// (InstrCount, PC) pair.
+type FireAnchor struct {
+	Off   int64
+	Instr int64
+	PC    int32
+}
+
+// FirePoints is the compact per-binary fire-point index: one record per
+// dynamic target-instruction occurrence of the golden run, delta-encoded
+// (uvarint ΔInstrCount — occurrences are in increasing dynamic order — and
+// zigzag-varint ΔPC) with sparse anchors for O(stride) random lookup. The
+// exported fields cross the campaign disk cache via gob.
+type FirePoints struct {
+	// N is the number of recorded occurrences — by construction equal to the
+	// profile's dynamic target count.
+	N int64
+	// Stream is the delta-encoded (ΔInstrCount, ΔPC) record stream.
+	Stream []byte
+	// Anchors holds one FireAnchor per fireAnchorStride occurrences.
+	Anchors []FireAnchor
+
+	// Encoder state (append-time only; reconstructed lookups never use it).
+	lastInstr int64 //fi:nowire — transient encoder state, not part of the wire format
+	lastPC    int32 //fi:nowire — transient encoder state, not part of the wire format
+}
+
+// add appends one occurrence. Occurrences must arrive in dynamic execution
+// order (InstrCount strictly increasing).
+func (f *FirePoints) add(instr int64, pc int32) {
+	if f.N%fireAnchorStride == 0 {
+		f.Anchors = append(f.Anchors, FireAnchor{
+			Off: int64(len(f.Stream)), Instr: f.lastInstr, PC: f.lastPC,
+		})
+	}
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(instr-f.lastInstr))
+	n += binary.PutVarint(buf[n:], int64(pc-f.lastPC))
+	f.Stream = append(f.Stream, buf[:n]...)
+	f.lastInstr, f.lastPC = instr, pc
+	f.N++
+}
+
+// Lookup returns the absolute InstrCount and PC of the i-th (0-based)
+// dynamic target-instruction occurrence of the golden run. It panics on an
+// out-of-range index: trial targets are drawn from [0, Profile.Targets) and
+// the index records exactly that many occurrences, so a miss is a harness
+// bug, not an input condition.
+func (f *FirePoints) Lookup(i int64) (instr int64, pc int32) {
+	if i < 0 || i >= f.N {
+		panic(fmt.Sprintf("pinfi: fire-point index %d out of range [0,%d)", i, f.N))
+	}
+	a := f.Anchors[i/fireAnchorStride]
+	off, instr, pc := a.Off, a.Instr, a.PC
+	for k := i - i%fireAnchorStride; k <= i; k++ {
+		di, n := binary.Uvarint(f.Stream[off:])
+		off += int64(n)
+		dp, n := binary.Varint(f.Stream[off:])
+		off += int64(n)
+		instr += int64(di)
+		pc += int32(dp)
+	}
+	return instr, pc
+}
+
+// RecordFirePoints runs the one hooked golden pass that builds a binary's
+// fire-point index: an ExecHook records (InstrCount, PC) at every dynamic
+// occurrence of a target instruction. The pass is budget-free — it retraces
+// the profiling run, which the campaign has already validated as trap-free —
+// and its dynamics are bit-identical to any trial's pre-injection prefix
+// (Cycles and Budget never influence the architectural trajectory), so the
+// recorded indices are exact for every trial of the campaign.
+func RecordFirePoints(m *vm.Machine, targets []bool) (*FirePoints, error) {
+	m.Reset()
+	fps := &FirePoints{}
+	m.Hook = func(mm *vm.Machine, pc int32, in *vm.Inst) {
+		if targets[pc] {
+			fps.add(mm.InstrCount, pc)
+		}
+	}
+	m.Run()
+	m.Hook = nil
+	if m.Trap != vm.TrapNone {
+		return nil, fmt.Errorf("pinfi: fire-point recording trapped: %s", m.TrapMsg)
+	}
+	if m.ExitCode != 0 {
+		return nil, fmt.Errorf("pinfi: fire-point recording exited %d", m.ExitCode)
+	}
+	return fps, nil
+}
+
+// TrialFired is TrialMapped rewritten over a fire-point index: instead of
+// counting target occurrences through a hooked prefix, the trial looks up
+// the target's absolute instruction index and arms the VM's fire-point seam.
+// The whole trial — prefix, injection, suffix — runs on the hook-free fast
+// loop with zero hooked instructions; outcomes, Cycles and the fault record
+// are bit-identical to TrialMapped (the deferred PerInstr observer cost is
+// settled as a lump sum at the fire, see vm.FirePoint).
+func TrialFired(m *vm.Machine, fps *FirePoints, costs CostModel, target int64, rng *fault.RNG) fault.Record {
+	budget := m.Budget
+	m.Reset()
+	m.Budget = budget
+	m.Cycles += costs.JITPerStaticInstr * int64(len(m.Img.Instrs))
+	at, pc := fps.Lookup(target)
+	var rec fault.Record
+	m.ArmFire(&vm.FirePoint{
+		At: at, PC: pc, PerInstr: costs.PerInstr,
+		Fn: func(mm *vm.Machine, pc int32, in *vm.Inst) {
+			outs := in.Outs[:in.NOut]
+			op, bit := fault.PickOperandAndBit(rng, outs)
+			mm.FlipBit(outs[op], bit)
+			rec = fault.Record{
+				DynIdx: target, PC: pc, Reg: outs[op], Bit: bit, Op: in.Op.String(),
+			}
+		},
+	})
+	m.Run()
+	return rec
+}
+
+// OpcodeTrialFired is OpcodeTrialMapped over a fire-point index: the opcode
+// corruption fires at the looked-up absolute instruction index on the
+// hook-free fast loop (Repredecode rewrites the predecoded stream in place,
+// so the running loop executes the corrupted instruction from the next
+// dispatch). The image is restored before returning, as in the mapped form.
+func OpcodeTrialFired(m *vm.Machine, fps *FirePoints, costs CostModel, target int64, mode OpcodeMode, rng *fault.RNG) fault.Record {
+	budget := m.Budget
+	m.Reset()
+	m.Budget = budget
+	m.Cycles += costs.JITPerStaticInstr * int64(len(m.Img.Instrs))
+	at, pc := fps.Lookup(target)
+	var rec fault.Record
+	var corruptedPC int32 = -1
+	var savedOp vx.Op
+	m.ArmFire(&vm.FirePoint{
+		At: at, PC: pc, PerInstr: costs.PerInstr,
+		Fn: func(mm *vm.Machine, pc int32, in *vm.Inst) {
+			old := in.Op
+			bit := uint(rng.Intn(8))
+			flipped := vx.Op(uint8(old) ^ uint8(1<<bit))
+			if mode == OpcodeValidOnly {
+				for !validOpcode(flipped) {
+					bit = uint(rng.Intn(8))
+					flipped = vx.Op(uint8(old) ^ uint8(1<<bit))
+				}
+			}
+			corruptedPC = pc
+			savedOp = old
+			mm.Img.Instrs[pc].Op = flipped
+			mm.Img.Repredecode(pc)
+			rec = fault.Record{DynIdx: target, PC: pc, Bit: bit, Op: old.String() + "->" + flipped.String()}
+		},
+	})
+	m.Run()
+	if corruptedPC >= 0 {
+		m.Img.Instrs[corruptedPC].Op = savedOp
+		m.Img.Repredecode(corruptedPC)
+	}
+	return rec
+}

@@ -14,7 +14,7 @@ import (
 // execute through Step's full-decode path. They now run over the same uop
 // stream as the hook-free fast loop.
 //
-// Two observer kinds exist:
+// Three observer kinds exist:
 //
 //   - ExecHook (vm.go): the general closure hook. The hooked loop calls it
 //     after every committed instruction, exactly as Step does.
@@ -22,6 +22,9 @@ import (
 //     target bitmap, a per-instruction cycle surcharge, and a counter. The
 //     loop services it with straight-line arithmetic, no closure call, so a
 //     counting profile run costs barely more than the hook-free loop.
+//   - TraceRing (trace.go): the specialized trace observer — a ring buffer
+//     of recent instructions, serviced inline like CountHook so tracing
+//     stops paying the closure-hook penalty.
 //
 // Both paths share postExec, which Step also calls, so observer semantics
 // (ordering, halt suppression, attach/detach transitions) cannot diverge
@@ -74,11 +77,12 @@ func TargetMap(img *Image, keep func(*Inst) bool) []bool {
 
 // postExec runs the per-instruction observers after an instruction's
 // architectural effects are committed: the inline CountHook first, then the
-// ExecHook. A halted machine fires nothing (a trapping instruction is not
-// observed, matching Step's historical contract), and a Fire or hook that
-// halts the machine suppresses the observers that would have followed it.
-// Step and the hooked fast loop share this method, so observer semantics
-// are identical on both paths by construction.
+// inline TraceRing, then the ExecHook. A halted machine fires nothing (a
+// trapping instruction is not observed, matching Step's historical
+// contract), and a Fire or hook that halts the machine suppresses the
+// observers that would have followed it. Step and the hooked fast loop
+// share this method, so observer semantics are identical on both paths by
+// construction.
 func (m *Machine) postExec(pc int32, in *Inst) {
 	if ch := m.Count; ch != nil && !m.Halted {
 		m.Cycles += ch.PerInstr
@@ -89,13 +93,18 @@ func (m *Machine) postExec(pc int32, in *Inst) {
 			ch.N++
 		}
 	}
+	if tr := m.Trace; tr != nil && !m.Halted {
+		tr.record(m.InstrCount, pc, in.Op, m.Regs[vx.SP], m.Regs[vx.RFLAGS])
+	}
 	if h := m.Hook; h != nil && !m.Halted {
 		h(m, pc, in)
 	}
 }
 
 // observed reports whether any per-instruction observer is attached.
-func (m *Machine) observed() bool { return m.Hook != nil || m.Count != nil }
+func (m *Machine) observed() bool {
+	return m.Hook != nil || m.Count != nil || m.Trace != nil
+}
 
 // RunStepped executes until halt, trap, or budget exhaustion entirely
 // through the reference Step path, regardless of attached observers. The
@@ -106,6 +115,7 @@ func (m *Machine) RunStepped() TrapKind {
 	for !m.Halted {
 		m.Step()
 	}
+	m.settleFire() // same exit contract as Run
 	return m.Trap
 }
 
@@ -131,6 +141,17 @@ func (m *Machine) runHooked() {
 	code := img.code
 	n := int32(len(code))
 	for {
+		if fp := m.fire; fp != nil && m.InstrCount >= fp.At {
+			// A due fire point services at the same boundary as in Step and
+			// runFast: after instruction At's epilogue, before the next
+			// instruction's checks. (Binary-level trials arm it on the
+			// hook-free loop; it is serviced here too so arming composes
+			// with attached observers on any loop.)
+			m.serviceFire()
+			if m.Halted || !m.observed() {
+				return
+			}
+		}
 		pc := m.PC
 		if uint32(pc) >= uint32(n) {
 			if pc == n {
@@ -431,11 +452,11 @@ func (m *Machine) runHooked() {
 		}
 
 		// Observer epilogue — postExec's body inlined (kept in lockstep with
-		// it): a halted machine observes nothing, the count hook runs before
-		// the closure hook, Fire runs before N advances, and a Fire or hook
-		// that halts the machine suppresses what would have followed. When
-		// the last observer detaches, return so Run drops to the hook-free
-		// fast loop.
+		// it): a halted machine observes nothing, the count hook runs first,
+		// then the trace ring, then the closure hook; Fire runs before N
+		// advances, and a Fire or hook that halts the machine suppresses
+		// what would have followed. When the last observer detaches, return
+		// so Run drops to the hook-free fast loop.
 		if m.Halted {
 			return
 		}
@@ -448,10 +469,13 @@ func (m *Machine) runHooked() {
 				ch.N++
 			}
 		}
+		if tr := m.Trace; tr != nil && !m.Halted {
+			tr.record(m.InstrCount, pc, img.Instrs[pc].Op, m.Regs[vx.SP], m.Regs[vx.RFLAGS])
+		}
 		if h := m.Hook; h != nil && !m.Halted {
 			h(m, pc, &img.Instrs[pc])
 		}
-		if m.Halted || (m.Hook == nil && m.Count == nil) {
+		if m.Halted || !m.observed() {
 			return
 		}
 	}

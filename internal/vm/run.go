@@ -15,8 +15,10 @@ import (
 // services the observers inline after every instruction; with no observer it
 // executes the hook-free fast loop (runFast), which additionally hoists the
 // budget check into a countdown and takes fused superinstructions. The
-// PINFI comparator detaches its observer mid-run (§5.2), so a typical PINFI
-// trial starts hooked and finishes on the hook-free loop. Step remains the
+// PINFI comparator detaches its observer mid-run (§5.2), so a hooked PINFI
+// trial starts hooked and finishes on the hook-free loop — and a fire-point
+// trial (ArmFire) never leaves it: the injection rides the same countdown as
+// the budget, so both prefix and suffix run hook-free. Step remains the
 // reference path both loops are differentially pinned to (RunStepped).
 func (m *Machine) Run() TrapKind {
 	m.Img.ensure()
@@ -27,6 +29,9 @@ func (m *Machine) Run() TrapKind {
 			m.runFast()
 		}
 	}
+	// A fire point the run never reached still owes its deferred observer
+	// cost (see FirePoint.PerInstr).
+	m.settleFire()
 	return m.Trap
 }
 
@@ -38,26 +43,41 @@ func (m *Machine) runFast() {
 	img := m.Img
 	code := img.code
 	n := int32(len(code))
-	// Budget as a steps-until-deadline countdown: `left <= 0` is equivalent
-	// to Step's `InstrCount >= Budget` as long as both are advanced in
-	// lockstep. With no budget the countdown starts effectively infinite.
-	left := int64(math.MaxInt64)
-	if m.Budget > 0 {
-		left = m.Budget - m.InstrCount
-	}
+	// Deadlines as a steps-until-deadline countdown: `left <= 0` is
+	// equivalent to Step's `InstrCount >= Budget` (and to the fire seam's
+	// `InstrCount >= fire.At`) as long as both are advanced in lockstep.
+	// With neither pending the countdown starts effectively infinite.
+	left := m.fastCountdown()
 	for {
 		pc := m.PC
-		if uint32(pc) >= uint32(n) {
+		if uint32(pc) >= uint32(n) || left <= 0 {
+			// Slow path: sentinel/bad-pc, a due fire point, or the budget.
+			// A due fire services first — the hooked reference runs
+			// CountHook.Fire in instruction At's observer epilogue, before
+			// the next instruction's sentinel, bad-pc and budget checks —
+			// then the loop re-enters with the countdown restored. A fire
+			// callback that halts ends the run; one that attaches an
+			// observer hands over to the hooked loop (Run switches).
+			if fp := m.fire; fp != nil && m.InstrCount >= fp.At {
+				m.serviceFire()
+				if m.Halted || m.observed() {
+					return
+				}
+				left = m.fastCountdown()
+				continue
+			}
 			if pc == n {
-				// Return through the exit sentinel: normal halt.
+				// Return through the exit sentinel: normal halt. The
+				// sentinel wins over an exhausted budget, exactly as in
+				// Step (bounds before budget).
 				m.Halted = true
 				m.ExitCode = int64(m.Regs[vx.R0])
 				return
 			}
-			m.fault(TrapBadPC, "pc %d outside [0,%d)", pc, n)
-			return
-		}
-		if left <= 0 {
+			if uint32(pc) >= uint32(n) {
+				m.fault(TrapBadPC, "pc %d outside [0,%d)", pc, n)
+				return
+			}
 			m.fault(TrapTimeout, "budget %d exhausted", m.Budget)
 			return
 		}
@@ -288,6 +308,19 @@ func (m *Machine) runFast() {
 			}
 			m.Regs[vx.RFLAGS] = f
 			if left <= 0 {
+				if fp := m.fire; fp != nil && m.InstrCount >= fp.At {
+					// The compare half was the fired instruction. Service it
+					// with the pair's committed state (flags written, PC at
+					// the branch slot) and re-dispatch the branch through
+					// its own unfused uop — exactly how the hooked loop
+					// executes the pair around an observer.
+					m.serviceFire()
+					if m.Halted || m.observed() {
+						return
+					}
+					left = m.fastCountdown()
+					continue
+				}
 				m.fault(TrapTimeout, "budget %d exhausted", m.Budget)
 				return
 			}
@@ -380,10 +413,7 @@ func (m *Machine) runFast() {
 				m.postExec(pc, &img.Instrs[pc])
 				return
 			}
-			left = int64(math.MaxInt64)
-			if m.Budget > 0 {
-				left = m.Budget - m.InstrCount
-			}
+			left = m.fastCountdown()
 
 		case uNOP:
 
@@ -397,12 +427,26 @@ func (m *Machine) runFast() {
 			if m.Halted || m.observed() {
 				return
 			}
-			left = int64(math.MaxInt64)
-			if m.Budget > 0 {
-				left = m.Budget - m.InstrCount
-			}
+			left = m.fastCountdown()
 		}
 	}
+}
+
+// fastCountdown computes runFast's steps-until-deadline counter: the
+// distance to the nearer of the caller budget and the armed fire point
+// (effectively infinite when neither is pending). Recomputed at every seam
+// where arbitrary Go ran (host calls, generic decode, a serviced fire).
+func (m *Machine) fastCountdown() int64 {
+	left := int64(math.MaxInt64)
+	if m.Budget > 0 {
+		left = m.Budget - m.InstrCount
+	}
+	if fp := m.fire; fp != nil {
+		if l := fp.At - m.InstrCount; l < left {
+			left = l
+		}
+	}
+	return left
 }
 
 // uopAddr computes the effective address of a uop memory operand.

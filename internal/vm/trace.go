@@ -7,21 +7,51 @@ import (
 	"repro/internal/vx"
 )
 
-// Tracer keeps a ring buffer of the most recently executed instructions.
-// Fault-injection campaigns discard it (speed), but vxrun -trace and crash
-// triage in tests use it to reconstruct how a corrupted execution reached
-// its trap — the kind of failure forensics a debugger-based injector gets
-// for free and compiled-in instrumentation has to earn.
-//
-// The tracer rides ExecHook, which the VM services on the hooked fast
-// dispatch loop: attaching a tracer no longer silently forces the
-// single-stepped reference path, and a traced run reports the identical
-// InstrCount/Cycles an untraced one does (trace_test.go asserts it).
-type Tracer struct {
+// TraceRing is the closure-free ring-buffer trace observer: a fixed-depth
+// ring of the most recently committed instructions, serviced inline by the
+// hooked fast loop and Step (like CountHook — straight-line stores, no
+// closure call, so a traced run no longer pays the ~1.8× closure-hook
+// penalty). Attach by setting Machine.Trace; observer order is Count, then
+// Trace, then Hook, and Reset detaches it. Fault-injection campaigns discard
+// tracing (speed), but vxrun -trace and crash triage in tests use it to
+// reconstruct how a corrupted execution reached its trap — the kind of
+// failure forensics a debugger-based injector gets for free and compiled-in
+// instrumentation has to earn.
+type TraceRing struct {
 	ring []TraceEntry
 	next int
 	full bool
-	prev ExecHook
+}
+
+// NewTraceRing returns a ring buffering the most recent depth entries
+// (depth <= 0: 64).
+func NewTraceRing(depth int) *TraceRing {
+	if depth <= 0 {
+		depth = 64
+	}
+	return &TraceRing{ring: make([]TraceEntry, depth)}
+}
+
+// record appends one committed instruction. The hooked fast loop and
+// postExec call it inline.
+func (t *TraceRing) record(seq int64, pc int32, op vx.Op, sp, flags uint64) {
+	t.ring[t.next] = TraceEntry{Seq: seq, PC: pc, Op: op, SP: sp, Flags: flags}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// Entries returns the buffered trace in execution order.
+func (t *TraceRing) Entries() []TraceEntry {
+	if !t.full {
+		return append([]TraceEntry(nil), t.ring[:t.next]...)
+	}
+	out := make([]TraceEntry, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
 }
 
 // TraceEntry records one executed instruction.
@@ -33,43 +63,28 @@ type TraceEntry struct {
 	Flags uint64
 }
 
-// Attach installs the tracer on the machine, chaining any existing hook
-// (e.g. PINFI's) after it.
+// Tracer is the convenience wrapper around TraceRing with image-aware
+// dumping. It occupies the machine's dedicated Trace observer slot, so it
+// composes structurally with an ExecHook or CountHook (no closure chaining),
+// and a traced run reports the identical InstrCount/Cycles an untraced one
+// does (trace_test.go asserts it).
+type Tracer struct {
+	ring *TraceRing
+}
+
+// Attach installs the tracer on the machine's Trace slot. Any ExecHook or
+// CountHook stays attached and runs in its usual order (Count, Trace, Hook).
 func (t *Tracer) Attach(m *Machine, depth int) {
-	if depth <= 0 {
-		depth = 64
-	}
-	t.ring = make([]TraceEntry, depth)
-	t.next, t.full = 0, false
-	t.prev = m.Hook
-	m.Hook = func(mm *Machine, pc int32, in *Inst) {
-		t.ring[t.next] = TraceEntry{
-			Seq:   mm.InstrCount,
-			PC:    pc,
-			Op:    in.Op,
-			SP:    mm.Regs[vx.SP],
-			Flags: mm.Regs[vx.RFLAGS],
-		}
-		t.next++
-		if t.next == len(t.ring) {
-			t.next = 0
-			t.full = true
-		}
-		if t.prev != nil {
-			t.prev(mm, pc, in)
-		}
-	}
+	t.ring = NewTraceRing(depth)
+	m.Trace = t.ring
 }
 
 // Entries returns the buffered trace in execution order.
 func (t *Tracer) Entries() []TraceEntry {
-	if !t.full {
-		return append([]TraceEntry(nil), t.ring[:t.next]...)
+	if t.ring == nil {
+		return nil
 	}
-	out := make([]TraceEntry, 0, len(t.ring))
-	out = append(out, t.ring[t.next:]...)
-	out = append(out, t.ring[:t.next]...)
-	return out
+	return t.ring.Entries()
 }
 
 // Dump renders the trace with function names resolved against the image.

@@ -229,6 +229,15 @@ type Machine struct {
 	// loop without closure indirection (see CountHook in hooked.go). When
 	// both observers are attached, Count runs before Hook.
 	Count *CountHook
+	// Trace is the inline ring-buffer trace observer (see TraceRing in
+	// trace.go), serviced like Count without closure indirection. Observer
+	// order is Count, then Trace, then Hook.
+	Trace *TraceRing
+
+	// fire is the armed one-shot fire point (see FirePoint/ArmFire in
+	// fire.go): the injection deadline the fast loop's countdown tracks
+	// alongside the Budget.
+	fire *FirePoint
 
 	hosts []HostFn
 
@@ -237,6 +246,17 @@ type Machine struct {
 	// marked pages instead of the whole address space, so short trials stop
 	// paying O(MemSize) per run.
 	dirty []uint64
+
+	// dirtyRing batches the store path's page marking: store64 appends page
+	// numbers here (deduplicated against lastPage, which almost every store
+	// hits again) and they are folded into the dirty bitmap only when the
+	// ring fills or Reset consumes it — two bitmap read-modify-writes per
+	// store become, typically, one register compare. Page 0 doubles as the
+	// lastPage "none" sentinel: guest stores are bounds-checked to
+	// addr >= DefaultGlobalBase, so page 0 is unreachable through this path.
+	dirtyRing [dirtyRingLen]uint32
+	dirtyN    int
+	lastPage  uint32
 }
 
 // dirtyPageShift selects the dirty-tracking page size (4 KiB, like a real
@@ -244,6 +264,13 @@ type Machine struct {
 const dirtyPageShift = 12
 
 const dirtyPageSize = 1 << dirtyPageShift
+
+// dirtyRingLen sizes the dirty-page batching ring. Store-heavy kernels
+// alternate among a handful of hot pages, so a small ring absorbs long runs
+// of stores between flushes; the worst case (every store a new page) flushes
+// once per dirtyRingLen stores, which is no more bitmap traffic than the
+// unbatched path paid.
+const dirtyRingLen = 64
 
 // New creates a machine for the image with default memory size.
 func New(img *Image) *Machine {
@@ -255,17 +282,19 @@ func New(img *Image) *Machine {
 }
 
 // Reset re-initializes registers, memory and accounting for a fresh run. It
-// also clears the instruction Budget and detaches any ExecHook and
-// CountHook, so a pooled machine cannot leak the previous trial's timeout
-// or instrumentation into the next run. Only pages dirtied since the
-// previous Reset are cleared.
+// also clears the instruction Budget, detaches any ExecHook, CountHook and
+// TraceRing, and disarms any pending FirePoint, so a pooled machine cannot
+// leak the previous trial's timeout, instrumentation or injection into the
+// next run. Only pages dirtied since the previous Reset are cleared.
 func (m *Machine) Reset() {
 	img := m.Img
 	if m.Mem == nil || int64(len(m.Mem)) != img.MemSize {
 		m.Mem = make([]byte, img.MemSize)
 		npages := (len(m.Mem) + dirtyPageSize - 1) >> dirtyPageShift
 		m.dirty = make([]uint64, (npages+63)/64)
+		m.dirtyN = 0 // ring entries indexed the old address space
 	} else {
+		m.flushDirty() // fold unflushed ring entries in before the sweep
 		for wi, w := range m.dirty {
 			if w == 0 {
 				continue
@@ -280,6 +309,7 @@ func (m *Machine) Reset() {
 			m.dirty[wi] = 0
 		}
 	}
+	m.lastPage = 0
 	copy(m.Mem[img.GlobalBase:], img.InitData)
 	m.markDirtyRange(uint64(img.GlobalBase), int64(len(img.InitData)))
 	for i := range m.Regs {
@@ -295,6 +325,8 @@ func (m *Machine) Reset() {
 	m.Cycles = 0
 	m.Hook = nil
 	m.Count = nil
+	m.Trace = nil
+	m.fire = nil
 	m.Output = m.Output[:0]
 	// Stack: push the exit sentinel so that RET from the entry function halts.
 	m.Regs[vx.SP] = uint64(img.MemSize)
@@ -302,12 +334,37 @@ func (m *Machine) Reset() {
 }
 
 // markDirty records that the 8 bytes at addr were written. The caller has
-// already bounds-checked addr, so both page indexes are in range.
+// already bounds-checked addr, so both page indexes are in range. Marking is
+// batched through the dirty ring: the common case — another store to the
+// page the last store hit — costs one compare, and the bitmap is only
+// touched at flush boundaries (ring overflow, Reset).
 func (m *Machine) markDirty(addr uint64) {
-	p := addr >> dirtyPageShift
-	m.dirty[p>>6] |= 1 << (p & 63)
-	p = (addr + 7) >> dirtyPageShift
-	m.dirty[p>>6] |= 1 << (p & 63)
+	p := uint32(addr >> dirtyPageShift)
+	if p != m.lastPage {
+		m.notePage(p)
+	}
+	if p2 := uint32((addr + 7) >> dirtyPageShift); p2 != p {
+		m.notePage(p2)
+	}
+}
+
+// notePage appends a page to the dirty ring, flushing to the bitmap when
+// full.
+func (m *Machine) notePage(p uint32) {
+	m.lastPage = p
+	if m.dirtyN == len(m.dirtyRing) {
+		m.flushDirty()
+	}
+	m.dirtyRing[m.dirtyN] = p
+	m.dirtyN++
+}
+
+// flushDirty folds the ring's pending pages into the dirty bitmap.
+func (m *Machine) flushDirty() {
+	for _, p := range m.dirtyRing[:m.dirtyN] {
+		m.dirty[p>>6] |= 1 << (p & 63)
+	}
+	m.dirtyN = 0
 }
 
 // MarkMemWritten records an n-byte direct write to Mem so the dirty-page
@@ -517,6 +574,16 @@ func (m *Machine) scramble() {
 func (m *Machine) Step() {
 	if m.Halted {
 		return
+	}
+	if fp := m.fire; fp != nil && m.InstrCount >= fp.At {
+		// A due fire point is serviced before this instruction's sentinel,
+		// bad-pc and budget checks — the same inter-instruction boundary at
+		// which the fast loops service it (the observer epilogue of the
+		// At-th committed instruction).
+		m.serviceFire()
+		if m.Halted {
+			return
+		}
 	}
 	img := m.Img
 	if m.PC < 0 || int(m.PC) >= len(img.Instrs) {
