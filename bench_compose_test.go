@@ -1,0 +1,183 @@
+// BENCH_compose.json emitter and the warm-edit benchmark: the numbers the
+// compositional cache is supposed to move. A single-function edit on a warm
+// cache should cost a small fraction of a cold campaign (only the edited
+// section's trials re-execute), and adaptive precision stopping should cut
+// trial counts below the fixed budget. The CI compose-smoke job runs the
+// emitter with BENCH_COMPOSE_JSON set and uploads the file as a build
+// artifact; without the env var the test skips.
+package refine_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/workloads"
+)
+
+const (
+	composeBenchApp    = "CG"
+	composeBenchFunc   = "norm"
+	composeBenchTrials = 200
+)
+
+// composeColdRun populates dir with CG×REFINE build, profile and section
+// entries and returns the elapsed wall clock.
+func composeColdRun(tb testing.TB, dir string) time.Duration {
+	tb.Helper()
+	cache, err := campaign.NewDiskCache(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	app, err := workloads.ByName(composeBenchApp)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := campaign.RunCached(cache, app, campaign.REFINE,
+		composeBenchTrials, 1, 0, campaign.DefaultBuildOptions()); err != nil {
+		tb.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// composeWarmEdit runs the mutated app over the warm dir through a fresh
+// Cache (so every reuse is a disk restore) and returns the elapsed wall
+// clock and the compose counters.
+func composeWarmEdit(tb testing.TB, dir string) (time.Duration, campaign.ComposeStats) {
+	tb.Helper()
+	cache, err := campaign.NewDiskCache(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	app, err := workloads.ByName(composeBenchApp)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mutated, err := workloads.MutateFunc(app, composeBenchFunc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := campaign.RunCached(cache, mutated, campaign.REFINE,
+		composeBenchTrials, 1, 0, campaign.DefaultBuildOptions()); err != nil {
+		tb.Fatal(err)
+	}
+	return time.Since(start), cache.Compose()
+}
+
+// sectionSnapshot returns the set of .fis entries currently under dir.
+func sectionSnapshot(tb testing.TB, dir string) map[string]bool {
+	tb.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.fis"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out := make(map[string]bool, len(names))
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
+}
+
+// BenchmarkSingleFunctionEditWarm measures the steady-state cost of a warm
+// campaign after a single-function edit: compose-restore the unchanged
+// sections from disk, re-execute only the edited function's and the
+// program-level section's trials, and store the new entries. Entries the
+// iteration stored are removed between iterations so every iteration pays
+// the genuine post-edit cost rather than a full restore.
+func BenchmarkSingleFunctionEditWarm(b *testing.B) {
+	dir := b.TempDir()
+	composeColdRun(b, dir)
+	base := sectionSnapshot(b, dir)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		composeWarmEdit(b, dir)
+		b.StopTimer()
+		for name := range sectionSnapshot(b, dir) {
+			if !base[name] {
+				if err := os.Remove(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StartTimer()
+	}
+}
+
+// benchComposeReport is the BENCH_compose.json schema. Field names are
+// stable: downstream tooling diffs these files across commits.
+type benchComposeReport struct {
+	WarmEdit struct {
+		App              string  `json:"app"`
+		Func             string  `json:"func"`
+		Tool             string  `json:"tool"`
+		Trials           int     `json:"trials"`
+		ColdMs           float64 `json:"cold_ms"`
+		WarmEditMs       float64 `json:"warm_edit_ms"`
+		Sections         uint64  `json:"sections"`
+		Reused           uint64  `json:"reused"`
+		Reinjected       uint64  `json:"reinjected"`
+		TrialsReused     uint64  `json:"trials_reused"`
+		TrialsReinjected uint64  `json:"trials_reinjected"`
+	} `json:"warm_edit"`
+	Precision struct {
+		Margin           float64 `json:"margin"`
+		ConfiguredTrials int     `json:"configured_trials"`
+		StoppedAt        int     `json:"stopped_at"`
+	} `json:"precision"`
+}
+
+// TestEmitBenchCompose writes BENCH_compose.json to $BENCH_COMPOSE_JSON: one
+// timed cold campaign, one timed warm-after-edit campaign over the same
+// cache, and the precision-stopped trial count for the same cell.
+func TestEmitBenchCompose(t *testing.T) {
+	path := os.Getenv("BENCH_COMPOSE_JSON")
+	if path == "" {
+		t.Skip("set BENCH_COMPOSE_JSON=<path> to emit the compose benchmark summary (the dedicated CI step does)")
+	}
+
+	var report benchComposeReport
+	dir := t.TempDir()
+	cold := composeColdRun(t, dir)
+	warm, stats := composeWarmEdit(t, dir)
+	report.WarmEdit.App = composeBenchApp
+	report.WarmEdit.Func = composeBenchFunc
+	report.WarmEdit.Tool = campaign.REFINE.Name()
+	report.WarmEdit.Trials = composeBenchTrials
+	report.WarmEdit.ColdMs = float64(cold.Microseconds()) / 1e3
+	report.WarmEdit.WarmEditMs = float64(warm.Microseconds()) / 1e3
+	report.WarmEdit.Sections = stats.Sections
+	report.WarmEdit.Reused = stats.Reused
+	report.WarmEdit.Reinjected = stats.Reinjected
+	report.WarmEdit.TrialsReused = stats.TrialsReused
+	report.WarmEdit.TrialsReinjected = stats.TrialsReinjected
+
+	app, err := workloads.ByName(composeBenchApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const margin = 0.1
+	res, err := campaign.New(app, campaign.REFINE,
+		campaign.WithTrials(composeBenchTrials), campaign.WithSeed(1),
+		campaign.WithBuildOptions(campaign.DefaultBuildOptions()),
+		campaign.WithPrecision(margin, 0)).Run(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Precision.Margin = margin
+	report.Precision.ConfiguredTrials = composeBenchTrials
+	report.Precision.StoppedAt = res.Trials
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", path, data)
+}

@@ -6,7 +6,8 @@
 //
 //	fi-campaign [-trials 1068] [-seed 1] [-workers 0] [-apps HPCCG,CG,...]
 //	            [-tools LLFI,REFINE,PINFI,REFINE2,OPCODE] [-instrs all|arithm|mem|stack]
-//	            [-O 2|0] [-sched-workers 0] [-shards 0] [-cache-dir DIR] [-quiet]
+//	            [-O 2|0] [-sched-workers 0] [-shards 0] [-cache-dir DIR]
+//	            [-precision 0.03] [-mutate app:func] [-quiet]
 //
 // The paper's configuration is the default: 1068 trials (3% margin, 95%
 // confidence), -fi-funcs=* -fi-instrs=all, -O2. 14 apps × 3 tools × 1068 =
@@ -25,7 +26,14 @@
 // -cache-dir persists built binaries and golden profiles to disk,
 // content-addressed by configuration and IR fingerprint: a second
 // invocation with the same directory skips every build and profiling run
-// (the trailing "cache:" line reports builds vs disk hits).
+// (the trailing "cache:" line reports builds vs disk hits). The disk cache
+// is compositional: per-function section entries let a warm run restore
+// unchanged functions' trial outcomes and re-inject only changed sections
+// (the "# compose:" line reports reused vs re-injected; -mutate app:func
+// demonstrates the single-function-edit path). -precision M replaces the
+// fixed trial count with sequential stopping at the first deterministic
+// batch boundary where every outcome class's 95% Wilson-CI half-width
+// fits M — bit-identical across all execution modes.
 //
 // -shards N fans every campaign out across N worker OS processes — this
 // binary re-exec'd with -shard-worker semantics (a gob job stream on stdin,
@@ -70,6 +78,8 @@ func main() {
 	shards := flag.Int("shards", 0, "fan campaigns across N worker OS processes (this binary re-exec'd); results are bit-identical to in-process runs, and -cache-dir is shared so only the first worker per app x tool builds (0 = in-process)")
 	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker: gob job assignments on stdin, trial frames on stdout (what -shards re-execs; normally set via the environment)")
 	cacheDir := flag.String("cache-dir", "", "persist built binaries + profiles under this directory (warm starts skip all builds)")
+	precision := flag.Float64("precision", 0, "adaptive trial allocation: stop each campaign once every outcome class's 95% Wilson-CI half-width is at or below this margin (0 = fixed -trials); the stop index is deterministic across execution modes")
+	mutate := flag.String("mutate", "", "app:func — apply a dead single-function IR edit (DCE-erased, binary-identical) before running; with a warm -cache-dir the compositional cache re-injects only that function's section")
 	journalDir := flag.String("journal", "", "append every completed trial to a crash-safe journal under this directory; a restarted run replays it and re-executes only missing trials")
 	quiet := flag.Bool("quiet", false, "suppress per-campaign progress")
 	flag.Parse()
@@ -81,11 +91,12 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Trials:  *trials,
-		Seed:    *seed,
-		Workers: *workers,
-		Chunk:   *chunk,
-		Build:   campaign.DefaultBuildOptions(),
+		Trials:    *trials,
+		Seed:      *seed,
+		Workers:   *workers,
+		Chunk:     *chunk,
+		Build:     campaign.DefaultBuildOptions(),
+		Precision: *precision,
 	}
 	schedSize := *schedWorkers
 	if *shards > 0 {
@@ -138,6 +149,35 @@ func main() {
 			cfg.Tools = append(cfg.Tools, tool)
 		}
 	}
+	if *mutate != "" {
+		if *shards > 0 {
+			// Shard workers re-resolve apps through the registry by name, so
+			// a process-local mutated builder would silently not ship.
+			fatal(fmt.Errorf("-mutate is in-process only; drop -shards"))
+		}
+		name, fn, ok := strings.Cut(*mutate, ":")
+		if !ok {
+			fatal(fmt.Errorf("-mutate wants app:func, got %q", *mutate))
+		}
+		if cfg.Apps == nil {
+			cfg.Apps = workloads.Registry()
+		}
+		found := false
+		for i, app := range cfg.Apps {
+			if app.Name != name {
+				continue
+			}
+			mutated, err := workloads.MutateFunc(app, fn)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Apps[i] = mutated
+			found = true
+		}
+		if !found {
+			fatal(fmt.Errorf("-mutate app %q not in the selected apps", name))
+		}
+	}
 	if !*quiet {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -151,6 +191,9 @@ func main() {
 		len(suite.Order), len(suite.Tools), suite.Trials,
 		len(suite.Order)*len(suite.Tools)*suite.Trials, time.Since(start).Round(time.Millisecond))
 	fmt.Println(experiments.CacheStatsLine(cache))
+	if cache.Dir() != "" {
+		fmt.Println(experiments.ComposeLine(cache))
+	}
 	if journal != nil {
 		fmt.Println(experiments.JournalLine(journal))
 	}

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	fi-speed [-trials 200] [-seed 1] [-workers 0] [-apps CSV] [-tools CSV]
-//	         [-sched-workers 0] [-shards 0] [-cache-dir DIR] [-cpuprofile out.pprof]
+//	         [-sched-workers 0] [-shards 0] [-cache-dir DIR] [-precision 0]
+//	         [-cpuprofile out.pprof]
 //
 // -tools selects injectors from the registry (PINFI is always included — it
 // is the normalization baseline). Campaigns run on one shared work-stealing
@@ -61,6 +62,7 @@ func run() error {
 	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker: gob job assignments on stdin, trial frames on stdout (what -shards re-execs; normally set via the environment)")
 	cacheDir := flag.String("cache-dir", "", "persist built binaries + profiles under this directory (warm starts skip all builds)")
 	journalDir := flag.String("journal", "", "append every completed trial to a crash-safe journal under this directory; a restarted run replays it and re-executes only missing trials")
+	precision := flag.Float64("precision", 0, "adaptive trial allocation: stop each campaign once every outcome class's 95% Wilson-CI half-width is at or below this margin (0 = fixed -trials)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file")
 	flag.Parse()
 	if *shardWorker {
@@ -80,11 +82,12 @@ func run() error {
 	}
 
 	cfg := experiments.Config{
-		Trials:  *trials,
-		Seed:    *seed,
-		Workers: *workers,
-		Chunk:   *chunk,
-		Build:   campaign.DefaultBuildOptions(),
+		Trials:    *trials,
+		Seed:      *seed,
+		Workers:   *workers,
+		Chunk:     *chunk,
+		Build:     campaign.DefaultBuildOptions(),
+		Precision: *precision,
 	}
 	schedSize := *schedWorkers
 	if *shards > 0 {
@@ -142,6 +145,9 @@ func run() error {
 		return err
 	}
 	fmt.Println(experiments.CacheStatsLine(cache))
+	if cache.Dir() != "" {
+		fmt.Println(experiments.ComposeLine(cache))
+	}
 	if journal != nil {
 		fmt.Println(experiments.JournalLine(journal))
 	}

@@ -19,9 +19,14 @@
 //
 // Usage:
 //
-//	fi-stats [-table4] [-table5] [-samplesize] [-margin 0.03]
-//	         [-measure] [-apps CSV] [-trials 1068] [-seed 1]
+//	fi-stats [-table4] [-table5] [-samplesize] [-margin 0.03] [-ci]
+//	         [-measure] [-apps CSV] [-trials 1068] [-seed 1] [-precision 0]
 //	         [-sched-workers 0] [-shards 0] [-cache-dir DIR]
+//
+// -ci adds 95% Wilson confidence-interval columns: a rate table over the
+// published Table 6 counts, plus the measured Figure 4 under -measure.
+// -precision enables adaptive trial allocation for measured suites (stop
+// at a target Wilson-CI half-width instead of a fixed -trials).
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 	table5 := flag.Bool("table5", true, "print Table 5 chi-squared tests on the published data")
 	sampleSize := flag.Bool("samplesize", true, "print the Leveugle sample-size table")
 	margin := flag.Float64("margin", 0.03, "margin of error for -samplesize")
+	ci := flag.Bool("ci", false, "add 95% Wilson confidence-interval columns: a rate table over the published Table 6 counts, and the measured Figure 4 under -measure")
 	measure := flag.Bool("measure", false, "run a live suite and print the measured Table 5")
 	appsFlag := flag.String("apps", "", "comma-separated app subset for -measure (default: all 14)")
 	trials := flag.Int("trials", 1068, "trials per (app, tool) for -measure")
@@ -58,6 +64,7 @@ func main() {
 	shards := flag.Int("shards", 0, "fan -measure campaigns across N worker OS processes (this binary re-exec'd); verdicts are bit-identical to in-process runs (0 = in-process)")
 	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker: gob job assignments on stdin, trial frames on stdout (what -shards re-execs; normally set via the environment)")
 	cacheDir := flag.String("cache-dir", "", "persist -measure builds + profiles under this directory")
+	precision := flag.Float64("precision", 0, "adaptive trial allocation for -measure: stop each campaign once every outcome class's 95% Wilson-CI half-width is at or below this margin (0 = fixed -trials)")
 	journalDir := flag.String("journal", "", "append every completed -measure trial to a crash-safe journal under this directory; a restarted run replays it and re-executes only missing trials")
 	flag.Parse()
 	if *shardWorker {
@@ -120,8 +127,24 @@ func main() {
 		}
 	}
 
+	if *ci {
+		fmt.Println("\nPublished outcome rates ±95% Wilson CI (from the Table 6 counts):")
+		fmt.Printf("%-10s %-8s %22s %22s %22s\n", "App", "Tool", "Crash%", "SOC%", "Benign%")
+		for _, app := range apps {
+			for _, tool := range []string{"LLFI", "REFINE", "PINFI"} {
+				c := paper[app][tool]
+				n := c.Total()
+				cell := func(k int) string {
+					lo, hi := stats.WilsonCI(k, n, stats.Z95)
+					return fmt.Sprintf("%5.1f [%5.1f,%5.1f]", 100*float64(k)/float64(n), 100*lo, 100*hi)
+				}
+				fmt.Printf("%-10s %-8s %22s %22s %22s\n", app, tool, cell(c.Crash), cell(c.SOC), cell(c.Benign))
+			}
+		}
+	}
+
 	if *measure {
-		if err := runMeasured(*appsFlag, *trials, *seed, *schedWorkers, *chunk, *shards, *cacheDir, *journalDir); err != nil {
+		if err := runMeasured(*appsFlag, *trials, *seed, *schedWorkers, *chunk, *shards, *cacheDir, *journalDir, *precision, *ci); err != nil {
 			fmt.Fprintln(os.Stderr, "fi-stats:", err)
 			os.Exit(1)
 		}
@@ -130,12 +153,13 @@ func main() {
 
 // runMeasured runs a live suite through the shared scheduler (and the disk
 // cache when dir is set) and prints the measured Table 5.
-func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk, shards int, dir, journalDir string) error {
+func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk, shards int, dir, journalDir string, precision float64, ci bool) error {
 	cfg := experiments.Config{
-		Trials: trials,
-		Seed:   seed,
-		Chunk:  chunk,
-		Build:  campaign.DefaultBuildOptions(),
+		Trials:    trials,
+		Seed:      seed,
+		Chunk:     chunk,
+		Build:     campaign.DefaultBuildOptions(),
+		Precision: precision,
 	}
 	if shards > 0 {
 		schedWorkers = -1 // trials run in the workers; no in-process executor
@@ -176,6 +200,9 @@ func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk, s
 	}
 	fmt.Printf("\nMeasured suite (n=%d per cell):\n", suite.Trials)
 	fmt.Println(experiments.CacheStatsLine(cache))
+	if cache.Dir() != "" {
+		fmt.Println(experiments.ComposeLine(cache))
+	}
 	if journal != nil {
 		fmt.Println(experiments.JournalLine(journal))
 	}
@@ -184,6 +211,9 @@ func runMeasured(appsCSV string, trials int, seed uint64, schedWorkers, chunk, s
 		fmt.Println(experiments.ShardLines(pool))
 	} else {
 		fmt.Println(experiments.ExecutionLine(cfg.Sched, cfg.Chunk))
+	}
+	if ci {
+		fmt.Println(suite.Figure4())
 	}
 	t5, err := suite.Table5()
 	if err != nil {

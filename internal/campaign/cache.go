@@ -51,17 +51,27 @@ type Cache struct {
 	// golden profile entirely. See NewDiskCache.
 	dir string
 
-	// fp memoizes the per-app IR fingerprint: a warm suite touches each app
-	// once per tool×options key, and the frontend+print run only needs to
-	// happen once per app. Keying by name+memSize matches the in-memory
-	// layer's documented contract (one Build per name within a cache).
-	fp map[fpKey]string
+	// fp memoizes the per-app fingerprints (whole-program hash plus the
+	// per-function canonical fingerprints backing the compositional section
+	// cache): a warm suite touches each app once per tool×options key, and
+	// the frontend+print run only needs to happen once per app. Keying by
+	// name+memSize matches the in-memory layer's documented contract (one
+	// Build per name within a cache).
+	fp map[fpKey]*appFingerprints
 
 	memHits     atomic.Uint64
 	diskHits    atomic.Uint64
 	builds      atomic.Uint64
 	diskErrors  atomic.Uint64
 	quarantined atomic.Uint64
+
+	// Compositional section-cache counters (see sections.go and the
+	// drivers' "# compose:" line).
+	secTotal         atomic.Uint64
+	secReused        atomic.Uint64
+	secReinjected    atomic.Uint64
+	trialsReused     atomic.Uint64
+	trialsReinjected atomic.Uint64
 }
 
 // CacheStats are the cache's hit/build counters, for the CLI drivers' cache
@@ -94,6 +104,21 @@ type cacheKey struct {
 	funcs   string // canonical -fi-funcs encoding
 	classes uint8  // fault.ClassSet
 	costs   pinfi.CostModel
+}
+
+// newCacheKey canonicalizes the identity of a build+profile artifact; the
+// disk layer's content addresses (entryPath, sectionPath) fold the same
+// fields in.
+func newCacheKey(app App, tool Tool, o BuildOptions, costs pinfi.CostModel) cacheKey {
+	return cacheKey{
+		app:     app.Name,
+		memSize: app.MemSize,
+		tool:    tool.Name(),
+		opt:     o.Opt.Resolve(), // "unset" and "explicitly O2" share an entry
+		funcs:   strings.Join(o.FI.Funcs, "\x00"),
+		classes: uint8(o.FI.Classes),
+		costs:   costs,
+	}
 }
 
 type cacheEntry struct {
@@ -160,15 +185,7 @@ func DefaultCache() *Cache { return defaultCache }
 // callers. Errors are cached too: a broken build fails every campaign the
 // same way instead of rebuilding.
 func (c *Cache) BuildAndProfile(app App, tool Tool, o BuildOptions, costs pinfi.CostModel) (*Binary, *Profile, error) {
-	k := cacheKey{
-		app:     app.Name,
-		memSize: app.MemSize,
-		tool:    tool.Name(),
-		opt:     o.Opt.Resolve(), // "unset" and "explicitly O2" share an entry
-		funcs:   strings.Join(o.FI.Funcs, "\x00"),
-		classes: uint8(o.FI.Classes),
-		costs:   costs,
-	}
+	k := newCacheKey(app, tool, o, costs)
 	c.mu.Lock()
 	e := c.m[k]
 	if e == nil {
@@ -217,8 +234,11 @@ func (c *Cache) BuildAndProfile(app App, tool Tool, o BuildOptions, costs pinfi.
 // older body (a copied cache dir, a hand-rolled tool writing old encodings)
 // is quarantined rather than half-trusted. Version 2 added the leading
 // SHA-256 self-checksum; version 3 added the in-payload version stamp and
-// the persisted fire-point index.
-const diskFormatVersion = 3
+// the persisted fire-point index; version 4 added the compositional
+// section-entry layer (.fis files, see sections.go) and re-keyed the build
+// entries alongside it, so every pre-compositional entry misses (or
+// quarantines via the in-payload stamp) and rebuilds through the PR 6 path.
+const diskFormatVersion = 4
 
 // checksumLen prefixes every disk entry: SHA-256 over the gob payload,
 // verified on load so torn writes and bit-rot are detected (and
@@ -263,24 +283,10 @@ var harnessFingerprint = sync.OnceValue(func() string {
 })
 
 // irFingerprint returns the memoized SHA-256 of the app's freshly built IR
-// text.
+// text (the whole-program identity; fingerprints also carries the
+// per-function section identities).
 func (c *Cache) irFingerprint(app App) string {
-	k := fpKey{app: app.Name, memSize: app.MemSize}
-	c.mu.Lock()
-	if fp, ok := c.fp[k]; ok {
-		c.mu.Unlock()
-		return fp
-	}
-	c.mu.Unlock()
-	sum := sha256.Sum256([]byte(app.Build().String()))
-	fp := hex.EncodeToString(sum[:])
-	c.mu.Lock()
-	if c.fp == nil {
-		c.fp = make(map[fpKey]string)
-	}
-	c.fp[k] = fp
-	c.mu.Unlock()
-	return fp
+	return c.fingerprints(app).program
 }
 
 // diskEntry is the persisted artifact pair: the assembled image with its
@@ -325,31 +331,8 @@ func (c *Cache) entryPath(app App, k cacheKey) string {
 // is quarantined: renamed to <name>.quarantine and counted, so the artifact
 // is rebuilt exactly once instead of re-failing on every warm run.
 func (c *Cache) loadDiskEntry(path string, app App, tool Tool) (*Binary, *Profile, bool) {
-	var data []byte
-	err := backoff.Retry(nil, diskRetry, func() error {
-		if err := chaos.Err("campaign.cache.load"); err != nil {
-			return err
-		}
-		var err error
-		data, err = os.ReadFile(path)
-		if os.IsNotExist(err) {
-			return backoff.Permanent(err)
-		}
-		return err
-	})
-	if err != nil {
-		if !os.IsNotExist(err) {
-			c.diskErrors.Add(1)
-		}
-		return nil, nil, false
-	}
-	if len(data) < checksumLen {
-		c.quarantine(path)
-		return nil, nil, false
-	}
-	payload := data[checksumLen:]
-	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], data[:checksumLen]) {
-		c.quarantine(path)
+	payload, ok := c.readPayload(path, "campaign.cache.load")
+	if !ok {
 		return nil, nil, false
 	}
 	var d diskEntry
@@ -387,9 +370,53 @@ func (c *Cache) storeDiskEntry(path string, bin *Binary, prof *Profile) {
 		c.diskErrors.Add(1)
 		return
 	}
-	sum := sha256.Sum256(payload.Bytes())
+	c.writePayload(path, payload.Bytes(), "campaign.cache.store", "campaign.cache.stored")
+}
+
+// readPayload reads a checksummed disk-cache file (build entry or section
+// entry), verifying the leading SHA-256 self-checksum. A missing file is a
+// plain miss; a transient read failure (seam names the chaos injection
+// point) is retried with bounded backoff, then counted as a disk error and
+// treated as a miss; a torn or bit-rotted file is quarantined. Returns the
+// gob payload past the checksum.
+func (c *Cache) readPayload(path, seam string) ([]byte, bool) {
+	var data []byte
 	err := backoff.Retry(nil, diskRetry, func() error {
-		if err := chaos.Err("campaign.cache.store"); err != nil {
+		if err := chaos.Err(seam); err != nil {
+			return err
+		}
+		var err error
+		data, err = os.ReadFile(path)
+		if os.IsNotExist(err) {
+			return backoff.Permanent(err)
+		}
+		return err
+	})
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.diskErrors.Add(1)
+		}
+		return nil, false
+	}
+	if len(data) < checksumLen {
+		c.quarantine(path)
+		return nil, false
+	}
+	payload := data[checksumLen:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], data[:checksumLen]) {
+		c.quarantine(path)
+		return nil, false
+	}
+	return payload, true
+}
+
+// writePayload atomically persists a checksummed payload (temp file +
+// rename) with bounded retry around the chaos seam; storedSeam is the
+// post-rename corruption injection point for the quarantine tests.
+func (c *Cache) writePayload(path string, payload []byte, seam, storedSeam string) {
+	sum := sha256.Sum256(payload)
+	err := backoff.Retry(nil, diskRetry, func() error {
+		if err := chaos.Err(seam); err != nil {
 			return err
 		}
 		tmp, err := os.CreateTemp(c.dir, ".fic-*")
@@ -401,7 +428,7 @@ func (c *Cache) storeDiskEntry(path string, bin *Binary, prof *Profile) {
 			os.Remove(tmp.Name())
 			return err
 		}
-		if _, err := tmp.Write(payload.Bytes()); err != nil {
+		if _, err := tmp.Write(payload); err != nil {
 			tmp.Close()
 			os.Remove(tmp.Name())
 			return err
@@ -422,7 +449,7 @@ func (c *Cache) storeDiskEntry(path string, bin *Binary, prof *Profile) {
 	}
 	// Chaos seam: the bit-rot / torn-write injection point for the cache
 	// quarantine tests — corrupts the just-renamed entry in place.
-	chaos.Corrupt("campaign.cache.stored", path)
+	chaos.Corrupt(storedSeam, path)
 }
 
 // Len reports the number of cached entries (for tests and diagnostics).

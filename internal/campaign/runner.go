@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/pinfi"
 	"repro/internal/sched"
+	"repro/internal/stats"
 )
 
 // ErrBuildUnclaimed reports that a scheduled campaign's build+profile unit
@@ -46,10 +47,11 @@ type Campaign struct {
 
 	observer    func(i int, tr TrialResult)
 	keepRecords bool
-	exec        *sched.Executor // nil ⇒ private per-campaign worker pool
-	chunk       int             // trial indexes claimed per executor lock (0 ⇒ adaptive)
-	shards      int             // worker processes (WithShards; 0 ⇒ in-process)
-	journal     *Journal        // nil ⇒ no crash-safe resume
+	exec        *sched.Executor   // nil ⇒ private per-campaign worker pool
+	chunk       int               // trial indexes claimed per executor lock (0 ⇒ adaptive)
+	shards      int               // worker processes (WithShards; 0 ⇒ in-process)
+	journal     *Journal          // nil ⇒ no crash-safe resume
+	precision   *stats.Sequential // nil ⇒ fixed trial count (no sequential stopping)
 }
 
 // Option configures a Campaign (functional options).
@@ -144,6 +146,31 @@ func WithTrialRange(lo, hi int) Option {
 // path.
 func WithShards(n int) Option { return func(c *Campaign) { c.shards = n } }
 
+// WithPrecision replaces the fixed trial count with sequential Wilson-CI
+// stopping (stats.Sequential): the campaign stops at the first trial-count
+// batch boundary where every outcome class's Wilson interval has half-width
+// at most margin at z-score z (z = 0 ⇒ stats.Z95). WithTrials still bounds
+// the campaign — precision can only stop it early, never extend it — and
+// Result.Trials reports the delivered count.
+//
+// The stop index is a pure function of the delivered in-order trial prefix,
+// evaluated only at stats.DefaultBatch boundaries during ordered delivery,
+// so precision-stopped campaigns keep the standing determinism invariant:
+// serial ≡ scheduled ≡ sharded ≡ cached ≡ resumed, for any worker count.
+// Workers past the stop index abandon their not-yet-started trials; in-flight
+// trials beyond it are discarded undelivered (the observer never sees them).
+//
+// margin ≤ 0 disables precision stopping (the fixed -trials behavior).
+func WithPrecision(margin, z float64) Option {
+	return func(c *Campaign) {
+		if margin <= 0 {
+			c.precision = nil
+			return
+		}
+		c.precision = &stats.Sequential{Margin: margin, Z: z}
+	}
+}
+
 // WithJournal makes the campaign crash-safe: every delivered trial is
 // appended to the journal as it completes, and Run starts by replaying the
 // journal's recorded trials for this campaign (matched by Spec.Key) through
@@ -231,14 +258,45 @@ type collector struct {
 
 	// Crash-safe resume sink: freshly executed trials are appended to the
 	// journal before insertion; indices in skip were themselves restored
-	// from the journal and must not be re-appended.
+	// from the journal (or the compositional section cache) and must not be
+	// re-appended.
 	j    *Journal
 	jkey string
 	skip map[int]TrialResult
+
+	// Sequential precision stopping (WithPrecision). stopAt is one past the
+	// last trial index the campaign may deliver: initially hi (the trial
+	// range's upper bound), lowered exactly once — by the single-threaded
+	// deliverer, at a batch boundary of the delivered prefix — when every
+	// outcome class reaches the target half-width. Trials at or past stopAt
+	// are discarded undelivered, so the delivered prefix (and therefore the
+	// stop decision itself) is identical across execution modes. hi == 0
+	// (a zero-value collector, as some collector unit tests build) means
+	// unbounded: no stop checks apply.
+	prec   *stats.Sequential
+	hi     int // the campaign's trial-range upper bound (0 ⇒ unbounded)
+	stopAt atomic.Int64
+
+	// comp, when non-nil, buffers every delivered trial by range-relative
+	// index for the compositional section store (Run only stores sections
+	// from complete, precision-unstopped campaigns).
+	comp []TrialResult
 }
 
+// stop returns one past the last trial index the campaign may deliver.
+func (c *collector) stop() int {
+	if c.hi == 0 {
+		return int(^uint(0) >> 1) // unbounded zero-value collector
+	}
+	return int(c.stopAt.Load())
+}
+
+// stopped reports whether sequential precision stopping fixed a stop index
+// below the campaign's trial-range upper bound.
+func (c *collector) stopped() bool { return c.stop() < c.hi }
+
 func (c *collector) add(i int, tr TrialResult) {
-	if c.j != nil {
+	if c.j != nil && i < c.stop() {
 		if _, replayed := c.skip[i]; !replayed {
 			c.j.Append(c.jkey, i, tr)
 		}
@@ -271,6 +329,12 @@ func (c *collector) add(i int, tr TrialResult) {
 		c.mu.Unlock()
 		for k, r := range run {
 			idx := start + k
+			if idx >= c.stop() {
+				continue // past the precision stop: discard undelivered
+			}
+			if c.comp != nil {
+				c.comp[idx-c.base] = r
+			}
 			if c.keep {
 				c.res.Records[idx-c.base] = r
 			}
@@ -280,6 +344,18 @@ func (c *collector) add(i int, tr TrialResult) {
 				c.obs(idx, r)
 			}
 			c.flushed.Store(int64(idx - c.base + 1))
+			if c.prec != nil {
+				// Evaluate the stopping rule per delivered trial (not per
+				// flush batch): the decision sequence must match a replayed
+				// or resumed run, where delivery granularity differs.
+				n := idx - c.base + 1
+				if c.prec.Boundary(n) && c.prec.Satisfied(n, []int{
+					c.res.Counts.Crash, c.res.Counts.SOC,
+					c.res.Counts.Benign, c.res.Counts.HarnessFault,
+				}) {
+					c.stopAt.Store(int64(idx + 1))
+				}
+			}
 		}
 		c.mu.Lock()
 	}
@@ -340,8 +416,11 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 		workers = c.trials - c.lo
 	}
 
-	recorded := c.resume()
+	comp, recorded := c.composeLoad(prof, c.resume())
 	res, col := c.newResult(prof, recorded)
+	if comp != nil && len(comp.missed) > 0 {
+		col.comp = make([]TrialResult, c.trials-c.lo)
+	}
 	replay(col, recorded)
 
 	var nextIdx atomic.Int64
@@ -360,11 +439,11 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 				default:
 				}
 				i := c.lo + int(nextIdx.Add(1)) - 1
-				if i >= c.trials {
+				if i >= c.trials || i >= col.stop() {
 					return
 				}
 				if _, ok := recorded[i]; ok {
-					continue // restored from the journal, already delivered
+					continue // restored from the journal or section cache
 				}
 				col.add(i, bin.runTrialOn(m, prof, c.costs, TrialSeed(c.seed, c.tool, i)))
 			}
@@ -372,6 +451,7 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 	}
 	wg.Wait()
 
+	c.composeStore(ctx, bin, comp, col)
 	return c.finish(ctx, res, col)
 }
 
@@ -404,19 +484,26 @@ func (c *Campaign) runScheduled(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("campaign: %s/%s: %w", c.app.Name, c.tool.Name(), err)
 	}
 
-	recorded := c.resume()
+	comp, recorded := c.composeLoad(prof, c.resume())
 	res, col := c.newResult(prof, recorded)
+	if comp != nil && len(comp.missed) > 0 {
+		col.comp = make([]TrialResult, c.trials-c.lo)
+	}
 	replay(col, recorded)
 	c.exec.SubmitChunk(ctx, c.trials-c.lo, c.chunk, func(i int) {
 		idx := c.lo + i
+		if idx >= col.stop() {
+			return // past the precision stop
+		}
 		if _, ok := recorded[idx]; ok {
-			return // restored from the journal, already delivered
+			return // restored from the journal or section cache
 		}
 		m := bin.AcquireMachine()
 		defer bin.ReleaseMachine(m)
 		col.add(idx, bin.runTrialOn(m, prof, c.costs, TrialSeed(c.seed, c.tool, idx)))
 	}).Wait()
 
+	c.composeStore(ctx, bin, comp, col)
 	return c.finish(ctx, res, col)
 }
 
@@ -446,7 +533,9 @@ func (c *Campaign) newResult(prof *Profile, recorded map[int]TrialResult) (*Resu
 		res.Records = make([]TrialResult, c.trials-c.lo)
 	}
 	col := &collector{pending: map[int]TrialResult{}, next: c.lo, base: c.lo,
-		res: res, obs: c.observer, keep: c.keepRecords}
+		res: res, obs: c.observer, keep: c.keepRecords,
+		prec: c.precision, hi: c.trials}
+	col.stopAt.Store(int64(c.trials))
 	if c.journal != nil {
 		col.j, col.jkey, col.skip = c.journal, c.Spec().Key(), recorded
 	}
@@ -469,8 +558,18 @@ func replay(col *collector, recorded map[int]TrialResult) {
 	}
 }
 
-// finish applies the partial-prefix cancellation contract.
+// finish applies the partial-prefix cancellation contract and the sequential
+// precision-stop truncation.
 func (c *Campaign) finish(ctx context.Context, res *Result, col *collector) (*Result, error) {
+	if col.stopped() {
+		// Precision-stopped: the result covers exactly the delivered prefix
+		// (== the stop index), with no error — stopping early is the
+		// campaign completing, not being interrupted.
+		res.Trials = col.delivered()
+		if c.keepRecords {
+			res.Records = res.Records[:res.Trials]
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		// Partial-safe result: everything up to the first undelivered trial.
 		res.Trials = col.delivered()

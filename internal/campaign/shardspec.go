@@ -177,6 +177,13 @@ func (m *Merger) Add(i int, tr TrialResult) bool {
 // whose aggregates, record and observer call have all been applied.
 func (m *Merger) Delivered() int { return m.col.delivered() }
 
+// Stopped reports whether the campaign's sequential precision rule
+// (WithPrecision) has fixed a stop index below the trial range: the shard
+// pool stops assigning ranges and lets outstanding ones drain — the
+// collector discards frames past the stop index, so the merged result is
+// bit-identical to a precision-stopped in-process run.
+func (m *Merger) Stopped() bool { return m.col.stopped() }
+
 // Unseen returns the indexes in [lo, hi) not yet folded in. The pool's
 // retry-budget logic uses it when splitting a repeatedly-fatal range into
 // single-trial ranges: indexes the dying workers already shipped need no

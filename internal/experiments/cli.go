@@ -49,6 +49,17 @@ func CacheStatsLine(c *campaign.Cache) string {
 		st.Builds, st.MemHits, st.DiskHits, st.DiskErrors, st.Quarantined, c.Dir())
 }
 
+// ComposeLine renders the drivers' "# compose:" report: the compositional
+// section-cache counters (reused = section entries restored from disk,
+// reinjected = sections whose trials had to execute). The compose-smoke CI
+// job greps it to assert that a warm run after a single-function edit
+// re-injects exactly the affected sections.
+func ComposeLine(c *campaign.Cache) string {
+	st := c.Compose()
+	return fmt.Sprintf("# compose: sections=%d reused=%d reinjected=%d trials-reused=%d trials-reinjected=%d",
+		st.Sections, st.Reused, st.Reinjected, st.TrialsReused, st.TrialsReinjected)
+}
+
 // JournalLine renders the drivers' "# journal:" report. The chaos-smoke CI
 // job greps replayed= on a resumed run to assert that journal replay (not
 // re-execution) supplied the already-completed trials.

@@ -77,6 +77,15 @@ type Config struct {
 	// cache counters stay readable by the caller afterwards); nil with
 	// Shards > 0 spawns a pool for the duration of the suite.
 	Pool *shard.Pool
+	// Precision, when > 0, enables adaptive trial allocation
+	// (campaign.WithPrecision at the paper's 95% confidence): each campaign
+	// stops at the first deterministic batch boundary where every outcome
+	// class's Wilson-CI half-width is at or below this margin, instead of
+	// always running the full Trials. The stop index is a pure function of
+	// the in-order trial prefix, so precision-stopped suites stay
+	// bit-identical across the serial, scheduled, sharded, cached and
+	// resumed paths. 0 ⇒ fixed Trials.
+	Precision float64
 	// Journal makes the suite crash-safe (campaign.WithJournal): every
 	// completed trial is appended to the journal, and a restarted suite
 	// over the same journal replays recorded trials and re-executes only
@@ -135,6 +144,7 @@ func RunSuiteContext(ctx context.Context, cfg Config) (*Suite, error) {
 			campaign.WithBuildOptions(cfg.Build),
 			campaign.WithCache(cache),
 			campaign.WithJournal(cfg.Journal),
+			campaign.WithPrecision(cfg.Precision, 0),
 		}, extra...)
 		return campaign.New(app, tool, opts...)
 	}

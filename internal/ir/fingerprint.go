@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Per-function canonical fingerprints: the identity layer of the
+// compositional campaign cache (internal/campaign's section entries).
+// FuncFingerprint hashes one function's *canonical* text — values and
+// blocks densely renumbered in print order — so the fingerprint depends
+// only on the function's own structure, never on ID allocation history or
+// on edits elsewhere in the module. Editing one function therefore changes
+// exactly that function's fingerprint (plus the whole-module hash), which
+// is what lets the campaign layer re-inject only the edited section.
+
+// FuncFingerprint returns the SHA-256 of the function's canonical textual
+// form. It is a pure function of the function's structure; callers that
+// fingerprint repeatedly memoize at their own layer (campaign.Cache keys
+// one computation per application build).
+func FuncFingerprint(f *Func) string {
+	sum := sha256.Sum256([]byte(canonFunc(f)))
+	return hex.EncodeToString(sum[:])
+}
+
+// ModuleFingerprints returns every function's canonical fingerprint, keyed
+// by function name. Function names are unique within a verified module, so
+// the map is a complete section → identity index.
+func ModuleFingerprints(m *Module) map[string]string {
+	out := make(map[string]string, len(m.Funcs))
+	for _, f := range m.Funcs {
+		out[f.Name] = FuncFingerprint(f)
+	}
+	return out
+}
+
+// canonNamer assigns dense, print-order value and block numbers, so the
+// canonical text is invariant under ID-allocation gaps (removed values,
+// insertion order) that leave the printed structure unchanged.
+type canonNamer struct {
+	vals   map[*Value]int
+	blocks map[*Block]int
+}
+
+func (n *canonNamer) value(v *Value) string {
+	i, ok := n.vals[v]
+	if !ok {
+		i = len(n.vals)
+		n.vals[v] = i
+	}
+	return fmt.Sprintf("%%%d", i)
+}
+
+func (n *canonNamer) block(b *Block) string {
+	if i, ok := n.blocks[b]; ok {
+		return fmt.Sprintf("b%d", i)
+	}
+	return "b?"
+}
+
+// canonFunc renders the function with canonical names, mirroring
+// Func.String's shape (define line, blocks with preds, one instruction per
+// line) so the two stay recognizable side by side in diagnostics.
+func canonFunc(f *Func) string {
+	n := &canonNamer{vals: make(map[*Value]int), blocks: make(map[*Block]int)}
+	// Pre-number in definition order — params first, then block values in
+	// block order — so references (including phi back-edges to later
+	// definitions) resolve to the same number regardless of where they are
+	// first printed.
+	for _, p := range f.Params {
+		n.value(p)
+	}
+	for i, blk := range f.Blocks {
+		n.blocks[blk] = i
+		for _, v := range blk.Values {
+			n.value(v)
+		}
+	}
+
+	var b strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %s", p.Type, n.value(p))
+	}
+	fmt.Fprintf(&b, "define %s @%s(%s) {\n", f.RetType, f.Name, strings.Join(params, ", "))
+	for _, blk := range f.Blocks {
+		preds := make([]string, len(blk.Preds))
+		for i, p := range blk.Preds {
+			preds[i] = n.block(p)
+		}
+		fmt.Fprintf(&b, "%s:", n.block(blk))
+		if len(preds) > 0 {
+			fmt.Fprintf(&b, "\t\t; preds: %s", strings.Join(preds, ", "))
+		}
+		b.WriteByte('\n')
+		for _, v := range blk.Values {
+			b.WriteByte('\t')
+			canonValue(&b, n, v)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// canonValue renders one instruction with canonical names (the canonical
+// counterpart of Value.LongString).
+func canonValue(b *strings.Builder, n *canonNamer, v *Value) {
+	if v.Op.HasResult(v.Type) {
+		fmt.Fprintf(b, "%s = ", n.value(v))
+	}
+	switch v.Op {
+	case OpConstI:
+		fmt.Fprintf(b, "const %s %d", v.Type, v.AuxInt)
+	case OpConstF:
+		fmt.Fprintf(b, "const f64 %g", v.AuxF)
+	case OpParam:
+		fmt.Fprintf(b, "param %d", v.AuxInt)
+	case OpGlobal:
+		fmt.Fprintf(b, "global @%s", v.Aux)
+	case OpICmp, OpFCmp:
+		fmt.Fprintf(b, "%s %s %s, %s", v.Op, v.Pred, n.value(v.Args[0]), n.value(v.Args[1]))
+	case OpAlloca:
+		fmt.Fprintf(b, "alloca %d", v.AuxInt)
+	case OpGEP:
+		fmt.Fprintf(b, "gep %s, %s*%d%+d", n.value(v.Args[0]), n.value(v.Args[1]), v.Scale, v.Off)
+	case OpCall:
+		args := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = n.value(a)
+		}
+		fmt.Fprintf(b, "call %s @%s(%s)", v.Type, v.Aux, strings.Join(args, ", "))
+	case OpBr:
+		fmt.Fprintf(b, "br %s", n.block(v.Block.Succs[0]))
+	case OpCondBr:
+		fmt.Fprintf(b, "condbr %s, %s, %s", n.value(v.Args[0]), n.block(v.Block.Succs[0]), n.block(v.Block.Succs[1]))
+	case OpRet:
+		if len(v.Args) > 0 {
+			fmt.Fprintf(b, "ret %s", n.value(v.Args[0]))
+		} else {
+			b.WriteString("ret void")
+		}
+	case OpPhi:
+		parts := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			pred := "?"
+			if i < len(v.Block.Preds) {
+				pred = n.block(v.Block.Preds[i])
+			}
+			parts[i] = fmt.Sprintf("[%s, %s]", n.value(a), pred)
+		}
+		fmt.Fprintf(b, "phi %s %s", v.Type, strings.Join(parts, ", "))
+	default:
+		names := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			names[i] = n.value(a)
+		}
+		fmt.Fprintf(b, "%s %s", v.Op, strings.Join(names, ", "))
+	}
+}

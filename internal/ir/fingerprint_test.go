@@ -1,0 +1,79 @@
+package ir
+
+import "testing"
+
+// twoFuncs builds a module with two small functions; mutate, when true,
+// inserts an extra (dead) constant into g's entry block — a single-function
+// source edit.
+func twoFuncs(mutate bool) *Module {
+	m := NewModule("fp")
+	b := NewBuilder(m)
+
+	b.NewFunc("f", I64, I64)
+	b.Ret(b.Add(b.Param(0), b.ConstI(7)))
+
+	g := b.NewFunc("g", I64, I64)
+	if mutate {
+		v := g.NewValueAt(g.Entry(), 0, OpConstI, I64)
+		v.AuxInt = 0x5EC710
+	}
+	b.Ret(b.Mul(b.Param(0), b.ConstI(3)))
+
+	return m
+}
+
+func TestFuncFingerprintStable(t *testing.T) {
+	a, b := twoFuncs(false), twoFuncs(false)
+	for i := range a.Funcs {
+		fa, fb := FuncFingerprint(a.Funcs[i]), FuncFingerprint(b.Funcs[i])
+		if fa != fb {
+			t.Errorf("%s: fingerprint not reproducible across identical builds:\n%s\n%s",
+				a.Funcs[i].Name, fa, fb)
+		}
+		if len(fa) != 64 {
+			t.Errorf("%s: fingerprint %q is not a sha256 hex digest", a.Funcs[i].Name, fa)
+		}
+	}
+}
+
+func TestFuncFingerprintLocalizesEdits(t *testing.T) {
+	base := ModuleFingerprints(twoFuncs(false))
+	edit := ModuleFingerprints(twoFuncs(true))
+	if base["f"] != edit["f"] {
+		t.Errorf("editing g changed f's fingerprint: %s -> %s", base["f"], edit["f"])
+	}
+	if base["g"] == edit["g"] {
+		t.Errorf("editing g did not change g's fingerprint (%s)", base["g"])
+	}
+}
+
+func TestFuncFingerprintOrderStable(t *testing.T) {
+	// Dense canonical renumbering: a function whose value IDs have gaps
+	// (insert then remove) must fingerprint identically to the gap-free
+	// build — the printed structure is the identity, not ID history.
+	gapped := twoFuncs(false)
+	g := gapped.Funcs[1]
+	v := g.NewValueAt(g.Entry(), 0, OpConstI, I64)
+	v.AuxInt = 99
+	g.Entry().RemoveValue(v)
+
+	clean := twoFuncs(false)
+	fg, fc := FuncFingerprint(gapped.Funcs[1]), FuncFingerprint(clean.Funcs[1])
+	if fg != fc {
+		t.Errorf("ID gaps changed the fingerprint:\ngapped %s\nclean  %s\ncanonical:\n%s",
+			fg, fc, canonFunc(gapped.Funcs[1]))
+	}
+}
+
+func TestModuleFingerprintsComplete(t *testing.T) {
+	m := twoFuncs(false)
+	fps := ModuleFingerprints(m)
+	if len(fps) != len(m.Funcs) {
+		t.Fatalf("got %d fingerprints for %d functions", len(fps), len(m.Funcs))
+	}
+	for _, f := range m.Funcs {
+		if fps[f.Name] == "" {
+			t.Errorf("missing fingerprint for %s", f.Name)
+		}
+	}
+}

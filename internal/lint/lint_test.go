@@ -28,6 +28,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}{
 		{MapOrder, "maporderbad"},
 		{MapOrder, "maporderok"},
+		{MapOrder, "sectionorderbad"},
+		{MapOrder, "sectionorderok"},
 		{WallClock, "wallclockbad"},
 		{WallClock, "wallclockok"},
 		{GlobalRand, "globalrandbad"},

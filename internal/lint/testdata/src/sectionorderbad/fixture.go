@@ -1,0 +1,47 @@
+// Package sectionorderbad is a fi-lint fixture for the section-map
+// iteration rule: the compositional cache keys sections (function name →
+// fingerprint, section → entry) in maps, and walking them in map order
+// leaks randomization into content-addressed store order, counters, or the
+// composed result. Every `// want` line must be flagged by the maporder
+// analyzer.
+package sectionorderbad
+
+import "fmt"
+
+type sectionEntry struct {
+	Idx []int32
+}
+
+// StoreAll persists entries in map order: the store sequence (and any
+// counter or log interleaving observed by chaos tests) becomes randomized.
+func StoreAll(groups map[string]*sectionEntry, store func(string, *sectionEntry)) {
+	for sec, g := range groups { // want
+		store(sec, g)
+	}
+}
+
+// FirstMiss picks a "first" missed section out of map order.
+func FirstMiss(missed map[string]bool) string {
+	for sec := range missed { // want
+		return sec
+	}
+	return ""
+}
+
+// Report prints per-section trial counts in map order.
+func Report(groups map[string]*sectionEntry) {
+	for sec, g := range groups { // want
+		fmt.Println(sec, len(g.Idx))
+	}
+}
+
+// MergeConditional writes only missing keys: the guard makes the write
+// conditional on another map's state, so this is not the allowlisted plain
+// map-to-map copy — restructure as collect-then-sort.
+func MergeConditional(dst, src map[int]int) {
+	for i, v := range src { // want
+		if _, ok := dst[i]; !ok {
+			dst[i] = v
+		}
+	}
+}

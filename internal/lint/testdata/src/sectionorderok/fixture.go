@@ -1,0 +1,62 @@
+// Package sectionorderok is a fi-lint fixture for the section-map
+// iteration rule's passing idioms: the shapes internal/campaign's
+// compositional cache actually uses. None of these lines may be flagged.
+package sectionorderok
+
+import "sort"
+
+type sectionEntry struct {
+	Idx []int32
+}
+
+// StoreInOrder is the storeSections idiom: walk a precomputed deterministic
+// order slice and look sections up, never ranging the map for effects.
+func StoreInOrder(order []string, groups map[string]*sectionEntry, store func(string, *sectionEntry)) {
+	for _, sec := range order {
+		if g, ok := groups[sec]; ok {
+			store(sec, g)
+		}
+	}
+}
+
+// SortedNames is the fingerprint-order idiom: collect keys, sort, then use.
+func SortedNames(funcs map[string]string) []string {
+	names := make([]string, 0, len(funcs))
+	for name := range funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MergeSorted is the composeLoad idiom: a conditional cross-map merge runs
+// over sorted keys instead of map order.
+func MergeSorted(dst, src map[int]int) {
+	idx := make([]int, 0, len(src))
+	for i := range src {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		if _, ok := dst[i]; !ok {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// CopyAll is the allowlisted plain map-to-map copy: unconditional writes
+// keyed by the iteration variable are order-insensitive.
+func CopyAll(dst, src map[int]int) {
+	for i, v := range src {
+		dst[i] = v
+	}
+}
+
+// CountTrials accumulates commutatively: integer addition is order-free.
+func CountTrials(groups map[string]*sectionEntry) int {
+	n := 0
+	for _, g := range groups {
+		n += len(g.Idx)
+	}
+	return n
+}

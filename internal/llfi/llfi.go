@@ -222,6 +222,11 @@ func (l *InjectLib) Bind(m *vm.Machine) {
 			mask, bit := l.mask(bits)
 			l.Rec = fault.Record{
 				DynIdx: l.count,
+				// The VM syncs mm.PC past the call before host dispatch, so
+				// the injecting instruction is the previous one. Recording it
+				// gives every tool a PC, which the campaign cache uses to
+				// attribute each trial to its target function (section).
+				PC:     mm.PC - 1,
 				SiteID: int32(int64(mm.Regs[vx.R1])),
 				Bit:    bit,
 				Op:     "ir-value",

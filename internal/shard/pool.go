@@ -690,6 +690,20 @@ func (p *Pool) dispatch(w *proc, f *frame) {
 		p.mu.Unlock()
 		if run != nil && run.cid == f.CID {
 			run.merger.Add(f.Index, f.TR)
+			if run.merger.Stopped() {
+				// Sequential precision stop (campaign.WithPrecision): drop
+				// the unassigned ranges and let claimed ones drain — the
+				// merger's collector discards frames past the stop index, so
+				// draining only costs wall-clock, never determinism. Not a
+				// cancellation: Finish returns the truncated result cleanly.
+				p.mu.Lock()
+				if p.run == run && !run.settled && !run.cancelled && run.err == nil {
+					run.cancelled = true
+					run.pending = nil
+					p.settleLocked()
+				}
+				p.mu.Unlock()
+			}
 		}
 	case frameProfile:
 		p.mu.Lock()

@@ -190,6 +190,62 @@ func upperCF(a, x float64) float64 {
 	return math.Exp(-x+a*math.Log(x)-lg) * h
 }
 
+// DefaultBatch is the sequential-stopping evaluation stride: precision is
+// re-evaluated only when the delivered in-order trial count crosses a
+// multiple of this, so the stop index is a pure function of the delivered
+// prefix — identical across serial, scheduled, sharded, cached and resumed
+// executions.
+const DefaultBatch = 64
+
+// Sequential is a sequential Wilson-CI stopping rule: a campaign may stop
+// once every outcome class's Wilson score interval has half-width ≤ Margin
+// at z-score Z. Decisions are only taken at fixed batch boundaries
+// (Boundary) so the stopping index is deterministic regardless of trial
+// execution order.
+type Sequential struct {
+	// Margin is the target CI half-width (e.g. 0.03 for ±3%).
+	Margin float64
+	// Z is the confidence z-score; 0 means Z95.
+	Z float64
+	// Batch is the evaluation stride; 0 means DefaultBatch.
+	Batch int
+}
+
+// Boundary reports whether n delivered trials is a decision point.
+func (s Sequential) Boundary(n int) bool {
+	b := s.Batch
+	if b <= 0 {
+		b = DefaultBatch
+	}
+	return n > 0 && n%b == 0
+}
+
+// Satisfied reports whether every outcome class's Wilson interval over n
+// trials has half-width at most Margin. counts holds one class's trial
+// count per element; they need not sum to n (classes may be a subset).
+func (s Sequential) Satisfied(n int, counts []int) bool {
+	if n <= 0 {
+		return false
+	}
+	z := s.Z
+	if z == 0 {
+		z = Z95
+	}
+	for _, k := range counts {
+		lo, hi := WilsonCI(k, n, z)
+		if (hi-lo)/2 > s.Margin {
+			return false
+		}
+	}
+	return true
+}
+
+// Stop reports whether a campaign may stop after n in-order delivered
+// trials: n is a batch boundary and every class meets the target precision.
+func (s Sequential) Stop(n int, counts []int) bool {
+	return s.Boundary(n) && s.Satisfied(n, counts)
+}
+
 // TestResult is the outcome of one Table 5 cell.
 type TestResult struct {
 	App      string
@@ -207,7 +263,10 @@ type TestResult struct {
 const Alpha = 0.05
 
 // CompareCounts runs the chi-squared test on a 2×3 contingency table of
-// outcome counts (crash / SOC / benign), as in Table 4.
+// outcome counts (crash / SOC / benign), producing one Table 5 cell (the
+// per-app verdict of cmpTool vs baseTool). The paper's Table 4 shows one
+// such contingency table as a worked example; the test itself fills
+// Table 5.
 func CompareCounts(app, baseTool, cmpTool string, base, cmp [3]int64) (TestResult, error) {
 	stat, df, p, err := ChiSquared([][]int64{cmp[:], base[:]})
 	if err != nil {

@@ -1,0 +1,46 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/ir"
+)
+
+// MutateFunc returns a copy of app whose builder applies the smallest
+// possible single-function source edit to function fn: a dead constant
+// inserted at the function's entry. The edit changes fn's frontend IR —
+// and therefore its canonical fingerprint and the whole-program hash — but
+// O2 dead-code elimination erases it before codegen, so the emitted binary
+// (and every trial outcome) is bit-identical to the unmutated app.
+//
+// This is the compose-smoke scenario: a warm compositional cache run over
+// the mutated app must re-inject exactly fn's section (plus the
+// program-level section, whose key is the whole-program hash) and produce
+// tables diff-identical to a cold monolithic run. The drivers expose it as
+// -mutate app:func.
+func MutateFunc(app campaign.App, fn string) (campaign.App, error) {
+	base := app.Build
+	found := false
+	for _, f := range base().Funcs {
+		if f.Name == fn {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return campaign.App{}, fmt.Errorf("workloads: %s has no function %q", app.Name, fn)
+	}
+	out := app
+	out.Build = func() *ir.Module {
+		m := base()
+		for _, f := range m.Funcs {
+			if f.Name == fn {
+				v := f.NewValueAt(f.Entry(), 0, ir.OpConstI, ir.I64)
+				v.AuxInt = 0x5EC71014 // arbitrary marker; dead, DCE-erased at O2
+			}
+		}
+		return m
+	}
+	return out, nil
+}
