@@ -8,6 +8,7 @@
 package refine_test
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -37,8 +38,11 @@ func composeColdRun(tb testing.TB, dir string) time.Duration {
 		tb.Fatal(err)
 	}
 	start := time.Now()
-	if _, err := campaign.RunCached(cache, app, campaign.REFINE,
-		composeBenchTrials, 1, 0, campaign.DefaultBuildOptions()); err != nil {
+	if _, err := campaign.New(app, campaign.REFINE,
+		campaign.WithTrials(composeBenchTrials), campaign.WithSeed(1),
+		campaign.WithBuildOptions(campaign.DefaultBuildOptions()),
+		campaign.WithCache(cache), campaign.WithRecords(),
+	).Run(context.Background()); err != nil {
 		tb.Fatal(err)
 	}
 	return time.Since(start)
@@ -62,8 +66,11 @@ func composeWarmEdit(tb testing.TB, dir string) (time.Duration, campaign.Compose
 		tb.Fatal(err)
 	}
 	start := time.Now()
-	if _, err := campaign.RunCached(cache, mutated, campaign.REFINE,
-		composeBenchTrials, 1, 0, campaign.DefaultBuildOptions()); err != nil {
+	if _, err := campaign.New(mutated, campaign.REFINE,
+		campaign.WithTrials(composeBenchTrials), campaign.WithSeed(1),
+		campaign.WithBuildOptions(campaign.DefaultBuildOptions()),
+		campaign.WithCache(cache), campaign.WithRecords(),
+	).Run(context.Background()); err != nil {
 		tb.Fatal(err)
 	}
 	return time.Since(start), cache.Compose()

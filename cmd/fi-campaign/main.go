@@ -42,19 +42,33 @@
 // in-process run for any shard count; combine with -cache-dir so only the
 // first worker per app×tool builds and warm reruns build nothing (the
 // "# shard-cache:" line reports the cross-process totals).
+//
+// The same fan-out crosses machines: fi-campaign -shard-listen :7070 turns a
+// process into a long-lived worker node, and a coordinator run with
+// -shard-nodes host:port,... dials its workers there instead of re-execing
+// locally — same wire protocol, same bit-identical results, and the same
+// reassignment/retry machinery rides out dropped connections and dead nodes.
+//
+// -submit addr sends the whole suite to a running fi-serve daemon instead of
+// executing locally: trial streams arrive over HTTP as they land, identical
+// submissions dedup onto one execution server-side, and the client prints
+// the same tables a local run would.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/opt"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/workloads"
 
@@ -77,6 +91,9 @@ func main() {
 	chunk := flag.Int("chunk", 0, "trial indexes claimed per executor lock acquisition (0 = adaptive); results are identical across chunk sizes")
 	shards := flag.Int("shards", 0, "fan campaigns across N worker OS processes (this binary re-exec'd); results are bit-identical to in-process runs, and -cache-dir is shared so only the first worker per app x tool builds (0 = in-process)")
 	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker: gob job assignments on stdin, trial frames on stdout (what -shards re-execs; normally set via the environment)")
+	shardListen := flag.String("shard-listen", "", "run as a long-lived TCP worker node on this address (host:port; port 0 picks one) serving coordinator sessions until killed")
+	shardNodes := flag.String("shard-nodes", "", "comma-separated worker-node addresses (-shard-listen instances) to dial instead of re-execing local workers; -shards sizes the session count (0 = one per node)")
+	submit := flag.String("submit", "", "submit the suite to a running fi-serve daemon at this address (host:port) instead of executing locally; identical submissions dedup server-side")
 	cacheDir := flag.String("cache-dir", "", "persist built binaries + profiles under this directory (warm starts skip all builds)")
 	precision := flag.Float64("precision", 0, "adaptive trial allocation: stop each campaign once every outcome class's 95% Wilson-CI half-width is at or below this margin (0 = fixed -trials); the stop index is deterministic across execution modes")
 	mutate := flag.String("mutate", "", "app:func — apply a dead single-function IR edit (DCE-erased, binary-identical) before running; with a warm -cache-dir the compositional cache re-injects only that function's section")
@@ -85,6 +102,13 @@ func main() {
 	flag.Parse()
 	if *shardWorker {
 		if err := shard.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *shardListen != "" {
+		// Worker-node mode: serve coordinator sessions until killed.
+		if err := shard.ListenAndServe(*shardListen, nil); err != nil {
 			fatal(err)
 		}
 		return
@@ -99,8 +123,8 @@ func main() {
 		Precision: *precision,
 	}
 	schedSize := *schedWorkers
-	if *shards > 0 {
-		schedSize = -1 // trials run in the workers; no in-process executor
+	if *shards > 0 || *shardNodes != "" || *submit != "" {
+		schedSize = -1 // trials run in the workers (or the daemon); no in-process executor
 	}
 	ex, cache, err := experiments.ResolveExecution(schedSize, *workers, *cacheDir)
 	if err != nil {
@@ -116,10 +140,25 @@ func main() {
 		cfg.Journal = journal
 	}
 	var pool *shard.Pool
-	if *shards > 0 {
+	switch {
+	case *shardNodes != "":
+		// Remote worker nodes: -shards sizes the session count (0 = one per
+		// node); everything downstream is the ordinary pool machinery.
+		var nodes []string
+		for _, n := range strings.Split(*shardNodes, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+		if pool, err = shard.NewTCPPool(*shards, nodes); err != nil {
+			fatal(err)
+		}
+	case *shards > 0:
 		if pool, err = shard.NewPool(*shards); err != nil {
 			fatal(err)
 		}
+	}
+	if pool != nil {
 		defer pool.Close()
 		cfg.Pool = pool
 	}
@@ -150,10 +189,11 @@ func main() {
 		}
 	}
 	if *mutate != "" {
-		if *shards > 0 {
-			// Shard workers re-resolve apps through the registry by name, so
-			// a process-local mutated builder would silently not ship.
-			fatal(fmt.Errorf("-mutate is in-process only; drop -shards"))
+		if *shards > 0 || *shardNodes != "" || *submit != "" {
+			// Shard workers and the fi-serve daemon re-resolve apps through
+			// the registry by name, so a process-local mutated builder would
+			// silently not ship.
+			fatal(fmt.Errorf("-mutate is in-process only; drop -shards/-shard-nodes/-submit"))
 		}
 		name, fn, ok := strings.Cut(*mutate, ":")
 		if !ok {
@@ -182,6 +222,20 @@ func main() {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 
+	if *submit != "" {
+		start := time.Now()
+		suite, err := submitSuite(*submit, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# %d apps x %d tools x %d trials = %d experiments in %v (executed by fi-serve %s)\n",
+			len(suite.Order), len(suite.Tools), suite.Trials,
+			len(suite.Order)*len(suite.Tools)*suite.Trials, time.Since(start).Round(time.Millisecond), *submit)
+		fmt.Println()
+		printTables(suite)
+		return
+	}
+
 	start := time.Now()
 	suite, err := experiments.RunSuite(cfg)
 	if err != nil {
@@ -205,6 +259,13 @@ func main() {
 	}
 	fmt.Println()
 
+	printTables(suite)
+}
+
+// printTables renders the paper's outcome tables — shared by local execution
+// and the -submit client, which reconstructs the suite from fi-serve streams
+// (the tables read only Counts, Cycles and Trials, all of which travel).
+func printTables(suite *experiments.Suite) {
 	fmt.Println(suite.Table6())
 	fmt.Println(suite.Figure4())
 
@@ -252,6 +313,70 @@ func main() {
 		fmt.Printf(" %s %.1fx", t.Name(), suite.NormalizedTime(t))
 	}
 	fmt.Println(" (paper: LLFI 3.9x, REFINE 1.2x).")
+}
+
+// submitSuite ships every app×tool campaign of the configuration to a
+// running fi-serve daemon, concurrently — the daemon co-schedules them as
+// tenants of its worker pool and dedups identical submissions across
+// clients — and assembles the streamed summaries into the same Suite shape
+// a local run produces (the tables read only Counts, Cycles and Trials).
+func submitSuite(addr string, cfg experiments.Config) (*experiments.Suite, error) {
+	apps := cfg.Apps
+	if apps == nil {
+		apps = workloads.Registry()
+	}
+	tools := cfg.Tools
+	if tools == nil {
+		tools = campaign.Tools
+	}
+	suite := &experiments.Suite{
+		Trials:  cfg.Trials,
+		Results: map[string]map[string]*campaign.Result{},
+		Tools:   append([]campaign.Tool(nil), tools...),
+	}
+	for _, app := range apps {
+		suite.Order = append(suite.Order, app.Name)
+		suite.Results[app.Name] = map[string]*campaign.Result{}
+	}
+	client := &serve.Client{Addr: addr}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for _, app := range apps {
+		for _, tool := range tools {
+			wg.Add(1)
+			go func(app campaign.App, tool campaign.Tool) {
+				defer wg.Done()
+				// Derive the spec through campaign.New so defaulting (cost
+				// model, trial range) matches a local run bit for bit.
+				spec := campaign.New(app, tool,
+					campaign.WithTrials(cfg.Trials),
+					campaign.WithSeed(cfg.Seed),
+					campaign.WithBuildOptions(cfg.Build),
+				).Spec()
+				sum, err := client.Run(context.Background(), spec, nil)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("submit %s/%s: %w", app.Name, tool.Name(), err)
+					}
+					return
+				}
+				suite.Results[app.Name][tool.Name()] = &campaign.Result{
+					App: app.Name, Tool: tool,
+					Counts: sum.Counts, Cycles: sum.Cycles, Trials: sum.Trials,
+				}
+			}(app, tool)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return suite, nil
 }
 
 func fatal(err error) {

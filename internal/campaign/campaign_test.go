@@ -208,14 +208,8 @@ func TestOutcomeMixIsNonTrivial(t *testing.T) {
 }
 
 func TestParallelCampaignMatchesSerial(t *testing.T) {
-	serial, err := campaign.Run(testApp, campaign.REFINE, 120, 7, 1, campaign.DefaultBuildOptions())
-	if err != nil {
-		t.Fatalf("serial: %v", err)
-	}
-	parallel, err := campaign.Run(testApp, campaign.REFINE, 120, 7, 8, campaign.DefaultBuildOptions())
-	if err != nil {
-		t.Fatalf("parallel: %v", err)
-	}
+	serial := runMigrated(t, testApp, campaign.REFINE, 120, 7, 1, campaign.DefaultBuildOptions())
+	parallel := runMigrated(t, testApp, campaign.REFINE, 120, 7, 8, campaign.DefaultBuildOptions())
 	if serial.Counts != parallel.Counts {
 		t.Fatalf("parallel counts %+v != serial %+v", parallel.Counts, serial.Counts)
 	}

@@ -27,10 +27,8 @@ func diskRun(t *testing.T, dir string, app campaign.App, tool campaign.Tool) (*c
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := campaign.RunCached(cache, app, tool, composeTrials, composeSeed, 4, campaign.DefaultBuildOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runMigrated(t, app, tool, composeTrials, composeSeed, 4,
+		campaign.DefaultBuildOptions(), campaign.WithCache(cache))
 	return res, cache.Compose()
 }
 
@@ -46,10 +44,8 @@ func TestComposeDifferentialMatchesMonolithic(t *testing.T) {
 	for _, app := range apps {
 		for _, tool := range campaign.Tools {
 			dir := t.TempDir()
-			mono, err := campaign.RunCached(nil, app, tool, composeTrials, composeSeed, 4, campaign.DefaultBuildOptions())
-			if err != nil {
-				t.Fatal(err)
-			}
+			mono := runMigrated(t, app, tool, composeTrials, composeSeed, 4,
+				campaign.DefaultBuildOptions(), campaign.WithCache(nil))
 			cold, coldStats := diskRun(t, dir, app, tool)
 			warm, warmStats := diskRun(t, dir, app, tool)
 			label := app.Name + "×" + tool.Name()

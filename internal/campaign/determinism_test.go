@@ -56,14 +56,8 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	app := detApp(t)
 	o := campaign.DefaultBuildOptions()
 	for _, tool := range campaign.Tools {
-		w1, err := campaign.RunCached(nil, app, tool, detTrials, detSeed, 1, o)
-		if err != nil {
-			t.Fatal(err)
-		}
-		w8, err := campaign.RunCached(nil, app, tool, detTrials, detSeed, 8, o)
-		if err != nil {
-			t.Fatal(err)
-		}
+		w1 := runMigrated(t, app, tool, detTrials, detSeed, 1, o, campaign.WithCache(nil))
+		w8 := runMigrated(t, app, tool, detTrials, detSeed, 8, o, campaign.WithCache(nil))
 		sameResult(t, tool.String()+" workers=1 vs workers=8", w1, w8)
 	}
 }
@@ -76,18 +70,9 @@ func TestCampaignDeterministicAcrossCacheStates(t *testing.T) {
 	o := campaign.DefaultBuildOptions()
 	cache := campaign.NewCache()
 	for _, tool := range campaign.Tools {
-		fresh, err := campaign.RunCached(nil, app, tool, detTrials, detSeed, 4, o)
-		if err != nil {
-			t.Fatal(err)
-		}
-		cold, err := campaign.RunCached(cache, app, tool, detTrials, detSeed, 4, o)
-		if err != nil {
-			t.Fatal(err)
-		}
-		warm, err := campaign.RunCached(cache, app, tool, detTrials, detSeed, 4, o)
-		if err != nil {
-			t.Fatal(err)
-		}
+		fresh := runMigrated(t, app, tool, detTrials, detSeed, 4, o, campaign.WithCache(nil))
+		cold := runMigrated(t, app, tool, detTrials, detSeed, 4, o, campaign.WithCache(cache))
+		warm := runMigrated(t, app, tool, detTrials, detSeed, 4, o, campaign.WithCache(cache))
 		sameResult(t, tool.String()+" fresh vs cold cache", fresh, cold)
 		sameResult(t, tool.String()+" cold vs warm cache", cold, warm)
 	}

@@ -86,9 +86,8 @@ func TestPrecisionStopWithComposedCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := campaign.RunCached(cache, app, campaign.REFINE, precTrials, precSeed, 4, campaign.DefaultBuildOptions()); err != nil {
-		t.Fatal(err)
-	}
+	runMigrated(t, app, campaign.REFINE, precTrials, precSeed, 4,
+		campaign.DefaultBuildOptions(), campaign.WithCache(cache))
 
 	fresh := precisionRun(t, campaign.WithWorkers(4))
 	warmCache, err := campaign.NewDiskCache(dir)
@@ -110,10 +109,8 @@ func TestPrecisionStopWithComposedCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := campaign.RunCached(verify, app, campaign.REFINE, precTrials, precSeed, 4, campaign.DefaultBuildOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
+	full := runMigrated(t, app, campaign.REFINE, precTrials, precSeed, 4,
+		campaign.DefaultBuildOptions(), campaign.WithCache(verify))
 	if full.Trials != precTrials {
 		t.Fatalf("full composed run truncated: %d", full.Trials)
 	}

@@ -582,26 +582,9 @@ func (c *Campaign) finish(ctx context.Context, res *Result, col *collector) (*Re
 	return res, nil
 }
 
-// Run executes a full campaign with the positional pre-v2 signature: build,
-// profile, and n trials over workers goroutines (0 ⇒ GOMAXPROCS), buffering
-// all Records, using the process-wide build/profile cache.
-//
-// Deprecated: use New(app, tool, opts...).Run(ctx) — it adds context
-// cancellation, streaming observers and opt-out record buffering.
-func Run(app App, tool Tool, n int, baseSeed uint64, workers int, o BuildOptions) (*Result, error) {
-	return New(app, tool,
-		WithTrials(n), WithSeed(baseSeed), WithWorkers(workers),
-		WithBuildOptions(o), WithRecords(),
-	).Run(context.Background())
-}
-
-// RunCached is Run with an explicit build/profile cache; nil builds and
-// profiles from scratch.
-//
-// Deprecated: use New(app, tool, WithCache(c), opts...).Run(ctx).
-func RunCached(c *Cache, app App, tool Tool, n int, baseSeed uint64, workers int, o BuildOptions) (*Result, error) {
-	return New(app, tool,
-		WithTrials(n), WithSeed(baseSeed), WithWorkers(workers),
-		WithBuildOptions(o), WithCache(c), WithRecords(),
-	).Run(context.Background())
-}
+// The positional pre-v2 wrappers Run and RunCached are gone: construct with
+// New(app, tool, WithTrials(n), WithSeed(seed), WithWorkers(w),
+// WithBuildOptions(o), [WithCache(c),] WithRecords()) and call Run(ctx).
+// The option form adds context cancellation, streaming observers and
+// opt-out record buffering; WithRecords reproduces the wrappers' historical
+// always-buffer behavior.

@@ -60,7 +60,9 @@ func (c *Campaign) Spec() Spec {
 // worker resolves it through the workload registry, which campaign cannot
 // import); the tool resolves through the injector registry. The observer
 // receives absolute trial indexes — the frames the worker ships back.
-func NewFromSpec(s Spec, app App, lo, hi int, cache *Cache, obs func(int, TrialResult)) (*Campaign, error) {
+// Trailing options are applied after the spec-derived ones (the fi-serve
+// daemon attaches its journal and precision rule this way).
+func NewFromSpec(s Spec, app App, lo, hi int, cache *Cache, obs func(int, TrialResult), extra ...Option) (*Campaign, error) {
 	if app.Name != s.App {
 		return nil, fmt.Errorf("campaign: spec app %q resolved to %q", s.App, app.Name)
 	}
@@ -71,7 +73,7 @@ func NewFromSpec(s Spec, app App, lo, hi int, cache *Cache, obs func(int, TrialR
 	if lo < s.Lo || hi > s.Trials || lo > hi {
 		return nil, fmt.Errorf("campaign: spec range [%d, %d) outside campaign range [%d, %d)", lo, hi, s.Lo, s.Trials)
 	}
-	return New(app, tool,
+	opts := []Option{
 		WithTrialRange(lo, hi),
 		WithSeed(s.Seed),
 		WithBuildOptions(s.Build),
@@ -79,7 +81,8 @@ func NewFromSpec(s Spec, app App, lo, hi int, cache *Cache, obs func(int, TrialR
 		WithWorkers(s.Workers),
 		WithCache(cache),
 		WithObserver(obs),
-	), nil
+	}
+	return New(app, tool, append(opts, extra...)...), nil
 }
 
 // Merger reassembles a sharded campaign's result from worker (index,

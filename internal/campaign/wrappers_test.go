@@ -1,11 +1,19 @@
 package campaign_test
 
-// Equivalence coverage for the deprecated positional entry points: Run and
-// RunCached are documented as thin wrappers over the v2 runner, and their
-// results must be bit-identical to the spelled-out campaign.New(...).Run(ctx)
-// call — and to the same campaign executed on the shared process-wide
-// executor. Any drift here would silently fork the experimental record
-// between old and new call sites.
+// Migration record for the removed positional entry points. campaign.Run and
+// campaign.RunCached expanded, by documentation and by their former
+// equivalence tests, to exactly the option-form calls below:
+//
+//	campaign.Run(app, tool, n, seed, w, o)
+//	  ⇒ New(app, tool, WithTrials(n), WithSeed(seed), WithWorkers(w),
+//	        WithBuildOptions(o), WithRecords()).Run(ctx)
+//	campaign.RunCached(c, app, tool, n, seed, w, o)
+//	  ⇒ same, plus WithCache(c)   (WithCache(nil) = build fresh)
+//
+// These tests keep the coverage the wrapper-equivalence tests provided: the
+// expansions above must stay bit-identical across worker counts, the shared
+// default executor, and every cache state — the determinism contract old
+// call sites relied on when they migrated.
 
 import (
 	"context"
@@ -15,24 +23,29 @@ import (
 	"repro/internal/sched"
 )
 
-// TestDeprecatedRunMatchesV2 pins campaign.Run to its documented expansion
-// and to the shared-default-executor path.
-func TestDeprecatedRunMatchesV2(t *testing.T) {
+// runMigrated is the documented expansion of the removed campaign.Run.
+func runMigrated(t *testing.T, app campaign.App, tool campaign.Tool, n int, seed uint64, workers int, o campaign.BuildOptions, extra ...campaign.Option) *campaign.Result {
+	t.Helper()
+	opts := append([]campaign.Option{
+		campaign.WithTrials(n), campaign.WithSeed(seed), campaign.WithWorkers(workers),
+		campaign.WithBuildOptions(o), campaign.WithRecords(),
+	}, extra...)
+	res, err := campaign.New(app, tool, opts...).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMigratedRunEquivalence pins the expansion across worker counts and the
+// shared-default-executor path — what TestDeprecatedRunMatchesV2 asserted of
+// the wrapper.
+func TestMigratedRunEquivalence(t *testing.T) {
 	opts := campaign.DefaultBuildOptions()
 
-	wrapped, err := campaign.Run(testApp, campaign.REFINE, 120, 7, 2, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	v2, err := campaign.New(testApp, campaign.REFINE,
-		campaign.WithTrials(120), campaign.WithSeed(7), campaign.WithWorkers(2),
-		campaign.WithBuildOptions(opts), campaign.WithRecords(),
-	).Run(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	equalResults(t, "deprecated Run vs New().Run", wrapped, v2)
+	two := runMigrated(t, testApp, campaign.REFINE, 120, 7, 2, opts)
+	eight := runMigrated(t, testApp, campaign.REFINE, 120, 7, 8, opts)
+	equalResults(t, "2 workers vs 8 workers", two, eight)
 
 	scheduled, err := campaign.New(testApp, campaign.REFINE,
 		campaign.WithTrials(120), campaign.WithSeed(7),
@@ -42,41 +55,22 @@ func TestDeprecatedRunMatchesV2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	equalResults(t, "deprecated Run vs shared default executor", wrapped, scheduled)
+	equalResults(t, "private pool vs shared default executor", two, scheduled)
 }
 
-// TestDeprecatedRunCachedMatchesV2 pins RunCached — both with an explicit
-// cache and with nil (fresh build) — to the v2 WithCache expansion.
-func TestDeprecatedRunCachedMatchesV2(t *testing.T) {
+// TestMigratedRunCachedEquivalence pins the WithCache expansion — explicit
+// cache, and nil (fresh build) — to the same results, as
+// TestDeprecatedRunCachedMatchesV2 did for RunCached.
+func TestMigratedRunCachedEquivalence(t *testing.T) {
+	o := campaign.DefaultBuildOptions()
 	cache := campaign.NewCache()
 
-	wrapped, err := campaign.RunCached(cache, testApp, campaign.PINFI, 100, 11, 2, campaign.DefaultBuildOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	v2, err := campaign.New(testApp, campaign.PINFI,
-		campaign.WithTrials(100), campaign.WithSeed(11), campaign.WithWorkers(2),
-		campaign.WithCache(cache), campaign.WithRecords(),
-	).Run(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	equalResults(t, "deprecated RunCached vs New().Run", wrapped, v2)
+	cached := runMigrated(t, testApp, campaign.PINFI, 100, 11, 2, o, campaign.WithCache(cache))
+	warm := runMigrated(t, testApp, campaign.PINFI, 100, 11, 2, o, campaign.WithCache(cache))
+	equalResults(t, "cold cache vs warm cache", cached, warm)
 
-	// nil cache forces a fresh build+profile on both paths; results must
-	// still agree with the cached ones (the determinism contract).
-	fresh, err := campaign.RunCached(nil, testApp, campaign.PINFI, 100, 11, 2, campaign.DefaultBuildOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	equalResults(t, "RunCached(nil) vs RunCached(cache)", wrapped, fresh)
-
-	v2fresh, err := campaign.New(testApp, campaign.PINFI,
-		campaign.WithTrials(100), campaign.WithSeed(11), campaign.WithWorkers(2),
-		campaign.WithCache(nil), campaign.WithRecords(),
-	).Run(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	equalResults(t, "RunCached(nil) vs WithCache(nil)", fresh, v2fresh)
+	// WithCache(nil) forces a fresh build+profile; results must still agree
+	// with the cached ones (the determinism contract).
+	fresh := runMigrated(t, testApp, campaign.PINFI, 100, 11, 2, o, campaign.WithCache(nil))
+	equalResults(t, "WithCache(cache) vs WithCache(nil)", cached, fresh)
 }

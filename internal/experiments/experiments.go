@@ -157,10 +157,13 @@ func RunSuiteContext(ctx context.Context, cfg Config) (*Suite, error) {
 	}
 
 	if cfg.Shards > 0 || cfg.Pool != nil {
-		// Sharded path: one campaign at a time, each fanned out over the
-		// worker processes (all workers cooperate on every campaign, so the
-		// pool stays saturated; workers keep their in-memory caches across
-		// campaigns, and a disk-backed suite cache is shared by directory).
+		// Sharded path: every campaign is admitted to the pool up front and
+		// co-scheduled as a tenant of its round-robin fair sharing (see
+		// internal/shard) — one campaign's build tail no longer leaves
+		// workers idle while another has runnable ranges, workers keep their
+		// in-memory caches across campaigns, and a disk-backed suite cache is
+		// shared by directory. Results stay bit-identical to a sequential
+		// fan-out: each tenant's merger only ever sees its own frames.
 		pool := cfg.Pool
 		if pool == nil {
 			var err error
@@ -169,15 +172,36 @@ func RunSuiteContext(ctx context.Context, cfg Config) (*Suite, error) {
 			}
 			defer pool.Close()
 		}
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		var (
+			mu       sync.Mutex
+			firstErr error
+			wg       sync.WaitGroup
+		)
 		for _, app := range apps {
 			for _, tool := range tools {
-				res, err := pool.Run(ctx, spec(app, tool))
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s/%s: %w", app.Name, tool.Name(), err)
-				}
-				s.Results[app.Name][tool.Name()] = res
-				progress(app, tool, res)
+				wg.Add(1)
+				go func(app campaign.App, tool campaign.Tool) {
+					defer wg.Done()
+					res, err := pool.Run(runCtx, spec(app, tool))
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("experiments: %s/%s: %w", app.Name, tool.Name(), err)
+							cancel() // abandon the rest of the suite
+						}
+						return
+					}
+					s.Results[app.Name][tool.Name()] = res
+					progress(app, tool, res)
+				}(app, tool)
 			}
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
 		}
 		return s, nil
 	}

@@ -38,6 +38,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{LockCallback, "lockcallbackok"},
 		{GobWire, "gobwirebad"},
 		{GobWire, "gobwireok"},
+		{GobWire, "gobwireservebad"},
+		{GobWire, "gobwireserveok"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

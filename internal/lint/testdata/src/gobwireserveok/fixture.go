@@ -1,0 +1,62 @@
+// Package gobwireserveok is a fi-lint fixture: the service-layer wire shapes
+// done right — the gobwire analyzer must report nothing. The req union holds
+// only exported pointer variants, the streamed event's interface field has a
+// registered concrete type, and the one unexported field is annotated derived
+// state the receiving side rebuilds.
+package gobwireserveok
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Outcome travels as an interface; Crash is registered in init.
+type Outcome interface {
+	Kind() string
+}
+
+// Crash is a concrete Outcome.
+type Crash struct{ Code int }
+
+// Kind implements Outcome.
+func (Crash) Kind() string { return "crash" }
+
+func init() {
+	gob.Register(Crash{})
+}
+
+// Req is the submission union — exactly one variant set per message.
+type Req struct {
+	Hello *Hello
+	Range *RangeReq
+}
+
+// Hello introduces a worker session by index; the resolved address is
+// connection state the receiving side already knows.
+type Hello struct {
+	Index int
+	addr  string //fi:nowire — fixture: derived from the accepted conn
+}
+
+// RangeReq claims one trial range.
+type RangeReq struct {
+	Lo, Hi  int
+	Retries int
+}
+
+// Event is one streamed trial frame.
+type Event struct {
+	Kind  string
+	Index int
+	Res   Outcome
+}
+
+// Submit is the Encode root the analyzer discovers for Req.
+func Submit(w *bytes.Buffer, r *Req) error {
+	return gob.NewEncoder(w).Encode(r)
+}
+
+// Stream is the Encode root the analyzer discovers for Event.
+func Stream(w *bytes.Buffer, e *Event) error {
+	return gob.NewEncoder(w).Encode(e)
+}

@@ -28,7 +28,8 @@ import (
 type Executor struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []*job // jobs with unclaimed iterations, submission (FIFO) order
+	queue   []*job // jobs with unclaimed iterations, submission order
+	rr      int    // round-robin steal cursor into queue (fair sharing)
 	closed  bool
 	wg      sync.WaitGroup
 	workers int
@@ -233,10 +234,14 @@ func (e *Executor) finishIters(j *job, cnt int) {
 
 // worker is the steal loop: drain the current job while it has unclaimed
 // iterations (locality — a campaign worker keeps its pooled machine warm),
-// otherwise steal from the oldest queued job, compacting exhausted jobs out
-// of the queue in passing; sleep only when no job anywhere has work. Each
-// claim hands the worker a chunk of consecutive indexes, run back to back
-// under one lock round-trip.
+// otherwise steal round-robin across the queued jobs — the per-tenant fair
+// share: each freed worker goes to the next job with unclaimed work, so
+// concurrent campaigns progress proportionally instead of oldest-first —
+// compacting exhausted jobs out of the queue in passing; sleep only when no
+// job anywhere has work. Each claim hands the worker a chunk of consecutive
+// indexes, run back to back under one lock round-trip. Fairness never moves
+// an iteration between jobs, so results stay bit-identical to FIFO stealing
+// — only the interleaving of (independent, seed-pure) trials changes.
 func (e *Executor) worker() {
 	defer e.wg.Done()
 	var cur *job
@@ -253,10 +258,14 @@ func (e *Executor) worker() {
 				cur = nil
 			}
 			for j == nil && len(e.queue) > 0 {
-				if s, c, ok := e.queue[0].claim(); ok {
-					j, start, cnt = e.queue[0], s, c
+				if e.rr >= len(e.queue) {
+					e.rr = 0
+				}
+				if s, c, ok := e.queue[e.rr].claim(); ok {
+					j, start, cnt = e.queue[e.rr], s, c
+					e.rr++
 				} else {
-					e.queue = e.queue[1:]
+					e.queue = append(e.queue[:e.rr], e.queue[e.rr+1:]...)
 				}
 			}
 			if j != nil {

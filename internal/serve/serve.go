@@ -1,0 +1,353 @@
+// Package serve is the campaigns-as-a-service layer: a long-lived daemon
+// (cmd/fi-serve) that accepts campaign.Spec-shaped submissions over
+// HTTP/JSON, executes each exactly once on a shared multi-tenant worker
+// pool, and streams (index, TrialResult) events to any number of clients as
+// trials land.
+//
+// Contracts, in the same language as internal/shard:
+//
+//   - Dedup: submissions are identified by Spec.Key() — the same sha256
+//     identity the disk cache and crash-safe journal use, which excludes
+//     deployment detail (CacheDir, Workers). Two clients submitting the
+//     same campaign get two streams off one execution; a resubmission after
+//     the run finished streams the whole recorded prefix and the summary
+//     without re-executing anything.
+//
+//   - Replay: every delivered (index, TrialResult) event is appended to the
+//     run's ordered event log. A client that connects — or reconnects after
+//     a dropped stream — with From=n receives events[n:] and then the live
+//     tail, so a reconnecting client's total stream is byte-for-byte the
+//     stream an uninterrupted client saw. With a journal configured the log
+//     survives daemon restarts too: journal replay flows through the
+//     campaign collector and observer, rebuilding the event log before any
+//     new trial runs.
+//
+//   - Concurrency: distinct submissions execute concurrently. On a shard
+//     pool they co-schedule as tenants of the pool's round-robin fair
+//     sharing (see internal/shard); in-process they share the server's
+//     build/profile cache. Either way each campaign's event stream is
+//     bit-identical to running it alone — trial i is a pure function of
+//     TrialSeed(Seed, tool, i), and ordering is the collector's job.
+//
+// Wire format (HTTP, all JSON): POST /v1/run with a Request body; the
+// response is an application/x-ndjson stream of Event lines — zero or more
+// {"Kind":"trial"} events in trial order, then exactly one terminal
+// {"Kind":"summary"} or {"Kind":"error"}. GET /v1/runs lists the active and
+// finished run keys. The structs are also kept gob-wire-clean (exported
+// fields only — see the fi-lint gobwire analyzer) so a future gob transport
+// can carry them unchanged.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/shard"
+	"repro/internal/workloads"
+)
+
+// Request is one campaign submission. From is the replay offset: the server
+// streams the run's events starting at index From (0 = the whole stream) —
+// a reconnecting client passes the count of events it already consumed.
+type Request struct {
+	Spec campaign.Spec
+	From int
+}
+
+// Event is one line of the response stream.
+type Event struct {
+	Kind  string // "trial", "summary" or "error"
+	Index int    // trial: absolute trial index
+	TR    campaign.TrialResult
+	// Terminal summary fields.
+	Key    string // the run's Spec.Key() identity
+	Counts fault.Counts
+	Cycles int64
+	Trials int
+	Err    string // error: what failed
+}
+
+const (
+	kindTrial   = "trial"
+	kindSummary = "summary"
+	kindError   = "error"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Pool, when set, executes submissions as tenants of one shared shard
+	// worker pool (local re-exec'd workers or remote TCP nodes alike). Nil
+	// runs campaigns in-process on this process's cores.
+	Pool *shard.Pool
+	// CacheDir, when set, overrides every submission's Spec.CacheDir: the
+	// server's disk cache is the one that matters, not the client's local
+	// path. Empty leaves specs untouched.
+	CacheDir string
+	// Journal, when set, records every completed trial crash-safely; a
+	// resubmitted campaign after a daemon restart replays it instead of
+	// re-executing.
+	Journal *campaign.Journal
+	// Logf receives one line per run lifecycle edge (nil ⇒ stderr).
+	Logf func(format string, args ...any)
+}
+
+// Server owns the run registry. Create with NewServer, expose via Handler.
+type Server struct {
+	cfg   Config
+	cache *campaign.Cache // in-process execution: shared across tenants
+
+	mu   sync.Mutex
+	runs map[string]*run
+}
+
+// run is one deduped campaign execution and its ordered event log.
+type run struct {
+	key  string
+	cond *sync.Cond
+
+	mu     sync.Mutex
+	events []Event // trial events in delivery order
+	done   bool
+	errMsg string
+	counts fault.Counts
+	cycles int64
+	trials int
+}
+
+// NewServer builds a Server over the config. With a nil Pool and empty
+// CacheDir, concurrent submissions still share one in-memory build cache.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Logf == nil {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "fi-serve: "+format+"\n", args...)
+		}
+	}
+	cache := campaign.NewCache()
+	if cfg.CacheDir != "" {
+		var err error
+		if cache, err = campaign.NewDiskCache(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	return &Server{cfg: cfg, cache: cache, runs: map[string]*run{}}, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/runs", s.handleRuns)
+	return mux
+}
+
+// handleRuns lists run keys with their state — liveness checks and the CI
+// smoke test's dedup assertion (two submissions, one key).
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	type entry struct {
+		Key  string
+		Done bool
+		Err  string
+	}
+	out := make([]entry, 0, len(s.runs))
+	for _, run := range s.runs { //fi:ordered — sorted by key below
+		run.mu.Lock()
+		out = append(out, entry{Key: run.key, Done: run.done, Err: run.errMsg})
+		run.mu.Unlock()
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleRun admits one submission — validating it, deduping it onto an
+// existing run when the key matches, starting the execution when it
+// doesn't — and streams the event log from the requested offset.
+func (s *Server) handleRun(w http.ResponseWriter, hr *http.Request) {
+	if hr.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(hr.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec := req.Spec
+	if s.cfg.CacheDir != "" {
+		spec.CacheDir = s.cfg.CacheDir
+	}
+	if err := validate(spec); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.From < 0 {
+		http.Error(w, "negative From", http.StatusBadRequest)
+		return
+	}
+
+	key := spec.Key()
+	s.mu.Lock()
+	r, ok := s.runs[key]
+	if !ok {
+		r = &run{key: key}
+		r.cond = sync.NewCond(&r.mu)
+		s.runs[key] = r
+		go s.execute(r, spec)
+	}
+	s.mu.Unlock()
+	// Log outside the registry lock: Logf is caller-supplied and must not be
+	// invoked inside a critical section.
+	if !ok {
+		s.cfg.Logf("run %s: admitted %s/%s x%d (seed %d)", key, spec.App, spec.Tool, spec.Trials-spec.Lo, spec.Seed)
+	} else {
+		s.cfg.Logf("run %s: deduped %s/%s onto existing execution", key, spec.App, spec.Tool)
+	}
+
+	s.stream(w, hr, r, req.From)
+}
+
+// validate rejects a spec the executor could only fail on, before a run
+// entry is minted for it.
+func validate(spec campaign.Spec) error {
+	if _, err := workloads.ByName(spec.App); err != nil {
+		return err
+	}
+	if _, err := campaign.ToolByName(spec.Tool); err != nil {
+		return err
+	}
+	if spec.Lo < 0 || spec.Lo > spec.Trials {
+		return fmt.Errorf("serve: invalid trial range [%d, %d)", spec.Lo, spec.Trials)
+	}
+	return nil
+}
+
+// execute runs one admitted campaign to completion, appending every trial
+// event as it lands. The observer fires from the order-deterministic
+// collector — in trial order, exactly once per index — so the event log IS
+// the canonical stream, no reordering needed here. With a journal, recorded
+// trials replay through the same observer before new work runs, rebuilding
+// the log across daemon restarts.
+func (s *Server) execute(r *run, spec campaign.Spec) {
+	app, err := workloads.ByName(spec.App)
+	if err != nil {
+		r.finish(nil, err, s.cfg.Logf)
+		return
+	}
+	var extra []campaign.Option
+	if s.cfg.Journal != nil {
+		extra = append(extra, campaign.WithJournal(s.cfg.Journal))
+	}
+	cam, err := campaign.NewFromSpec(spec, app, spec.Lo, spec.Trials, s.cache,
+		func(i int, tr campaign.TrialResult) { r.append(i, tr) }, extra...)
+	if err != nil {
+		r.finish(nil, err, s.cfg.Logf)
+		return
+	}
+	var res *campaign.Result
+	if s.cfg.Pool != nil {
+		res, err = s.cfg.Pool.Run(context.Background(), cam)
+	} else {
+		res, err = cam.Run(context.Background())
+	}
+	r.finish(res, err, s.cfg.Logf)
+}
+
+// append records one delivered trial and wakes the streamers.
+func (r *run) append(i int, tr campaign.TrialResult) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Kind: kindTrial, Index: i, TR: tr})
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// finish seals the run with its summary (or failure) and wakes the streamers.
+func (r *run) finish(res *campaign.Result, err error, logf func(string, ...any)) {
+	r.mu.Lock()
+	r.done = true
+	if err != nil {
+		r.errMsg = err.Error()
+	} else {
+		r.counts, r.cycles, r.trials = res.Counts, res.Cycles, res.Trials
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	if err != nil {
+		logf("run %s: failed: %v", r.key, err)
+	} else {
+		logf("run %s: finished: %d trials", r.key, res.Trials)
+	}
+}
+
+// terminal is the run's closing line once done.
+func (r *run) terminal() Event {
+	if r.errMsg != "" {
+		return Event{Kind: kindError, Key: r.key, Err: r.errMsg}
+	}
+	return Event{Kind: kindSummary, Key: r.key, Counts: r.counts, Cycles: r.cycles, Trials: r.trials}
+}
+
+// stream writes the run's event log from offset `from`, then the live tail,
+// then the terminal line. A client that vanishes mid-stream just ends this
+// handler — the run is unaffected, and the client's replacement stream picks
+// up at whatever From it asks for.
+func (s *Server) stream(w http.ResponseWriter, hr *http.Request, r *run, from int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+
+	// A gone client can't signal the cond; wake the wait loop on its ctx so
+	// the handler goroutine ends instead of idling until the run finishes.
+	ctx := hr.Context()
+	stopWake := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.cond.Broadcast()
+		case <-stopWake:
+		}
+	}()
+	defer close(stopWake)
+
+	for {
+		r.mu.Lock()
+		for len(r.events) <= from && !r.done && ctx.Err() == nil {
+			r.cond.Wait()
+		}
+		pend := append([]Event(nil), r.events[min(from, len(r.events)):]...)
+		done := r.done
+		var term Event
+		if done {
+			term = r.terminal()
+		}
+		r.mu.Unlock()
+
+		if ctx.Err() != nil {
+			return
+		}
+		for _, e := range pend {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		from += len(pend)
+		if fl != nil {
+			fl.Flush()
+		}
+		if done {
+			enc.Encode(term)
+			if fl != nil {
+				fl.Flush()
+			}
+			return
+		}
+	}
+}

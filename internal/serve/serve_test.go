@@ -1,0 +1,359 @@
+package serve_test
+
+// Service-layer acceptance suite: identical submissions dedup onto one
+// execution, a reconnecting client's stitched stream equals an uninterrupted
+// client's, concurrent tenants are bit-identical to solo runs, and rejected
+// submissions fail fast (no retry storm). Campaigns execute in-process here
+// (Config.Pool is the shard suite's concern); one pool-backed test wires the
+// two layers together end to end.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/workloads"
+)
+
+func TestMain(m *testing.M) {
+	shard.MaybeWorker() // the pool-backed test re-execs this binary as workers
+	os.Exit(m.Run())
+}
+
+// newTestServer starts an httptest daemon and returns it with a ready Client.
+func newTestServer(t *testing.T, cfg serve.Config) (*httptest.Server, *serve.Client) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, &serve.Client{Addr: strings.TrimPrefix(ts.URL, "http://")}
+}
+
+// spec builds the submission for app×REFINE with the given trials and seed —
+// through campaign.New so every derived field (costs, build options) matches
+// what a local run would use.
+func spec(t *testing.T, appName string, trials int, seed uint64) campaign.Spec {
+	t.Helper()
+	app, err := workloads.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return campaign.New(app, campaign.REFINE,
+		campaign.WithTrials(trials), campaign.WithSeed(seed),
+		campaign.WithBuildOptions(campaign.DefaultBuildOptions())).Spec()
+}
+
+// baseline runs the same campaign in-process, no service involved.
+func baseline(t *testing.T, appName string, trials int, seed uint64) *campaign.Result {
+	t.Helper()
+	app, err := workloads.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.New(app, campaign.REFINE,
+		campaign.WithTrials(trials), campaign.WithSeed(seed),
+		campaign.WithBuildOptions(campaign.DefaultBuildOptions()),
+		campaign.WithCache(nil)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+type stream struct {
+	mu     sync.Mutex
+	events []serve.Event
+}
+
+func (s *stream) obs(i int, tr campaign.TrialResult) {
+	s.mu.Lock()
+	s.events = append(s.events, serve.Event{Kind: "trial", Index: i, TR: tr})
+	s.mu.Unlock()
+}
+
+func assertStreamInOrder(t *testing.T, label string, got []serve.Event, trials int) {
+	t.Helper()
+	if len(got) != trials {
+		t.Fatalf("%s: stream delivered %d trials, want %d", label, len(got), trials)
+	}
+	for i, e := range got {
+		if e.Index != i {
+			t.Fatalf("%s: stream[%d].Index = %d, want %d (trial order)", label, i, e.Index, i)
+		}
+	}
+}
+
+func assertSummary(t *testing.T, label string, sum *serve.Summary, ref *campaign.Result) {
+	t.Helper()
+	if sum.Counts != ref.Counts || sum.Cycles != ref.Cycles || sum.Trials != ref.Trials {
+		t.Fatalf("%s: summary %+v/%d/%d != baseline %+v/%d/%d",
+			label, sum.Counts, sum.Cycles, sum.Trials, ref.Counts, ref.Cycles, ref.Trials)
+	}
+}
+
+// TestServeDedupsIdenticalSubmissions: two clients submit the same spec
+// concurrently; the server runs it once, both streams are identical and in
+// trial order, and /v1/runs lists exactly one key.
+func TestServeDedupsIdenticalSubmissions(t *testing.T) {
+	const trials = 24
+	ref := baseline(t, "CG", trials, 7)
+	var admitted, deduped int
+	var logMu sync.Mutex
+	ts, client := newTestServer(t, serve.Config{Logf: func(format string, args ...any) {
+		logMu.Lock()
+		if strings.Contains(format, "admitted") {
+			admitted++
+		}
+		if strings.Contains(format, "deduped") {
+			deduped++
+		}
+		logMu.Unlock()
+		t.Logf(format, args...)
+	}})
+	sp := spec(t, "CG", trials, 7)
+
+	var wg sync.WaitGroup
+	sums := make([]*serve.Summary, 2)
+	streams := make([]stream, 2)
+	errs := make([]error, 2)
+	for i := range sums {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sums[i], errs[i] = client.Run(context.Background(), sp, streams[i].obs)
+		}()
+	}
+	wg.Wait()
+
+	for i := range sums {
+		label := fmt.Sprintf("client %d", i)
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", label, errs[i])
+		}
+		assertStreamInOrder(t, label, streams[i].events, trials)
+		assertSummary(t, label, sums[i], ref)
+	}
+	if sums[0].Key != sums[1].Key {
+		t.Fatalf("clients saw different run keys: %s vs %s", sums[0].Key, sums[1].Key)
+	}
+	for i := range streams[0].events {
+		if streams[0].events[i].TR != streams[1].events[i].TR {
+			t.Fatalf("streams diverge at trial %d: %+v vs %+v",
+				i, streams[0].events[i].TR, streams[1].events[i].TR)
+		}
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if admitted != 1 || deduped != 1 {
+		t.Fatalf("admitted %d / deduped %d executions, want 1 / 1", admitted, deduped)
+	}
+
+	// The registry agrees: one key, done, no error.
+	resp, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listed []struct {
+		Key  string
+		Done bool
+		Err  string
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 1 || listed[0].Key != sums[0].Key || !listed[0].Done || listed[0].Err != "" {
+		t.Fatalf("/v1/runs = %+v, want exactly the one finished run %s", listed, sums[0].Key)
+	}
+}
+
+// rawStream POSTs one /v1/run request and decodes at most limit trial events
+// (limit < 0 ⇒ until the terminal line), returning the trial events and the
+// terminal event if one was reached.
+func rawStream(t *testing.T, url string, sp campaign.Spec, from, limit int) ([]serve.Event, *serve.Event) {
+	t.Helper()
+	body, err := json.Marshal(serve.Request{Spec: sp, From: from})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/run: %s", resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var events []serve.Event
+	for limit < 0 || len(events) < limit {
+		var e serve.Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("decode event: %v", err)
+		}
+		if e.Kind != "trial" {
+			return events, &e
+		}
+		events = append(events, e)
+	}
+	return events, nil // limit reached: abandon the connection mid-stream
+}
+
+// TestServeReconnectReplaysDeliveredPrefix: a client whose connection tears
+// mid-stream reconnects with From = delivered count; the stitched stream must
+// equal the uninterrupted client's byte for byte, and the replay must not
+// re-execute anything (the run key stays unique).
+func TestServeReconnectReplaysDeliveredPrefix(t *testing.T) {
+	const trials = 24
+	ts, client := newTestServer(t, serve.Config{})
+	sp := spec(t, "CG", trials, 9)
+
+	// The uninterrupted reference stream.
+	var whole stream
+	sum, err := client.Run(context.Background(), sp, whole.obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStreamInOrder(t, "uninterrupted", whole.events, trials)
+
+	// Torn client: consume 7 events, drop the connection, reconnect at From=7.
+	const cut = 7
+	head, term := rawStream(t, ts.URL, sp, 0, cut)
+	if term != nil {
+		t.Fatalf("stream ended during the prefix: %+v", term)
+	}
+	tail, term := rawStream(t, ts.URL, sp, cut, -1)
+	if term == nil || term.Kind != "summary" {
+		t.Fatalf("resumed stream ended without a summary: %+v", term)
+	}
+	stitched := append(head, tail...)
+	assertStreamInOrder(t, "stitched", stitched, trials)
+	for i := range whole.events {
+		if stitched[i].TR != whole.events[i].TR || stitched[i].Index != whole.events[i].Index {
+			t.Fatalf("stitched[%d] = %+v, uninterrupted %+v", i, stitched[i], whole.events[i])
+		}
+	}
+	if term.Key != sum.Key || term.Counts != sum.Counts || term.Cycles != sum.Cycles || term.Trials != sum.Trials {
+		t.Fatalf("resumed summary %+v != uninterrupted %+v", term, sum)
+	}
+}
+
+// TestServeConcurrentTenantsBitIdentical: two distinct campaigns submitted
+// concurrently each produce exactly the stream and summary of running alone.
+func TestServeConcurrentTenantsBitIdentical(t *testing.T) {
+	const trials = 24
+	refA := baseline(t, "CG", trials, 5)
+	refB := baseline(t, "CG", trials, 11)
+	_, client := newTestServer(t, serve.Config{})
+
+	var wg sync.WaitGroup
+	var sumA, sumB *serve.Summary
+	var strA, strB stream
+	var errA, errB error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		sumA, errA = client.Run(context.Background(), spec(t, "CG", trials, 5), strA.obs)
+	}()
+	go func() {
+		defer wg.Done()
+		sumB, errB = client.Run(context.Background(), spec(t, "CG", trials, 11), strB.obs)
+	}()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("concurrent submissions failed: %v / %v", errA, errB)
+	}
+	assertStreamInOrder(t, "tenant A", strA.events, trials)
+	assertStreamInOrder(t, "tenant B", strB.events, trials)
+	assertSummary(t, "tenant A", sumA, refA)
+	assertSummary(t, "tenant B", sumB, refB)
+	if sumA.Key == sumB.Key {
+		t.Fatal("distinct campaigns share a run key")
+	}
+}
+
+// TestServePoolBackedExecution wires the layers together: a server whose
+// executor is a 2-worker shard pool serves two concurrent tenants, and both
+// match their baselines bit for bit — HTTP in, pool fan-out behind.
+func TestServePoolBackedExecution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const trials = 48
+	refA := baseline(t, "CG", trials, 21)
+	refB := baseline(t, "CG", trials, 23)
+
+	p, err := shard.NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	_, client := newTestServer(t, serve.Config{Pool: p})
+
+	var wg sync.WaitGroup
+	var sumA, sumB *serve.Summary
+	var strA, strB stream
+	var errA, errB error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		sumA, errA = client.Run(context.Background(), spec(t, "CG", trials, 21), strA.obs)
+	}()
+	go func() {
+		defer wg.Done()
+		sumB, errB = client.Run(context.Background(), spec(t, "CG", trials, 23), strB.obs)
+	}()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("pool-backed submissions failed: %v / %v", errA, errB)
+	}
+	assertStreamInOrder(t, "pool tenant A", strA.events, trials)
+	assertStreamInOrder(t, "pool tenant B", strB.events, trials)
+	assertSummary(t, "pool tenant A", sumA, refA)
+	assertSummary(t, "pool tenant B", sumB, refB)
+}
+
+// TestServeRejectsBadSubmissions: an unknown app or a mangled range fails
+// fast with a fatal (non-retried) client error and mints no run entry.
+func TestServeRejectsBadSubmissions(t *testing.T) {
+	ts, client := newTestServer(t, serve.Config{})
+	bad := spec(t, "CG", 16, 1)
+	bad.App = "no-such-app"
+	if _, err := client.Run(context.Background(), bad, nil); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	neg := spec(t, "CG", 16, 1)
+	neg.Lo = -1
+	if _, err := client.Run(context.Background(), neg, nil); err == nil {
+		t.Fatal("negative range accepted")
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listed []any
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 0 {
+		t.Fatalf("rejected submissions minted runs: %+v", listed)
+	}
+}

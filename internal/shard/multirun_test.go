@@ -1,0 +1,129 @@
+package shard_test
+
+// Multi-tenant pool suite: one Pool runs any number of campaigns
+// concurrently, round-robin fair across tenants, and every campaign's result
+// is bit-identical to running it alone — concurrency moves wall clock, never
+// results. This is the suite-level co-scheduling contract the experiments
+// driver and the fi-serve daemon build on.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/shard"
+)
+
+// TestConcurrentCampaignsBitIdentical runs three campaigns (same app,
+// different seeds, staggered trial counts) concurrently over one 2-worker
+// pool and asserts each matches its in-process baseline bit for bit, with
+// each observer stream in strict trial order.
+func TestConcurrentCampaignsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	app := mustApp(t, "CG")
+	specs := []struct {
+		trials int
+		seed   uint64
+	}{
+		{48, 5},
+		{64, 11},
+		{32, 17},
+	}
+	refs := make([]*campaign.Result, len(specs))
+	for i, s := range specs {
+		refs[i] = baseline(t, app, campaign.REFINE, s.trials, s.seed)
+	}
+
+	p, err := shard.NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	results := make([]*campaign.Result, len(specs))
+	orders := make([][]int, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mu sync.Mutex
+			results[i], errs[i] = p.Run(context.Background(), campaign.New(app, campaign.REFINE,
+				campaign.WithTrials(s.trials), campaign.WithSeed(s.seed),
+				campaign.WithRecords(), campaign.WithCache(nil),
+				campaign.WithObserver(func(idx int, tr campaign.TrialResult) {
+					mu.Lock()
+					orders[i] = append(orders[i], idx)
+					mu.Unlock()
+				})))
+		}()
+	}
+	wg.Wait()
+
+	for i := range specs {
+		label := fmt.Sprintf("tenant %d (seed %d)", i, specs[i].seed)
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", label, errs[i])
+		}
+		assertIdentical(t, results[i], refs[i], label)
+		if len(orders[i]) != specs[i].trials {
+			t.Fatalf("%s: observer saw %d trials, want %d", label, len(orders[i]), specs[i].trials)
+		}
+		for j, got := range orders[i] {
+			if got != j {
+				t.Fatalf("%s: observer order[%d] = %d (each tenant's stream must be in trial order)", label, j, got)
+			}
+		}
+	}
+}
+
+// TestConcurrentCampaignsSurviveWorkerCrash: a worker crash while multiple
+// tenants share the pool orphans at most one range per tenant; both campaigns
+// still finish bit-identical on the respawned capacity.
+func TestConcurrentCampaignsSurviveWorkerCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	app := mustApp(t, "CG")
+	refA := baseline(t, app, campaign.REFINE, 120, 41)
+	refB := baseline(t, app, campaign.REFINE, 120, 43)
+
+	t.Setenv("FI_CHAOS", "shard.worker.range:crash:w=0")
+	p, err := shard.NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	var resA, resB *campaign.Result
+	var errA, errB error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		resA, errA = p.Run(context.Background(), campaign.New(app, campaign.REFINE,
+			campaign.WithTrials(120), campaign.WithSeed(41),
+			campaign.WithRecords(), campaign.WithCache(nil)))
+	}()
+	go func() {
+		defer wg.Done()
+		resB, errB = p.Run(context.Background(), campaign.New(app, campaign.REFINE,
+			campaign.WithTrials(120), campaign.WithSeed(43),
+			campaign.WithRecords(), campaign.WithCache(nil)))
+	}()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("concurrent runs failed: %v / %v", errA, errB)
+	}
+	assertIdentical(t, resA, refA, "tenant A after crash")
+	assertIdentical(t, resB, refB, "tenant B after crash")
+	if d := p.Deaths(); d != 1 {
+		t.Fatalf("pool counted %d deaths, want exactly the crashed worker", d)
+	}
+}

@@ -1,8 +1,10 @@
-// Package shard fans campaigns out across OS processes: a coordinator
-// re-execs this same binary as workers (marked by the FI_SHARD_WORKER
-// environment variable and driven over stdio), partitions a campaign's
-// trial index space into claimable ranges, and merges the workers' trial
-// streams back through the campaign collector.
+// Package shard fans campaigns out across worker processes and machines: a
+// coordinator dials workers through a Transport — re-execing this same
+// binary over stdio (the single-machine default, marked by the
+// FI_SHARD_WORKER environment variable), or TCP sessions to long-lived
+// worker nodes (fi-campaign -shard-listen / NewTCPPool) — partitions each
+// campaign's trial index space into claimable ranges, and merges the
+// workers' trial streams back through the campaign collector.
 //
 // Guarantees, in the same contract language as internal/sched:
 //
@@ -10,53 +12,62 @@
 //     what it computes — trial i is always seeded TrialSeed(seed, tool, i),
 //     frames are merged through the order-deterministic collector, and
 //     Counts, Cycles, Records and the observer stream are bit-identical to
-//     an in-process run for any shard count (the determinism suite asserts
-//     shards ∈ {1, 2, 4} ≡ unsharded).
+//     an in-process run for any shard count and either transport (the
+//     determinism suite asserts shards ∈ {1, 2, 4} over stdio and TCP ≡
+//     unsharded).
 //
 //   - Cache sharing: workers given the same cache directory share one
 //     content-addressed disk cache; the first process to build an app×tool
 //     persists it via atomic rename, the rest restore from disk, and a warm
 //     directory yields builds=0 across every worker process.
 //
-//   - Cancellation: cancelling the Run context stops assignment; claimed
-//     ranges drain (their trials finish shipping), so the delivered set
-//     stays a contiguous prefix and Run returns the partial result exactly
-//     as the in-process runner does.
+//   - Concurrency: any number of campaigns may Run on one pool at once
+//     (multi-tenant suites, the fi-serve daemon). Range assignment
+//     round-robins across the active campaigns, so every tenant makes
+//     proportional progress — one campaign's build tail no longer leaves
+//     workers idle when another has runnable ranges — and each tenant's
+//     result is bit-identical to running alone (its merger only ever sees
+//     its own frames, routed by campaign id).
+//
+//   - Cancellation: cancelling a Run context stops assignment for that
+//     campaign; claimed ranges drain (their trials finish shipping), so the
+//     delivered set stays a contiguous prefix and Run returns the partial
+//     result exactly as the in-process runner does. Other campaigns on the
+//     pool are unaffected.
 //
 //   - Resilience: a worker that dies mid-range (SIGTERM, crash, SIGKILL,
-//     torn stdio frame) has its claimed range reassigned to a live worker —
-//     duplicate frames from the dead worker's partial delivery are dropped
-//     by the merger — and a replacement worker is respawned under a bounded
-//     budget. A worker that goes *silent* (alive but making no progress) is
-//     detected by the heartbeat monitor — workers beat with a cumulative
-//     progress counter, and the deadline only refreshes when progress
-//     advances — then SIGTERM'd and, after a grace period, killed, feeding
-//     the same reassignment path. A range that keeps killing workers is
-//     split into single-trial ranges to isolate the poison trial, and a
-//     single trial that exhausts its retry budget is recorded as a
-//     fault.HarnessFault outcome instead of looping forever. All of this is
-//     exercised deterministically by the chaos suite (internal/chaos).
+//     torn frame, dropped connection, dead worker node) has its claimed
+//     range reassigned to a live worker — duplicate frames from the dead
+//     worker's partial delivery are dropped by the merger — and a
+//     replacement worker is dialed under a bounded budget. A worker that
+//     goes *silent* (alive but making no progress) is detected by the
+//     heartbeat monitor — workers beat with a cumulative progress counter,
+//     and the deadline only refreshes when progress advances — then
+//     terminated (SIGTERM, or a connection close for TCP) and, after a
+//     grace period, killed, feeding the same reassignment path. A range
+//     that keeps killing workers is split into single-trial ranges to
+//     isolate the poison trial, and a single trial that exhausts its retry
+//     budget is recorded as a fault.HarnessFault outcome instead of looping
+//     forever. All of this is exercised deterministically by the chaos
+//     suite (internal/chaos).
 //
 // Campaigns opt in with campaign.WithShards(n) (this package registers the
 // engine hook at init), suites with experiments.Config.Shards, and the fi-*
-// drivers with -shards. Knobs for tests: FI_SHARD_STALL and FI_SHARD_GRACE
-// (milliseconds) fix the silent-worker deadline and the SIGTERM→SIGKILL
-// grace.
+// drivers with -shards / -shard-nodes. Knobs for tests: FI_SHARD_STALL and
+// FI_SHARD_GRACE (milliseconds) fix the silent-worker deadline and the
+// terminate→kill grace.
 package shard
 
 import (
 	"bytes"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"runtime"
 	"sort"
 	"sync"
-	"syscall"
 	"time"
 
 	"repro/internal/backoff"
@@ -103,39 +114,40 @@ const (
 	slowInstrPerSec = 8 << 20
 )
 
-// spawnRetry bounds worker spawn attempts (fork/exec can fail transiently
-// under fd or pid pressure).
+// spawnRetry bounds worker spawn attempts (fork/exec and network dials can
+// fail transiently under fd, pid, or connection pressure).
 var spawnRetry = backoff.Default()
 
-// Pool is a set of live worker processes campaigns fan out over. Create
-// with NewPool, run any number of campaigns through Run (one at a time; a
-// suite reuses the pool so workers keep their warm in-memory caches), and
-// Close to drain and reap the workers.
+// Pool is a set of live worker connections campaigns fan out over. Create
+// with NewPool (stdio re-exec workers) or NewTCPPool (remote worker nodes),
+// run any number of campaigns through Run — concurrently if you like; the
+// pool round-robins range assignment across active campaigns — and Close to
+// drain and reap the workers.
 type Pool struct {
-	runMu sync.Mutex // serializes Run: one campaign owns the workers at a time
+	runMu sync.RWMutex // Run holds the read side for its duration; Close excludes
 
-	exe        string
+	transport  Transport
 	stall      time.Duration // silent-worker deadline floor
 	stallFixed bool          // FI_SHARD_STALL set: skip the cost-model scale-up
-	grace      time.Duration // SIGTERM → SIGKILL escalation grace
+	grace      time.Duration // terminate → kill escalation grace
 
 	mu            sync.Mutex
 	workers       []*proc
 	nextIndex     int // shard index of the next spawned worker (never reused)
 	nextCID       int
-	run           *runState // active campaign (nil between runs)
+	runs          map[int]*runState // active campaigns by cid
+	runOrder      []int             // cids in admission order (fair-share scan order)
+	rrNext        int               // round-robin cursor into runOrder
 	closed        bool
 	respawnBudget int // replacement spawns left (bounds a crash loop)
 	respawning    int // spawns in flight (holds off the all-dead verdict)
 	deaths        int
 }
 
-// proc is one worker process and its coordinator-side bookkeeping.
+// proc is one worker connection and its coordinator-side bookkeeping.
 type proc struct {
 	index        int // shard index: stderr prefix, chaos w= filter
-	cmd          *exec.Cmd
-	in           io.WriteCloser
-	enc          *gob.Encoder
+	conn         Conn
 	dead         bool
 	condemned    bool      // monitor declared it hung; kill escalation running
 	cur          *rangeReq // outstanding assignment (nil ⇒ idle)
@@ -202,19 +214,25 @@ func (pw *prefixWriter) Write(b []byte) (int, error) {
 // index; if some spawned, the pool degrades to the partial fleet with a
 // warning (results are unaffected — workers only decide where trials run).
 func NewPool(n int) (*Pool, error) {
+	t, err := newStdioTransport()
+	if err != nil {
+		return nil, err
+	}
+	return newPool(n, t)
+}
+
+// newPool fields n workers (n < 1 ⇒ 1) over the given transport.
+func newPool(n int, t Transport) (*Pool, error) {
 	if n < 1 {
 		n = 1
 	}
-	exe, err := os.Executable()
-	if err != nil {
-		return nil, fmt.Errorf("shard: executable: %w", err)
-	}
 	stall := envDuration(stallEnv, defaultStall)
 	p := &Pool{
-		exe:           exe,
+		transport:     t,
 		stall:         stall,
 		stallFixed:    stall != defaultStall,
 		grace:         envDuration(graceEnv, defaultGrace),
+		runs:          map[int]*runState{},
 		respawnBudget: 2 * n,
 	}
 	var spawnErr error
@@ -238,7 +256,7 @@ func NewPool(n int) (*Pool, error) {
 	return p, nil
 }
 
-// spawnWorker forks one worker process (with bounded retry) and starts its
+// spawnWorker dials one worker connection (with bounded retry) and starts its
 // reader. The caller appends it to p.workers.
 func (p *Pool) spawnWorker() (*proc, error) {
 	p.mu.Lock()
@@ -250,32 +268,17 @@ func (p *Pool) spawnWorker() (*proc, error) {
 		if err := chaos.Err("shard.pool.spawn"); err != nil {
 			return err
 		}
-		cmd := exec.Command(p.exe)
-		// Workers inherit the environment (FI_CHAOS crosses the boundary
-		// here) plus the worker marker and their shard index, which the
-		// chaos w= filter and the stderr prefix key on.
-		cmd.Env = append(os.Environ(), workerEnv+"=1", fmt.Sprintf("%s=%d", chaos.WorkerEnv, idx))
-		cmd.Stderr = &prefixWriter{dst: os.Stderr, prefix: fmt.Sprintf("[shard %d] ", idx)}
-		stdin, err := cmd.StdinPipe()
+		conn, err := p.transport.Dial(idx)
 		if err != nil {
 			return err
 		}
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			stdin.Close()
-			return err
-		}
-		if err := cmd.Start(); err != nil {
-			stdin.Close()
-			return err
-		}
-		w = &proc{index: idx, cmd: cmd, in: stdin, enc: gob.NewEncoder(stdin),
+		w = &proc{index: idx, conn: conn,
 			knows: map[int]bool{}, readerDone: make(chan struct{}), lastAdvance: time.Now()}
-		go p.reader(w, stdout)
+		go p.reader(w)
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("shard: spawn worker %d (%s): %w", idx, p.exe, err)
+		return nil, fmt.Errorf("shard: spawn worker %d (%s): %w", idx, p.transport, err)
 	}
 	return w, nil
 }
@@ -296,13 +299,16 @@ func (p *Pool) Deaths() int {
 }
 
 // Pids returns the worker process ids, for diagnostics and the
-// kill-a-worker reassignment tests.
+// kill-a-worker reassignment tests. Transports that don't own a worker's
+// process (TCP sessions to remote nodes) contribute no entry.
 func (p *Pool) Pids() []int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	pids := make([]int, 0, len(p.workers))
 	for _, w := range p.workers {
-		pids = append(pids, w.cmd.Process.Pid)
+		if pid := w.conn.Pid(); pid != 0 {
+			pids = append(pids, pid)
+		}
 	}
 	return pids
 }
@@ -325,8 +331,8 @@ func (p *Pool) Stats() campaign.CacheStats {
 	return s
 }
 
-// Close drains the pool: worker stdins close, workers ship their final
-// counters and exit, and their processes are reaped. Waits for an active
+// Close drains the pool: worker write sides close, workers ship their final
+// counters and exit, and their processes are reaped. Waits for every active
 // Run to settle first.
 func (p *Pool) Close() {
 	p.runMu.Lock()
@@ -340,11 +346,11 @@ func (p *Pool) Close() {
 	ws := append([]*proc(nil), p.workers...)
 	p.mu.Unlock()
 	for _, w := range ws {
-		w.in.Close()
+		w.conn.CloseWrite()
 	}
 	for _, w := range ws {
-		<-w.readerDone // all stdout consumed (cmd.Wait requires it)
-		w.cmd.Wait()
+		<-w.readerDone // all frames consumed (a child's Wait requires it)
+		w.conn.Wait()
 	}
 }
 
@@ -391,19 +397,26 @@ func insertPending(run *runState, r rangeReq) {
 // Run fans the campaign out over the pool's workers and blocks until it
 // settles, returning the merged result. The campaign must target a registry
 // application (workers re-resolve it by name) and a registered tool. See
-// the package comment for the determinism, cache-sharing, cancellation and
-// resilience contracts; they are asserted by the determinism and chaos
-// suites. One edge diverges from in-process runs: Result.Profile comes from
-// the workers, so a partial result whose every contributing worker died
-// before finishing its first range can carry a nil Profile.
+// the package comment for the determinism, cache-sharing, concurrency,
+// cancellation and resilience contracts; they are asserted by the
+// determinism and chaos suites. One edge diverges from in-process runs:
+// Result.Profile comes from the workers, so a partial result whose every
+// contributing worker died before finishing its first range can carry a nil
+// Profile.
+//
+// Run may be called from any number of goroutines concurrently: each
+// campaign is an independent tenant, range assignment round-robins across
+// the active tenants, and every tenant's merged result is bit-identical to
+// running it alone on the pool (trial outcomes are pure functions of their
+// seeds; the pool only decides where and when they run).
 //
 // With campaign.WithJournal configured, journal-recorded trials are replayed
 // through the merger before any range is assigned, and only the missing
 // index runs are partitioned — a killed-then-restarted coordinator
 // re-executes exactly the trials it lost.
 func (p *Pool) Run(ctx context.Context, c *campaign.Campaign) (*campaign.Result, error) {
-	p.runMu.Lock()
-	defer p.runMu.Unlock()
+	p.runMu.RLock()
+	defer p.runMu.RUnlock()
 
 	spec := c.Spec()
 	if _, err := workloads.ByName(spec.App); err != nil {
@@ -451,7 +464,11 @@ func (p *Pool) Run(ctx context.Context, c *campaign.Campaign) (*campaign.Result,
 	}
 	if spec.Workers <= 0 {
 		// Split this machine's parallelism across the worker processes
-		// instead of oversubscribing it n times.
+		// instead of oversubscribing it n times. (Remote nodes size
+		// themselves: their GOMAXPROCS is theirs, not ours — but a spec
+		// worker cap is per range, and one session runs one range at a
+		// time, so the same split keeps a shared node from oversubscribing
+		// across sessions too.)
 		if spec.Workers = runtime.GOMAXPROCS(0) / live; spec.Workers < 1 {
 			spec.Workers = 1
 		}
@@ -470,9 +487,10 @@ func (p *Pool) Run(ctx context.Context, c *campaign.Campaign) (*campaign.Result,
 		run.pending = append(run.pending, partition(cid, r[0], r[1], span)...)
 	}
 	run.total = len(run.pending)
-	p.run = run
+	p.runs[cid] = run
+	p.admitLocked(cid)
 	p.assignLocked()
-	p.settleLocked() // zero-trial (or fully replayed) campaigns settle immediately
+	p.settleLocked(run) // zero-trial (or fully replayed) campaigns settle immediately
 	p.mu.Unlock()
 
 	stopWatch := make(chan struct{})
@@ -482,11 +500,11 @@ func (p *Pool) Run(ctx context.Context, c *campaign.Campaign) (*campaign.Result,
 			select {
 			case <-ctx.Done():
 				p.mu.Lock()
-				if p.run == run && !run.settled {
+				if p.runs[run.cid] == run && !run.settled {
 					// Stop assigning; claimed ranges drain, the delivered
 					// prefix stays contiguous.
 					run.cancelled = true
-					p.settleLocked()
+					p.settleLocked(run)
 				}
 				p.mu.Unlock()
 			case <-stopWatch:
@@ -500,6 +518,21 @@ func (p *Pool) Run(ctx context.Context, c *campaign.Campaign) (*campaign.Result,
 		return nil, fmt.Errorf("shard: %s/%s: %w", spec.App, spec.Tool, run.err)
 	}
 	return run.merger.Finish(ctx)
+}
+
+// admitLocked appends a fresh cid to the fair-share scan order, compacting
+// out settled campaigns in passing. Caller holds p.mu.
+func (p *Pool) admitLocked(cid int) {
+	order := p.runOrder[:0]
+	for _, id := range p.runOrder {
+		if p.runs[id] != nil {
+			order = append(order, id)
+		}
+	}
+	p.runOrder = append(order, cid)
+	if p.rrNext >= len(p.runOrder) {
+		p.rrNext = 0
+	}
 }
 
 // rangeDeadline is the silent-worker deadline for one assigned range: the
@@ -521,12 +554,13 @@ func (p *Pool) rangeDeadline(run *runState, r *rangeReq) time.Duration {
 	return d
 }
 
-// monitor is the per-run hung-worker detector: workers holding a range must
-// show forward progress (new data frames, or a heartbeat whose progress
-// counter advanced) within the range deadline, or they are condemned and
-// terminated — SIGTERM first (a live-but-slow worker drains its prefix and
-// exits), SIGKILL after the grace period (a truly wedged worker ignores
-// SIGTERM: its trial loop never reaches the context check). Death then
+// monitor is the per-run hung-worker detector: workers holding one of this
+// run's ranges must show forward progress (new data frames, or a heartbeat
+// whose progress counter advanced) within the range deadline, or they are
+// condemned and terminated — politely first (SIGTERM, or the conn close that
+// is TCP's equivalent: a live-but-slow worker drains its prefix and exits),
+// then killed after the grace period (a truly wedged worker ignores the
+// polite stop: its trial loop never reaches the context check). Death then
 // feeds the ordinary reassignment path.
 func (p *Pool) monitor(run *runState, stop <-chan struct{}) {
 	tick := p.stall / 8
@@ -547,12 +581,12 @@ func (p *Pool) monitor(run *runState, stop <-chan struct{}) {
 		now := time.Now()
 		var victims []*proc
 		p.mu.Lock()
-		if p.run != run || run.settled {
+		if p.runs[run.cid] != run || run.settled {
 			p.mu.Unlock()
 			return
 		}
 		for _, w := range p.workers {
-			if w.dead || w.condemned || w.cur == nil {
+			if w.dead || w.condemned || w.cur == nil || w.cur.CID != run.cid {
 				continue
 			}
 			if now.Sub(w.lastAdvance) > p.rangeDeadline(run, w.cur) {
@@ -567,57 +601,74 @@ func (p *Pool) monitor(run *runState, stop <-chan struct{}) {
 	}
 }
 
-// terminate escalates on a condemned worker: SIGTERM, then SIGKILL when it
-// doesn't exit within the grace period. Reassignment happens in workerGone
-// when the reader sees the pipe close.
+// terminate escalates on a condemned worker: a polite stop, then a kill when
+// it doesn't exit within the grace period. Reassignment happens in
+// workerGone when the reader sees the connection close.
 func (p *Pool) terminate(w *proc) {
 	fmt.Fprintf(os.Stderr, "shard: worker %d silent past its progress deadline; terminating\n", w.index)
-	w.cmd.Process.Signal(syscall.SIGTERM)
+	w.conn.Terminate()
 	go func() {
 		select {
 		case <-w.readerDone:
 		case <-time.After(p.grace):
-			fmt.Fprintf(os.Stderr, "shard: worker %d ignored SIGTERM; killing\n", w.index)
-			w.cmd.Process.Kill()
+			fmt.Fprintf(os.Stderr, "shard: worker %d ignored termination; killing\n", w.index)
+			w.conn.Kill()
 		}
 	}()
 }
 
-// assignLocked hands pending ranges to idle live workers, introducing the
-// campaign spec on a worker's first contact. Caller holds p.mu. A worker
-// holds at most one outstanding range, so these small control messages can
-// never back up the stdin pipe (the worker is parked in Decode when we
-// write). An encode failure is a broken pipe — the worker is marked dead
-// and the range stays pending; reassignment to the next idle worker is the
-// retry.
-func (p *Pool) assignLocked() {
-	run := p.run
-	if run == nil || run.cancelled || run.err != nil {
-		return
-	}
-	// A cancelled context stops the hand-out even before the watcher
-	// goroutine fires — mirroring sched's claim() guard — so prompt
-	// cancellation never races a slow assignment loop.
-	if run.ctx != nil && run.ctx.Err() != nil {
-		run.cancelled = true
-		return
-	}
-	for _, w := range p.workers {
-		if len(run.pending) == 0 {
-			return
+// nextAssignLocked picks the next campaign to serve, round-robin over the
+// admission order — the per-tenant fair share: each idle worker goes to the
+// next tenant with runnable work, so concurrent campaigns progress
+// proportionally instead of oldest-first. Returns nil when no campaign has
+// assignable ranges. Caller holds p.mu.
+func (p *Pool) nextAssignLocked() *runState {
+	n := len(p.runOrder)
+	for k := 0; k < n; k++ {
+		at := (p.rrNext + k) % n
+		run := p.runs[p.runOrder[at]]
+		if run == nil || run.settled || run.cancelled || run.err != nil || len(run.pending) == 0 {
+			continue
 		}
+		// A cancelled context stops the hand-out even before the watcher
+		// goroutine fires — mirroring sched's claim() guard — so prompt
+		// cancellation never races a slow assignment loop.
+		if run.ctx != nil && run.ctx.Err() != nil {
+			run.cancelled = true
+			p.settleLocked(run)
+			continue
+		}
+		p.rrNext = (at + 1) % n
+		return run
+	}
+	return nil
+}
+
+// assignLocked hands pending ranges to idle live workers, introducing a
+// campaign spec on a worker's first contact and round-robining across the
+// active campaigns (see nextAssignLocked). Caller holds p.mu. A worker holds
+// at most one outstanding range, so these small control messages can never
+// back up the pipe (the worker is parked in Decode when we write). A send
+// failure is a broken connection — the worker is marked dead and the range
+// stays pending; reassignment to the next idle worker is the retry.
+func (p *Pool) assignLocked() {
+	for _, w := range p.workers {
 		if w.dead || w.condemned || w.cur != nil {
 			continue
 		}
+		run := p.nextAssignLocked()
+		if run == nil {
+			return
+		}
 		r := run.pending[0]
 		if !w.knows[run.cid] {
-			if err := w.enc.Encode(&req{Spec: &specIntro{CID: run.cid, Spec: run.spec}}); err != nil {
+			if err := w.conn.Send(&req{Spec: &specIntro{CID: run.cid, Spec: run.spec}}); err != nil {
 				w.dead = true // reader EOF will reap it; range stays pending
 				continue
 			}
 			w.knows[run.cid] = true
 		}
-		if err := w.enc.Encode(&req{Range: &r}); err != nil {
+		if err := w.conn.Send(&req{Range: &r}); err != nil {
 			w.dead = true
 			continue
 		}
@@ -628,36 +679,34 @@ func (p *Pool) assignLocked() {
 	}
 }
 
-// settleLocked closes the run when nothing more will arrive: every range
+// settleLocked closes a run when nothing more will arrive: every range
 // acked, or assignment stopped (cancellation/error) and every outstanding
 // range drained or died. Caller holds p.mu.
-func (p *Pool) settleLocked() {
-	run := p.run
+func (p *Pool) settleLocked(run *runState) {
 	if run == nil || run.settled {
 		return
 	}
 	outstanding := false
 	for _, w := range p.workers {
-		if !w.dead && w.cur != nil {
+		if !w.dead && w.cur != nil && w.cur.CID == run.cid {
 			outstanding = true
 		}
 	}
 	if run.done == run.total || ((run.cancelled || run.err != nil) && !outstanding) {
 		run.settled = true
-		p.run = nil
+		delete(p.runs, run.cid)
 		close(run.finished)
 	}
 }
 
-// reader is the per-worker decode loop, alive for the pool's lifetime: it
-// merges trial frames, acknowledges ranges (freeing the worker for the next
-// assignment), and on worker death requeues the outstanding range.
-func (p *Pool) reader(w *proc, stdout io.Reader) {
+// reader is the per-worker decode loop, alive for the connection's lifetime:
+// it merges trial frames, acknowledges ranges (freeing the worker for the
+// next assignment), and on worker death requeues the outstanding range.
+func (p *Pool) reader(w *proc) {
 	defer close(w.readerDone)
-	dec := gob.NewDecoder(stdout)
 	for {
 		var f frame
-		if err := dec.Decode(&f); err != nil {
+		if err := w.conn.Recv(&f); err != nil {
 			p.workerGone(w)
 			return
 		}
@@ -666,10 +715,11 @@ func (p *Pool) reader(w *proc, stdout io.Reader) {
 }
 
 // dispatch handles one worker frame. Trial and profile frames go straight
-// to the merger (thread-safe; ordering is the collector's reorder buffer's
-// job); control frames update assignment state under the pool lock. Every
-// data frame — and every heartbeat whose progress counter advanced —
-// refreshes the worker's progress deadline.
+// to their campaign's merger (thread-safe; ordering is the collector's
+// reorder buffer's job), routed by campaign id; control frames update
+// assignment state under the pool lock. Every data frame — and every
+// heartbeat whose progress counter advanced — refreshes the worker's
+// progress deadline.
 func (p *Pool) dispatch(w *proc, f *frame) {
 	p.mu.Lock()
 	if f.Kind == frameBeat {
@@ -686,9 +736,9 @@ func (p *Pool) dispatch(w *proc, f *frame) {
 	switch f.Kind {
 	case frameTrial:
 		p.mu.Lock()
-		run := p.run
+		run := p.runs[f.CID]
 		p.mu.Unlock()
-		if run != nil && run.cid == f.CID {
+		if run != nil {
 			run.merger.Add(f.Index, f.TR)
 			if run.merger.Stopped() {
 				// Sequential precision stop (campaign.WithPrecision): drop
@@ -697,43 +747,46 @@ func (p *Pool) dispatch(w *proc, f *frame) {
 				// draining only costs wall-clock, never determinism. Not a
 				// cancellation: Finish returns the truncated result cleanly.
 				p.mu.Lock()
-				if p.run == run && !run.settled && !run.cancelled && run.err == nil {
+				if p.runs[f.CID] == run && !run.settled && !run.cancelled && run.err == nil {
 					run.cancelled = true
 					run.pending = nil
-					p.settleLocked()
+					p.settleLocked(run)
 				}
 				p.mu.Unlock()
 			}
 		}
 	case frameProfile:
 		p.mu.Lock()
-		run := p.run
-		if run != nil && run.cid == f.CID && f.Profile != nil && run.budget == 0 {
+		run := p.runs[f.CID]
+		if run != nil && f.Profile != nil && run.budget == 0 {
 			run.budget = f.Profile.Budget // arms the cost-model deadline
 		}
 		p.mu.Unlock()
-		if run != nil && run.cid == f.CID && f.Profile != nil {
+		if run != nil && f.Profile != nil {
 			run.merger.SetProfile(f.Profile)
 		}
 	case frameRangeDone:
 		p.mu.Lock()
 		w.last = f.Stats
-		if run := p.run; run != nil && run.cid == f.CID &&
-			w.cur != nil && w.cur.Lo == f.Lo && w.cur.Hi == f.Hi {
+		if run := p.runs[f.CID]; run != nil &&
+			w.cur != nil && w.cur.CID == f.CID && w.cur.Lo == f.Lo && w.cur.Hi == f.Hi {
 			w.cur = nil
 			run.done++
 			p.assignLocked()
-			p.settleLocked()
+			p.settleLocked(run)
 		}
 		p.mu.Unlock()
 	case frameErr:
 		p.mu.Lock()
-		if run := p.run; run != nil && run.cid == f.CID {
+		if run := p.runs[f.CID]; run != nil {
 			if run.err == nil {
 				run.err = errors.New(f.Err)
 			}
-			w.cur = nil
-			p.settleLocked()
+			if w.cur != nil && w.cur.CID == f.CID {
+				w.cur = nil
+			}
+			p.assignLocked() // the freed worker can serve other tenants
+			p.settleLocked(run)
 		}
 		p.mu.Unlock()
 	case frameExit:
@@ -743,14 +796,14 @@ func (p *Pool) dispatch(w *proc, f *frame) {
 	}
 }
 
-// workerGone reaps a dead worker: its outstanding range re-enters the
-// pending queue (the merger drops whatever duplicate prefix the dead worker
-// already shipped) with its retry count bumped — splitting into single-trial
-// ranges once it has killed SplitAfter workers, and giving up on a single
-// trial that exhausts the budget by recording a fault.HarnessFault outcome.
-// A replacement worker is respawned under the pool's bounded respawn budget.
-// When the last worker dies with no respawn in flight the campaign fails
-// rather than hangs.
+// workerGone reaps a dead worker: its outstanding range re-enters its
+// campaign's pending queue (the merger drops whatever duplicate prefix the
+// dead worker already shipped) with its retry count bumped — splitting into
+// single-trial ranges once it has killed SplitAfter workers, and giving up on
+// a single trial that exhausts the budget by recording a fault.HarnessFault
+// outcome. A replacement worker is dialed under the pool's bounded respawn
+// budget. When the last worker dies with no respawn in flight every active
+// campaign fails rather than hangs.
 func (p *Pool) workerGone(w *proc) {
 	p.mu.Lock()
 	w.dead = true
@@ -759,14 +812,13 @@ func (p *Pool) workerGone(w *proc) {
 	}
 	orphan := w.cur
 	w.cur = nil
-	run := p.run
-	if run == nil {
-		p.mu.Unlock()
-		return
+	var run *runState
+	if orphan != nil {
+		run = p.runs[orphan.CID]
 	}
 
 	var giveUp *rangeReq
-	if orphan != nil && orphan.CID == run.cid && !run.cancelled && run.err == nil {
+	if orphan != nil && run != nil && !run.cancelled && run.err == nil {
 		orphan.Retries++
 		switch {
 		case orphan.Hi-orphan.Lo == 1 && orphan.Retries > SplitAfter+MaxTrialRetries:
@@ -789,7 +841,7 @@ func (p *Pool) workerGone(w *proc) {
 		}
 	}
 
-	if !run.cancelled && run.err == nil && !p.closed && p.respawnBudget > 0 {
+	if !p.closed && p.respawnBudget > 0 && len(p.runs) > 0 {
 		p.respawnBudget--
 		p.respawning++
 		go p.respawnWorker()
@@ -800,16 +852,17 @@ func (p *Pool) workerGone(w *proc) {
 			live++
 		}
 	}
-	if live == 0 && p.respawning == 0 && run.err == nil && !run.cancelled {
-		run.err = errors.New("all workers exited mid-campaign")
+	if live == 0 && p.respawning == 0 {
+		p.failAllLocked(errors.New("all workers exited mid-campaign"))
+	}
+	p.assignLocked()
+	if run != nil {
+		p.settleLocked(run)
 	}
 	if giveUp == nil {
-		p.assignLocked()
-		p.settleLocked()
 		p.mu.Unlock()
 		return
 	}
-	p.assignLocked()
 	p.mu.Unlock()
 
 	// Deliver the synthesized outcome outside the pool lock: merger delivery
@@ -819,18 +872,35 @@ func (p *Pool) workerGone(w *proc) {
 	run.merger.Add(giveUp.Lo, campaign.TrialResult{Outcome: fault.HarnessFault})
 
 	p.mu.Lock()
-	if p.run == run {
+	if p.runs[run.cid] == run {
 		run.done++
 		p.assignLocked()
-		p.settleLocked()
+		p.settleLocked(run)
 	}
 	p.mu.Unlock()
+}
+
+// failAllLocked fails every active campaign that isn't already cancelled or
+// failed (the pool has no workers left to serve any of them) and settles
+// each. Caller holds p.mu.
+func (p *Pool) failAllLocked(err error) {
+	var active []*runState
+	for _, run := range p.runs {
+		active = append(active, run)
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].cid < active[j].cid })
+	for _, run := range active {
+		if run.err == nil && !run.cancelled {
+			run.err = err
+		}
+		p.settleLocked(run)
+	}
 }
 
 // respawnWorker replaces a dead worker (bounded by the pool's respawn
 // budget). A replacement that arrives after Close, or fails to spawn, is
 // cleaned up; a spawn failure that leaves the pool empty fails the active
-// run instead of hanging it.
+// campaigns instead of hanging them.
 func (p *Pool) respawnWorker() {
 	w, err := p.spawnWorker()
 	p.mu.Lock()
@@ -838,31 +908,34 @@ func (p *Pool) respawnWorker() {
 	if err == nil && !p.closed {
 		p.workers = append(p.workers, w)
 		p.assignLocked()
-		p.settleLocked()
+		for _, cid := range p.runOrder {
+			p.settleLocked(p.runs[cid])
+		}
 		p.mu.Unlock()
 		return
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shard: respawn failed: %v\n", err)
-		run := p.run
 		live := 0
 		for _, other := range p.workers {
 			if !other.dead {
 				live++
 			}
 		}
-		if run != nil && live == 0 && p.respawning == 0 && run.err == nil && !run.cancelled {
-			run.err = errors.New("all workers exited mid-campaign and respawn failed")
+		if live == 0 && p.respawning == 0 {
+			p.failAllLocked(errors.New("all workers exited mid-campaign and respawn failed"))
 		}
-		p.settleLocked()
+		for _, cid := range p.runOrder {
+			p.settleLocked(p.runs[cid])
+		}
 		p.mu.Unlock()
 		return
 	}
 	// Closed while the respawn was in flight: retire the fresh worker.
 	p.mu.Unlock()
-	w.in.Close()
+	w.conn.CloseWrite()
 	<-w.readerDone
-	w.cmd.Wait()
+	w.conn.Wait()
 }
 
 // Run is the one-shot convenience: spawn an n-worker pool, run the single

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"syscall"
+
+	"repro/internal/chaos"
+)
+
+// stdioTransport is the original re-exec transport: Dial forks this same
+// binary with the worker marker set and speaks the wire protocol over the
+// child's stdin/stdout. Behavior is identical to the pre-abstraction pool —
+// same environment, same stderr prefixing, same signal semantics — so the
+// stdio determinism and chaos suites pin this transport bit for bit.
+type stdioTransport struct {
+	exe string
+}
+
+func newStdioTransport() (*stdioTransport, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("shard: executable: %w", err)
+	}
+	return &stdioTransport{exe: exe}, nil
+}
+
+func (t *stdioTransport) String() string { return t.exe }
+
+// Dial forks one worker process. Workers inherit the environment (FI_CHAOS
+// crosses the boundary here) plus the worker marker and their shard index,
+// which the chaos w= filter and the stderr prefix key on.
+func (t *stdioTransport) Dial(index int) (Conn, error) {
+	cmd := exec.Command(t.exe)
+	cmd.Env = append(os.Environ(), workerEnv+"=1", fmt.Sprintf("%s=%d", chaos.WorkerEnv, index))
+	cmd.Stderr = &prefixWriter{dst: os.Stderr, prefix: fmt.Sprintf("[shard %d] ", index)}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		stdin.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		stdin.Close()
+		return nil, err
+	}
+	return &stdioConn{
+		cmd: cmd,
+		in:  stdin,
+		enc: gob.NewEncoder(stdin),
+		dec: gob.NewDecoder(stdout),
+	}, nil
+}
+
+// stdioConn is a re-exec'd worker process: reqs down its stdin, frames back
+// up its stdout, stop escalation by signal.
+type stdioConn struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func (c *stdioConn) Send(r *req) error   { return c.enc.Encode(r) }
+func (c *stdioConn) Recv(f *frame) error { return c.dec.Decode(f) }
+func (c *stdioConn) Terminate()          { c.cmd.Process.Signal(syscall.SIGTERM) }
+func (c *stdioConn) Kill()               { c.cmd.Process.Kill() }
+func (c *stdioConn) CloseWrite() error   { return c.in.Close() }
+
+// Wait reaps the child. The caller guarantees the reader drained stdout first
+// (cmd.Wait requires it).
+func (c *stdioConn) Wait() { c.cmd.Wait() }
+
+func (c *stdioConn) Pid() int { return c.cmd.Process.Pid }
+
+func (c *stdioConn) String() string {
+	return fmt.Sprintf("pid %d", c.cmd.Process.Pid)
+}

@@ -2,14 +2,17 @@ package shard
 
 import "repro/internal/campaign"
 
-// Wire format. Both directions are gob streams over the worker's stdio:
+// Wire format. Both directions are gob streams over the worker's transport —
+// the re-exec'd worker's stdio, or a TCP session to a worker node; the frames
+// are identical either way (see transport.go):
 //
-//	coordinator → worker (stdin):  a stream of req messages — a specIntro
-//	    introduces a campaign under a small integer id (once per campaign
-//	    per worker, before its first range), a rangeReq assigns the trial
-//	    index range [Lo, Hi) of that campaign. Closing stdin tells the
-//	    worker to finish up: it ships a final frameExit with its cache
-//	    counters and exits 0.
+//	coordinator → worker (stdin):  a stream of req messages — an optional
+//	    hello introduces the worker's shard index (TCP sessions only), a
+//	    specIntro introduces a campaign under a small integer id (once per
+//	    campaign per worker, before its first range), a rangeReq assigns the
+//	    trial index range [Lo, Hi) of that campaign. Closing the write side
+//	    tells the worker to finish up: it ships a final frameExit with its
+//	    cache counters and exits 0 (stdio) or ends the session (TCP).
 //
 //	worker → coordinator (stdout): a stream of frames. Running a range
 //	    produces one frameTrial per trial — (Index, TrialResult), exactly
@@ -28,8 +31,17 @@ import "repro/internal/campaign"
 
 // req is one coordinator→worker message; exactly one field is non-nil.
 type req struct {
+	Hello *hello
 	Spec  *specIntro
 	Range *rangeReq
+}
+
+// hello introduces the coordinator-assigned worker identity at the start of
+// a session. The TCP transport sends it first on every dialed connection (a
+// node can't learn its shard index from the environment the way a re-exec'd
+// stdio worker does); stdio coordinators never send it.
+type hello struct {
+	Index int // the pool's shard index for this worker session
 }
 
 // specIntro introduces a campaign spec under an id all later rangeReqs use.

@@ -3,7 +3,6 @@ package shard
 import (
 	"context"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -46,11 +45,14 @@ func envDuration(name string, def time.Duration) time.Duration {
 }
 
 // MaybeWorker turns this process into a shard worker when the re-exec
-// marker is set, running the wire protocol on stdin/stdout and exiting when
-// the coordinator closes the pipe. Call it first thing in main() — and in
-// TestMain of any test binary that spawns a Pool — before flags or tests
-// run. It returns (without side effects) in ordinary processes.
+// marker is set — the stdio marker (FI_SHARD_WORKER) runs the wire protocol
+// on stdin/stdout and exits when the coordinator closes the pipe; the node
+// marker (FI_SHARD_LISTEN) serves worker sessions over TCP until killed.
+// Call it first thing in main() — and in TestMain of any test binary that
+// spawns a Pool — before flags or tests run. It returns (without side
+// effects) in ordinary processes.
 func MaybeWorker() {
+	maybeNode()
 	if os.Getenv(workerEnv) == "" {
 		return
 	}
@@ -72,49 +74,23 @@ func MaybeWorker() {
 // A heartbeat goroutine ships frameBeat with the cumulative data-frame count
 // so the coordinator can tell a slow worker (progress advances) from a hung
 // one (beats arrive, progress doesn't — or nothing arrives at all).
+//
+// TCP worker-node sessions (transport_tcp.go) run the identical session loop
+// over their connection; only the stop signal differs — connection close
+// instead of SIGTERM.
 func WorkerMain(in io.Reader, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()
-
-	w := &worker{
-		dec:    gob.NewDecoder(in),
-		enc:    gob.NewEncoder(&tearWriter{w: out}),
-		specs:  map[int]campaign.Spec{},
-		caches: map[string]*campaign.Cache{},
-	}
-	beatDone := make(chan struct{})
-	defer close(beatDone)
-	go w.heartbeat(beatDone)
-	for {
-		var r req
-		if err := w.dec.Decode(&r); err != nil {
-			w.sendExit()
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
-				return nil
-			}
-			return fmt.Errorf("decode: %w", err)
-		}
-		switch {
-		case r.Spec != nil:
-			w.specs[r.Spec.CID] = r.Spec.Spec
-		case r.Range != nil:
-			w.runRange(ctx, r.Range)
-			if ctx.Err() != nil {
-				// SIGTERM'd: the claimed range drained (its delivered prefix
-				// is on the wire); leave the rest to reassignment.
-				w.sendExit()
-				return nil
-			}
-		}
-	}
+	return newWorker(in, &tearWriter{w: out}).serve(ctx)
 }
 
-// worker is the per-process protocol state: introduced specs, one
-// build/profile cache per cache directory (plus one process-private memory
+// worker is the per-session protocol state: introduced specs, one
+// build/profile cache per cache directory (plus one session-private memory
 // cache for dirless specs), and which campaigns already shipped a profile.
 type worker struct {
 	dec      *gob.Decoder
 	enc      *gob.Encoder
+	index    int // shard index from the session hello (stdio: from the env)
 	specs    map[int]campaign.Spec
 	caches   map[string]*campaign.Cache
 	profiled map[int]bool
@@ -122,9 +98,59 @@ type worker struct {
 	sendMu sync.Mutex // serializes enc between trial stream and heartbeat
 	encErr error
 	sent   atomic.Int64 // data frames sent (the heartbeat's progress counter)
+
+	// onSendErr, when set, fires once when the first encode error latches —
+	// TCP sessions cancel their context here so a range whose frames have
+	// nowhere to go stops running instead of burning the node until the
+	// decode loop notices the dead conn.
+	onSendErr func()
 }
 
-// tearWriter is the chaos seam for torn stdio frames: when a
+// newWorker builds the session state over a decode source and an encode sink
+// (the sink is pre-wrapped with the transport's tear seam).
+func newWorker(in io.Reader, out io.Writer) *worker {
+	return &worker{
+		dec:    gob.NewDecoder(in),
+		enc:    gob.NewEncoder(out),
+		specs:  map[int]campaign.Spec{},
+		caches: map[string]*campaign.Cache{},
+	}
+}
+
+// serve is the session loop shared by stdio workers and TCP node sessions:
+// decode reqs, run ranges, stream frames, heartbeat until the peer goes away.
+func (w *worker) serve(ctx context.Context) error {
+	beatDone := make(chan struct{})
+	defer close(beatDone)
+	go w.heartbeat(beatDone)
+	for {
+		var r req
+		if err := w.dec.Decode(&r); err != nil {
+			w.sendExit()
+			if sessionClosed(err) {
+				return nil
+			}
+			return fmt.Errorf("decode: %w", err)
+		}
+		switch {
+		case r.Hello != nil:
+			w.index = r.Hello.Index
+		case r.Spec != nil:
+			w.specs[r.Spec.CID] = r.Spec.Spec
+		case r.Range != nil:
+			w.runRange(ctx, r.Range)
+			if ctx.Err() != nil {
+				// Stopped (SIGTERM, or a dead conn): the claimed range drained
+				// what it could (its delivered prefix is on the wire); leave
+				// the rest to reassignment.
+				w.sendExit()
+				return nil
+			}
+		}
+	}
+}
+
+// tearWriter is the stdio chaos seam for torn frames: when a
 // shard.worker.send tear fault fires, it flushes only half of the pending
 // write and dies — the coordinator sees a mid-frame gob error, exactly as if
 // the worker crashed between two write(2) calls.
@@ -144,13 +170,21 @@ func (t *tearWriter) Write(p []byte) (int, error) {
 // (the heartbeat goroutine interleaves with the trial stream).
 func (w *worker) send(f *frame) {
 	w.sendMu.Lock()
-	defer w.sendMu.Unlock()
 	if w.encErr != nil {
+		w.sendMu.Unlock()
 		return
 	}
 	w.encErr = w.enc.Encode(f)
-	if w.encErr == nil && f.Kind != frameBeat {
+	failed := w.encErr != nil
+	if !failed && f.Kind != frameBeat {
 		w.sent.Add(1)
+	}
+	w.sendMu.Unlock()
+	// Fire the failure hook outside the critical section: onSendErr cancels
+	// the session context, and cancellation callbacks must never run under
+	// the same lock the trial stream sends through.
+	if failed && w.onSendErr != nil {
+		w.onSendErr()
 	}
 }
 
@@ -187,8 +221,8 @@ func (w *worker) stats() campaign.CacheStats {
 }
 
 // cache resolves the build/profile cache for a spec: the shared disk cache
-// rooted at its CacheDir, or a worker-private memory cache. One instance per
-// directory per process, so a worker's later ranges and campaigns reuse
+// rooted at its CacheDir, or a session-private memory cache. One instance per
+// directory per session, so a worker's later ranges and campaigns reuse
 // earlier builds in memory.
 func (w *worker) cache(dir string) (*campaign.Cache, error) {
 	if c, ok := w.caches[dir]; ok {
@@ -245,10 +279,10 @@ func (w *worker) runRange(ctx context.Context, r *rangeReq) {
 	res, err := cam.Run(ctx)
 	if err != nil {
 		if ctx.Err() != nil {
-			// SIGTERM'd mid-range: the partial prefix is already on the
-			// wire; still ship the profile (the coordinator may have no
-			// other worker that completed a range), then let the exit path
-			// report. The range itself is left for reassignment.
+			// Stopped mid-range: the partial prefix is already on the wire;
+			// still ship the profile (the coordinator may have no other
+			// worker that completed a range), then let the exit path report.
+			// The range itself is left for reassignment.
 			if res != nil {
 				w.sendProfile(r.CID, res.Profile)
 			}
@@ -261,7 +295,7 @@ func (w *worker) runRange(ctx context.Context, r *rangeReq) {
 	w.send(&frame{Kind: frameRangeDone, CID: r.CID, Lo: r.Lo, Hi: r.Hi, Stats: w.stats()})
 }
 
-// sendProfile ships a campaign's golden-run profile once per process.
+// sendProfile ships a campaign's golden-run profile once per session.
 func (w *worker) sendProfile(cid int, p *campaign.Profile) {
 	if p == nil || w.profiled[cid] {
 		return

@@ -28,6 +28,8 @@
 package refine
 
 import (
+	"context"
+
 	"repro/internal/campaign"
 	"repro/internal/fault"
 	"repro/internal/ir"
@@ -280,7 +282,10 @@ func NewCampaign(app App, tool Tool, opts ...CampaignOption) *CampaignSpec {
 //
 // Deprecated: use NewCampaign(app, tool, opts...).Run(ctx).
 func Campaign(app App, tool Tool, n int, seed uint64, workers int) (*Result, error) {
-	return campaign.Run(app, tool, n, seed, workers, DefaultOptions())
+	return campaign.New(app, tool,
+		campaign.WithTrials(n), campaign.WithSeed(seed), campaign.WithWorkers(workers),
+		campaign.WithBuildOptions(DefaultOptions()), campaign.WithRecords(),
+	).Run(context.Background())
 }
 
 // CampaignWith runs a campaign with explicit build options (ablations).
@@ -288,7 +293,10 @@ func Campaign(app App, tool Tool, n int, seed uint64, workers int) (*Result, err
 //
 // Deprecated: use NewCampaign with WithOptions.
 func CampaignWith(app App, tool Tool, n int, seed uint64, workers int, o Options) (*Result, error) {
-	return campaign.Run(app, tool, n, seed, workers, o)
+	return campaign.New(app, tool,
+		campaign.WithTrials(n), campaign.WithSeed(seed), campaign.WithWorkers(workers),
+		campaign.WithBuildOptions(o), campaign.WithRecords(),
+	).Run(context.Background())
 }
 
 // CampaignFresh runs a campaign with a from-scratch build and profile,
@@ -297,7 +305,10 @@ func CampaignWith(app App, tool Tool, n int, seed uint64, workers int, o Options
 //
 // Deprecated: use NewCampaign with WithCache(nil).
 func CampaignFresh(app App, tool Tool, n int, seed uint64, workers int, o Options) (*Result, error) {
-	return campaign.RunCached(nil, app, tool, n, seed, workers, o)
+	return campaign.New(app, tool,
+		campaign.WithTrials(n), campaign.WithSeed(seed), campaign.WithWorkers(workers),
+		campaign.WithBuildOptions(o), campaign.WithCache(nil), campaign.WithRecords(),
+	).Run(context.Background())
 }
 
 // SampleSize computes the Leveugle et al. sample count; the paper's margin
